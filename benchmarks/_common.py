@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the experiment table it reproduces and also writes it to
+``benchmarks/results/<name>.txt`` so the tables survive pytest's output
+capture (EXPERIMENTS.md is assembled from those files).
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, table) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    rendered = table.render()
+    print()
+    print(rendered)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(rendered + "\n")
+
+
+def run_once(benchmark, fn):
+    """Time *fn* exactly once (experiment sweeps are too slow for rounds)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

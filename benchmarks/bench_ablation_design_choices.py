@@ -1,0 +1,131 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+**A1 — bottom-up min-filling vs proportional load splitting.**  Footnote 1
+of the paper explains why (IP-2) is not simply augmented with fractional
+share variables ``y_{αij}``: a proportional split of each set's volume over
+its machines need not admit a valid schedule.  The ablation quantifies this:
+on random feasible (IP-2) pairs, the naive split ``LOAD[i,α] = vol(α)/|α|``
+overloads some machine (cumulative load > T) in a large fraction of
+instances, while Algorithm 2's bottom-up min-filling never does
+(Lemma IV.1).
+
+**A2 — vertex vs non-vertex LP solutions for LST rounding.**  The rounding
+of Section V needs *basic* solutions (pseudo-forest support).  Averaging two
+distinct optimal vertices yields feasible non-basic solutions whose support
+contains extra cycles; the ablation measures how often the rounding would be
+impossible without re-solving.
+"""
+
+from fractions import Fraction
+
+from _common import emit, run_once
+
+from repro.analysis import Table
+from repro.core.assignment import set_volumes
+from repro.core.hierarchical import allocate_loads
+from repro.rounding.pseudoforest import connected_components, is_pseudoforest
+from repro.workloads import random_feasible_pair, rng_from_seed
+from repro.workloads.generators import monotone_instance, random_laminar_family
+
+
+def _naive_split_overloads(instance, assignment, T) -> bool:
+    """True when the proportional split exceeds T on some machine."""
+    volumes = set_volumes(instance, assignment)
+    load = {i: Fraction(0) for i in instance.machines}
+    for alpha, volume in volumes.items():
+        share = volume / len(alpha)
+        for i in alpha:
+            load[i] += share
+    return any(v > T for v in load.values())
+
+
+def run_a1(trials: int = 60, seed: int = 314):
+    rng = rng_from_seed(seed)
+    rows = []
+    for m in (4, 6, 8, 10):
+        family = random_laminar_family(rng, m, split_probability=0.9)
+        inst = monotone_instance(rng, family, n=2 * m)
+        naive_bad = 0
+        algo2_bad = 0
+        for _ in range(trials):
+            assignment, T = random_feasible_pair(rng, inst)
+            if _naive_split_overloads(inst, assignment, T):
+                naive_bad += 1
+            allocation = allocate_loads(inst, assignment, T)  # raises on fail
+            if any(v > T for v in allocation.tot_load.values()):
+                algo2_bad += 1  # pragma: no cover - Lemma IV.1 forbids it
+        rows.append((m, trials, naive_bad, algo2_bad))
+    table = Table(
+        "A1 — naive proportional split vs Algorithm 2 (overload frequency)",
+        ["m", "trials", "naive split overloads", "Algorithm 2 overloads"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    return rows, table
+
+
+def run_a2(trials: int = 40, seed: int = 159):
+    """Uniform-spread feasible solutions vs exact-simplex vertices.
+
+    For near-identical machines, ``x_ij = 1/m`` is a perfectly feasible LP
+    solution at the balanced horizon — but its support is the complete
+    bipartite graph, which for n, m ≥ 3 has more edges than nodes, so the
+    LST matching argument does not apply.  Vertex solutions from the exact
+    simplex must always be pseudo-forests.
+    """
+    import numpy as np
+
+    from repro.lp.solve import solve_lp
+    from repro.rounding.lst import build_unrelated_lp
+
+    rng = np.random.default_rng(seed)
+    uniform_bad = 0
+    vertex_bad = 0
+    attempted = 0
+    for _ in range(trials):
+        n, m = int(rng.integers(3, 8)), int(rng.integers(3, 5))
+        p_value = int(rng.integers(2, 10))
+        p = {j: {i: p_value for i in range(m)} for j in range(n)}
+        T = Fraction(n * p_value, m)
+        if T < p_value:
+            continue
+        attempted += 1
+        # The uniform spread is feasible: each machine load = n·p/m = T.
+        uniform_edges = [
+            (("job", j), ("machine", i)) for j in range(n) for i in range(m)
+        ]
+        if not is_pseudoforest(uniform_edges):
+            uniform_bad += 1
+        lp = build_unrelated_lp(p, T)
+        vertex = solve_lp(lp, backend="exact")
+        assert vertex.is_optimal
+        vertex_edges = [
+            (("job", j), ("machine", i))
+            for (tag, i, j), v in vertex.values.items()
+            if tag == "x" and 0 < v < 1
+        ]
+        if vertex_edges and not is_pseudoforest(vertex_edges):
+            vertex_bad += 1  # pragma: no cover - basic solutions forbid it
+    table = Table(
+        "A2 — feasible-but-non-vertex LP solutions break the LST premise",
+        ["trials", "uniform spread non-pseudoforest", "vertex non-pseudoforest"],
+    )
+    table.add_row(attempted, uniform_bad, vertex_bad)
+    return (attempted, uniform_bad, vertex_bad), table
+
+
+def test_ablation_a1_naive_split(benchmark):
+    (rows, table) = run_once(benchmark, run_a1)
+    emit("ablation_a1", table)
+    # Algorithm 2 never overloads (Lemma IV.1); the naive split does, often.
+    assert all(algo2 == 0 for _m, _t, _naive, algo2 in rows)
+    assert sum(naive for _m, _t, naive, _a in rows) > 0
+
+
+def test_ablation_a2_vertex_requirement(benchmark):
+    (stats, table) = run_once(benchmark, run_a2)
+    emit("ablation_a2", table)
+    attempted, uniform_bad, vertex_bad = stats
+    assert attempted > 0
+    assert uniform_bad > 0     # the natural feasible solution breaks the premise
+    assert vertex_bad == 0     # basic solutions never do

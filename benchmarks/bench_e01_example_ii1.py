@@ -1,0 +1,13 @@
+"""E01 — Example II.1: semi-partitioned optimum 2 vs unrelated collapse 3."""
+
+from _common import emit, run_once
+
+from repro.experiments import e01_example_ii1 as exp
+
+
+def test_e01_example_ii1(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("e01", result.table)
+    assert result.opt_semi == 2
+    assert result.opt_collapse == 3
+    assert result.T_lp == 2

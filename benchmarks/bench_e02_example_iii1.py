@@ -1,0 +1,12 @@
+"""E02 — Example III.1: Algorithm 1 reproduces the paper's schedule."""
+
+from _common import emit, run_once
+
+from repro.experiments import e02_example_iii1 as exp
+
+
+def test_e02_example_iii1(benchmark):
+    result = run_once(benchmark, exp.run)
+    emit("e02", result.table)
+    assert result.valid and result.makespan == 2
+    assert result.migrations_of_global_job == 1

@@ -1,0 +1,15 @@
+"""E03 — Proposition III.2: migration/preemption bounds under load."""
+
+from _common import emit, run_once
+
+from repro.experiments import e03_migration_bounds as exp
+
+
+def test_e03_migration_bounds(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: exp.run(machine_counts=(2, 3, 4, 6, 8, 12), trials=60, n_jobs=16),
+    )
+    emit("e03", result.table)
+    for row in result.rows:
+        assert row.within_bounds, row

@@ -1,0 +1,14 @@
+"""E04 — Theorem III.1: Algorithm 1 validity rate at scale."""
+
+from _common import emit, run_once
+
+from repro.experiments import e04_semi_partitioned_validity as exp
+
+
+def test_e04_semi_partitioned_validity(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: exp.run(shapes=((8, 2), (16, 4), (32, 8), (64, 12)), trials=30),
+    )
+    emit("e04", result.table)
+    assert result.all_valid

@@ -1,0 +1,15 @@
+"""E05 — Theorem IV.3 + Lemmas IV.1/IV.2: hierarchical scheduler at scale."""
+
+from _common import emit, run_once
+
+from repro.experiments import e05_hierarchical_validity as exp
+
+
+def test_e05_hierarchical_validity(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: exp.run(machine_counts=(3, 4, 6, 8, 12, 16), trials=30, n_jobs=20),
+    )
+    emit("e05", result.table)
+    assert result.all_valid
+    assert result.lemma_iv2_holds

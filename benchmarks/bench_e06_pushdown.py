@@ -1,0 +1,14 @@
+"""E06 — Lemma V.1: push-down feasibility preservation at scale."""
+
+from _common import emit, run_once
+
+from repro.experiments import e06_pushdown as exp
+
+
+def test_e06_pushdown(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: exp.run(machine_counts=(3, 4, 6, 8, 10), n_jobs=10),
+    )
+    emit("e06", result.table)
+    assert result.lemma_holds

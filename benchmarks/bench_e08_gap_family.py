@@ -1,0 +1,13 @@
+"""E08 — Example V.1: the gap series (2n−3)/(n−1) → 2."""
+
+from _common import emit, run_once
+
+from repro.experiments import e08_gap_family as exp
+
+
+def test_e08_gap_family(benchmark):
+    result = run_once(
+        benchmark, lambda: exp.run(sizes=(3, 4, 5, 6, 8, 10, 12, 14))
+    )
+    emit("e08", result.table)
+    assert result.matches_paper

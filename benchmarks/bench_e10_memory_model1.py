@@ -1,0 +1,17 @@
+"""E10 — Theorem VI.1: Model 1 bicriteria rounding ratios."""
+
+from _common import emit, run_once
+
+from repro.experiments import e10_memory_model1 as exp
+
+
+def test_e10_memory_model1(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: exp.run(
+            shapes=(("semi", 6, 2), ("semi", 8, 4), ("clustered", 8, 4), ("clustered", 12, 6)),
+            trials=6,
+        ),
+    )
+    emit("e10", result.table)
+    assert result.bounds_hold

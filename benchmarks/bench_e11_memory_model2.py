@@ -1,0 +1,15 @@
+"""E11 — Theorem VI.3: Model 2 bicriteria vs σ = 2 + H_k."""
+
+from _common import emit, run_once
+
+from repro.experiments import e11_memory_model2 as exp
+
+
+def test_e11_memory_model2(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: exp.run(configs=((2, 2, 4), (4, 2, 6), (8, 2, 8), (8, 3, 10)), trials=5),
+    )
+    emit("e11", result.table)
+    assert result.bounds_hold
+    assert all(r.fallback_drops == 0 for r in result.rows)

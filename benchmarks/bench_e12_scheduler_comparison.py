@@ -1,0 +1,11 @@
+"""E12 — scheduler classes (global/partitioned/clustered/semi/hierarchical)."""
+
+from _common import emit, run_once
+
+from repro.experiments import e12_scheduler_comparison as exp
+
+
+def test_e12_scheduler_comparison(benchmark):
+    result = run_once(benchmark, lambda: exp.run(n_jobs=7, trials=3))
+    emit("e12", result.table)
+    assert result.hierarchy_never_loses

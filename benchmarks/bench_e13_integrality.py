@@ -1,0 +1,13 @@
+"""E13 — integrality gaps: random instances + the R||Cmax gap family."""
+
+from _common import emit, run_once
+
+from repro.experiments import e13_integrality as exp
+
+
+def test_e13_integrality(benchmark):
+    result = run_once(
+        benchmark, lambda: exp.run(trials=20, n=6, m=3, gap_ms=(2, 3, 4, 5, 6))
+    )
+    emit("e13", result.table)
+    assert result.gaps_at_most_2

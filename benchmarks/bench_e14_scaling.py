@@ -1,0 +1,14 @@
+"""E14 — runtime scaling of the 2-approximation pipeline."""
+
+from _common import emit, run_once
+
+from repro.experiments import e14_scaling as exp
+
+
+def test_e14_scaling(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: exp.run(shapes=((6, 3), (10, 4), (16, 6), (24, 8), (32, 10))),
+    )
+    emit("e14", result.table)
+    assert all(r.ratio_vs_lp <= 2.0 + 1e-9 for r in result.rows)

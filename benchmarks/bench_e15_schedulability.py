@@ -1,0 +1,22 @@
+"""E15 — acceptance ratio vs utilization per scheduler class."""
+
+from _common import emit, run_once
+
+from repro.experiments import e15_schedulability as exp
+
+
+def test_e15_schedulability(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: exp.run(
+            utilizations=(0.5, 0.7, 0.8, 0.9, 0.95, 1.0),
+            m=4,
+            T_ref=30,
+            trials=8,
+        ),
+    )
+    emit("e15", result.table)
+    assert result.hierarchy_dominates
+    # Acceptance is non-increasing in utilization for the dominant class.
+    curve = result.acceptance_curve("hierarchical")
+    assert curve[0] >= curve[-1]

@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the core algorithmic kernels (multi-round timings).
+
+Unlike the experiment benches (single-round sweeps), these time the paper's
+individual algorithms on fixed representative instances so solver-level
+regressions are measurable.
+"""
+
+import pytest
+
+from repro import schedule_hierarchical, schedule_semi_partitioned, two_approximation
+from repro.baselines import mcnaughton_schedule
+from repro.core.hierarchical import allocate_loads
+from repro.core.programs import build_ip3, minimal_fractional_T
+from repro.lp.solve import solve_lp
+from repro.rounding.lst import lst_round
+from repro.workloads import (
+    random_feasible_pair,
+    random_hierarchical,
+    random_semi_partitioned,
+    rng_from_seed,
+)
+
+
+@pytest.fixture(scope="module")
+def semi_fixture():
+    rng = rng_from_seed(1001)
+    inst = random_semi_partitioned(rng, n=48, m=8)
+    assignment, T = random_feasible_pair(rng, inst)
+    return inst, assignment, T
+
+
+@pytest.fixture(scope="module")
+def hier_fixture():
+    rng = rng_from_seed(1002)
+    inst = random_hierarchical(rng, n=32, m=12, split_probability=0.9)
+    assignment, T = random_feasible_pair(rng, inst)
+    return inst, assignment, T
+
+
+def test_kernel_algorithm1_semi_partitioned(benchmark, semi_fixture):
+    inst, assignment, T = semi_fixture
+    schedule = benchmark(
+        lambda: schedule_semi_partitioned(inst, assignment, T, check_feasibility=False)
+    )
+    assert schedule.makespan() <= T
+
+
+def test_kernel_algorithm2_load_allocation(benchmark, hier_fixture):
+    inst, assignment, T = hier_fixture
+    allocation = benchmark(lambda: allocate_loads(inst, assignment, T))
+    assert allocation.T == T
+
+
+def test_kernel_algorithm3_hierarchical_schedule(benchmark, hier_fixture):
+    inst, assignment, T = hier_fixture
+    schedule = benchmark(
+        lambda: schedule_hierarchical(inst, assignment, T, check_feasibility=False)
+    )
+    assert schedule.makespan() <= T
+
+
+def test_kernel_exact_simplex_ip3(benchmark):
+    rng = rng_from_seed(1003)
+    inst = random_hierarchical(rng, n=10, m=5)
+    _lo, hi = inst.trivial_bounds()
+    lp = build_ip3(inst, hi)
+    solution = benchmark(lambda: solve_lp(lp, backend="exact"))
+    assert solution.is_optimal
+
+
+def test_kernel_scipy_lp_ip3(benchmark):
+    rng = rng_from_seed(1003)
+    inst = random_hierarchical(rng, n=30, m=10)
+    _lo, hi = inst.trivial_bounds()
+    lp = build_ip3(inst, hi)
+    solution = benchmark(lambda: solve_lp(lp, backend="scipy"))
+    assert solution.is_optimal
+
+
+def test_kernel_lst_rounding(benchmark):
+    rng = rng_from_seed(1004)
+    n, m = 24, 6
+    p = {
+        j: {i: int(rng.integers(1, 20)) for i in range(m)} for j in range(n)
+    }
+    from repro.baselines import minimal_unrelated_T
+
+    T = minimal_unrelated_T(p, backend="scipy")
+    mapping = benchmark(lambda: lst_round(p, T, backend="scipy"))
+    assert len(mapping) == n
+
+
+def test_kernel_two_approximation_end_to_end(benchmark):
+    rng = rng_from_seed(1005)
+    inst = random_hierarchical(rng, n=16, m=6)
+    result = benchmark.pedantic(
+        lambda: two_approximation(inst, backend="scipy"), rounds=3, iterations=1
+    )
+    assert result.makespan <= result.bound
+
+
+def test_kernel_mcnaughton(benchmark):
+    rng = rng_from_seed(1006)
+    lengths = [int(rng.integers(1, 100)) for _ in range(2000)]
+    T, schedule = benchmark(lambda: mcnaughton_schedule(lengths, 64))
+    assert schedule.makespan() == T

@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e .` works offline (no wheel package available).
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable-install code path (PEP 660 builds require the `wheel` package,
+which is not installed in the offline environment).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — reproduction of *Algorithms for Hierarchical and Semi-Partitioned
+Parallel Scheduling* (Bonifaci, D'Angelo, Marchetti-Spaccamela, IPDPS 2017).
+
+The package implements the paper's scheduling model — jobs assigned to
+*affinity masks* drawn from a laminar family, with monotone set-dependent
+processing times — together with:
+
+* the combinatorial schedulers of Sections III and IV (Algorithms 1-3),
+* the LP-rounding 2-approximation of Section V (Theorem V.2),
+* the memory-constrained bicriteria roundings of Section VI,
+* exact solvers, classical baselines, workload generators and a SimSo-style
+  execution simulator used by the experiment suite.
+
+Quick start::
+
+    from repro import Instance, two_approximation
+    inst = Instance.semi_partitioned(p_local=[[1, 4], [4, 1], [2, 2]],
+                                     p_global=[5, 5, 2])
+    result = two_approximation(inst)
+    print(result.schedule.as_table())
+"""
+
+from ._fraction import INF
+from .core import (
+    Assignment,
+    FractionalAssignment,
+    GeneralMaskInstance,
+    Instance,
+    LaminarFamily,
+    eight_approximation,
+    min_T_for_assignment,
+    minimal_fractional_T,
+    schedule_assignment,
+    schedule_hierarchical,
+    schedule_semi_partitioned,
+    solve_exact,
+    solve_model1,
+    solve_model2,
+    two_approximation,
+    verify_ip1,
+    verify_ip2,
+    verify_lp,
+)
+from .schedule import Schedule, summarize, validate_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "FractionalAssignment",
+    "GeneralMaskInstance",
+    "INF",
+    "Instance",
+    "LaminarFamily",
+    "Schedule",
+    "eight_approximation",
+    "min_T_for_assignment",
+    "minimal_fractional_T",
+    "schedule_assignment",
+    "schedule_hierarchical",
+    "schedule_semi_partitioned",
+    "solve_exact",
+    "solve_model1",
+    "solve_model2",
+    "summarize",
+    "two_approximation",
+    "validate_schedule",
+    "verify_ip1",
+    "verify_ip2",
+    "verify_lp",
+]

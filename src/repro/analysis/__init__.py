@@ -1,0 +1,6 @@
+"""Experiment analysis helpers: tables and ratio statistics."""
+
+from .ratios import RatioStats, geometric_mean
+from .tables import Table, fmt
+
+__all__ = ["RatioStats", "Table", "fmt", "geometric_mean"]

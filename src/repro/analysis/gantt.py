@@ -1,0 +1,52 @@
+"""ASCII Gantt rendering of schedules.
+
+Renders a :class:`~repro.schedule.schedule.Schedule` as one row of character
+cells per machine, resolution chosen so the horizon fits the terminal.  Jobs
+are labelled 0-9 then a-z then A-Z, cycling; idle time is ``.``.  Fractional
+segment boundaries are rounded to the cell grid for display only — the
+underlying schedule stays exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from ..schedule.schedule import Schedule
+
+_LABELS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def job_label(job: int) -> str:
+    """One-character display label for a job id (cycling 0-9a-zA-Z)."""
+    return _LABELS[job % len(_LABELS)]
+
+
+def render_gantt(schedule: Schedule, width: int = 72) -> str:
+    """Render the schedule as an ASCII Gantt chart.
+
+    Each machine gets one line of *width* cells spanning ``[0, T]``.  When
+    two jobs share one cell the later-starting one wins the pixel — the
+    exact schedule is still machine-exclusive.
+    """
+    T = schedule.T if schedule.T > 0 else schedule.makespan()
+    if T == 0:
+        return "\n".join(f"m{m:<3d} (empty)" for m in schedule.machines)
+    lines: List[str] = []
+    header = "     " + "".join(
+        "|" if (c * T / width).denominator == 1 and width >= 10 and c % (width // 8 or 1) == 0
+        else " "
+        for c in range(width)
+    )
+    for machine in schedule.machines:
+        cells = ["."] * width
+        for seg in schedule.timeline(machine):
+            start_cell = int(seg.start * width / T)
+            end_cell = int(seg.end * width / T)
+            if end_cell == start_cell:
+                end_cell = start_cell + 1
+            for c in range(start_cell, min(end_cell, width)):
+                cells[c] = job_label(seg.job)
+        lines.append(f"m{machine:<3d} " + "".join(cells))
+    scale = f"     0{' ' * (width - len(str(T)) - 1)}{T}"
+    return "\n".join(lines + [scale])

@@ -1,0 +1,45 @@
+"""Ratio bookkeeping for the approximation-quality experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Union
+
+Number = Union[int, float, Fraction]
+
+
+@dataclass(frozen=True)
+class RatioStats:
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[Number]) -> "RatioStats":
+        if not values:
+            return cls(0, float("nan"), float("nan"), float("nan"))
+        floats = [float(v) for v in values]
+        return cls(
+            count=len(floats),
+            mean=sum(floats) / len(floats),
+            minimum=min(floats),
+            maximum=max(floats),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+
+
+def geometric_mean(values: Sequence[Number]) -> float:
+    """Geometric mean — the standard aggregate for speedup ratios."""
+    if not values:
+        return float("nan")
+    product = 1.0
+    for v in values:
+        product *= float(v)
+    return product ** (1.0 / len(values))

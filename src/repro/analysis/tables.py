@@ -1,0 +1,69 @@
+"""ASCII table rendering for the experiment harness.
+
+Every benchmark prints the table it reproduces; this keeps formatting in one
+place so EXPERIMENTS.md and the bench output stay visually identical.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, Fraction, None]
+
+
+def fmt(value: Cell, digits: int = 3) -> str:
+    """Human formatting: Fractions become fixed-point floats, ints stay."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{float(value):.{digits}f}"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+class Table:
+    """A fixed-header ASCII table with right-aligned numeric columns."""
+
+    def __init__(self, title: str, headers: Sequence[str], digits: int = 3):
+        self.title = title
+        self.headers = list(headers)
+        self.digits = digits
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([fmt(c, self.digits) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for k, cell in enumerate(row):
+                widths[k] = max(widths[k], len(cell))
+        sep = "+".join("-" * (w + 2) for w in widths)
+        sep = f"+{sep}+"
+        out = [self.title, sep]
+        header = "|".join(f" {h.ljust(widths[k])} " for k, h in enumerate(self.headers))
+        out.append(f"|{header}|")
+        out.append(sep)
+        for row in self.rows:
+            line = "|".join(f" {cell.rjust(widths[k])} " for k, cell in enumerate(row))
+            out.append(f"|{line}|")
+        out.append(sep)
+        return "\n".join(out)
+
+    def print(self) -> None:  # pragma: no cover - passthrough
+        print()
+        print(self.render())

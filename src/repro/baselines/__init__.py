@@ -1,0 +1,39 @@
+"""Classical baselines: McNaughton, list scheduling, LST, greedy planners."""
+
+from .list_scheduling import list_schedule, lpt_makespan
+from .lst_unrelated import LSTResult, minimal_unrelated_T, solve_unrelated_2approx
+from .mcnaughton import mcnaughton_makespan, mcnaughton_schedule
+from .partitioned import first_fit_decreasing, greedy_partition, partition_schedule
+from .preemptive_unrelated import preemptive_lp, preemptive_makespan, preemptive_schedule
+from .restrictions import (
+    SCHEDULER_CLASSES,
+    ClassComparison,
+    compare_scheduler_classes,
+    restrict_instance,
+    restricted_family_for,
+    solve_restricted,
+)
+from .semi_greedy import SemiGreedyResult, solve_semi_greedy
+
+__all__ = [
+    "SCHEDULER_CLASSES",
+    "ClassComparison",
+    "LSTResult",
+    "SemiGreedyResult",
+    "compare_scheduler_classes",
+    "first_fit_decreasing",
+    "greedy_partition",
+    "list_schedule",
+    "lpt_makespan",
+    "mcnaughton_makespan",
+    "mcnaughton_schedule",
+    "minimal_unrelated_T",
+    "partition_schedule",
+    "preemptive_lp",
+    "preemptive_makespan",
+    "preemptive_schedule",
+    "restrict_instance",
+    "restricted_family_for",
+    "solve_restricted",
+    "solve_unrelated_2approx",
+]

@@ -1,0 +1,66 @@
+"""Non-preemptive list scheduling on identical machines (Graham).
+
+Greedy list scheduling (next job to the least-loaded machine) is a
+``2 − 1/m`` approximation; with the LPT order (longest processing time
+first) the ratio improves to ``4/3 − 1/(3m)``.  These serve as cheap
+non-preemptive reference points next to McNaughton's preemptive optimum in
+the experiment tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .._fraction import to_fraction
+from ..exceptions import InvalidInstanceError
+from ..schedule.schedule import Schedule
+
+Time = Union[int, Fraction]
+
+
+def list_schedule(
+    lengths: Sequence[Time],
+    m: int,
+    order: str = "input",
+) -> Tuple[Fraction, Schedule, Dict[int, int]]:
+    """Greedy list scheduling; returns ``(makespan, schedule, job->machine)``.
+
+    ``order="lpt"`` sorts jobs longest-first (LPT rule), ``"input"`` keeps
+    the given order (Graham's original analysis).
+    """
+    if m <= 0:
+        raise InvalidInstanceError("m must be positive")
+    values = [to_fraction(v) for v in lengths]
+    if any(v < 0 for v in values):
+        raise InvalidInstanceError("negative job length")
+    if order == "lpt":
+        sequence = sorted(range(len(values)), key=lambda j: (-values[j], j))
+    elif order == "input":
+        sequence = list(range(len(values)))
+    else:
+        raise InvalidInstanceError(f"unknown order {order!r}")
+
+    # (load, machine) heap; Fractions compare exactly.
+    heap: List[Tuple[Fraction, int]] = [(Fraction(0), i) for i in range(m)]
+    heapq.heapify(heap)
+    placement: Dict[int, int] = {}
+    start_times: Dict[int, Fraction] = {}
+    for j in sequence:
+        load, i = heapq.heappop(heap)
+        placement[j] = i
+        start_times[j] = load
+        heapq.heappush(heap, (load + values[j], i))
+    makespan = max((start_times[j] + values[j] for j in placement), default=Fraction(0))
+    schedule = Schedule(range(m), makespan)
+    for j, i in placement.items():
+        if values[j] > 0:
+            schedule.add_segment(i, j, start_times[j], start_times[j] + values[j])
+    return makespan, schedule, placement
+
+
+def lpt_makespan(lengths: Sequence[Time], m: int) -> Fraction:
+    """Convenience: the LPT makespan only."""
+    makespan, _schedule, _placement = list_schedule(lengths, m, order="lpt")
+    return makespan

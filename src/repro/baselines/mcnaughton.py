@@ -1,0 +1,65 @@
+"""McNaughton's wrap-around rule for ``P|pmtn|Cmax`` (1959).
+
+The optimal preemptive makespan on identical machines is
+
+    T = max( max_j p_j , Σ_j p_j / m )
+
+and McNaughton's rule achieves it: lay the jobs out as one line and cut it
+into ``m`` chunks of length ``T``.  This is the ancestral special case of
+the paper's Algorithm 1 (the global-jobs phase with no local jobs) and the
+*global scheduling* baseline of experiment E12.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .._fraction import to_fraction
+from ..exceptions import InvalidInstanceError
+from ..schedule.schedule import Schedule
+
+Time = Union[int, Fraction]
+
+
+def mcnaughton_makespan(lengths: Sequence[Time], m: int) -> Fraction:
+    """The optimal preemptive makespan ``max(max p_j, Σ p_j / m)``."""
+    if m <= 0:
+        raise InvalidInstanceError("m must be positive")
+    if not lengths:
+        return Fraction(0)
+    values = [to_fraction(v) for v in lengths]
+    if any(v < 0 for v in values):
+        raise InvalidInstanceError("negative job length")
+    return max(max(values), sum(values, Fraction(0)) / m)
+
+
+def mcnaughton_schedule(lengths: Sequence[Time], m: int) -> Tuple[Fraction, Schedule]:
+    """Build the wrap-around schedule; returns ``(T, schedule)``.
+
+    Jobs are numbered by their position in *lengths*; machines ``0..m-1``.
+    At most ``m − 1`` jobs are split, each into exactly two pieces on
+    adjacent machines — never overlapping in time because each piece sits at
+    the same offsets of consecutive ``[0, T)`` windows.
+    """
+    T = mcnaughton_makespan(lengths, m)
+    schedule = Schedule(range(m), T)
+    if T == 0:
+        return T, schedule
+    machine = 0
+    cursor = Fraction(0)
+    for job, raw in enumerate(lengths):
+        left = to_fraction(raw)
+        while left > 0:
+            available = T - cursor
+            piece = min(left, available)
+            if piece > 0:
+                schedule.add_segment(machine, job, cursor, cursor + piece)
+                cursor += piece
+                left -= piece
+            if cursor == T:
+                machine += 1
+                cursor = Fraction(0)
+                if machine >= m and left > 0:  # pragma: no cover - T bound
+                    raise InvalidInstanceError("wrap-around overflow")
+    return T, schedule

@@ -1,0 +1,117 @@
+"""Partitioned (non-migrating) heuristics for unrelated machines.
+
+Pure partitioning is the paper's strawman: every job pinned to one machine.
+Besides the LP-based 2-approximation (see
+:mod:`repro.baselines.lst_unrelated`), the experiment tables include the
+practical heuristics real systems use:
+
+* **min-load greedy** — place each job on the machine where the resulting
+  load is smallest (jobs in input order);
+* **greedy-LPT** — same, but jobs sorted by decreasing cheapest time;
+* **first-fit decreasing with target T** — bin-packing style feasibility
+  check used by semi-partitioned planners to decide which jobs overflow.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .._fraction import INF, is_inf, to_fraction
+from ..exceptions import InfeasibleError
+from ..schedule.schedule import Schedule
+
+Time = Union[int, Fraction]
+PMatrix = Mapping[int, Mapping[int, Union[int, Fraction, float]]]
+
+
+def _finite_row(p: PMatrix, j: int) -> Dict[int, Fraction]:
+    row = {}
+    for i, value in p[j].items():
+        if not is_inf(value):
+            row[i] = to_fraction(value)
+    if not row:
+        raise InfeasibleError(f"job {j} cannot run on any machine")
+    return row
+
+
+def greedy_partition(
+    p: PMatrix,
+    machines: Sequence[int],
+    order: str = "input",
+) -> Tuple[Fraction, Dict[int, int]]:
+    """Min-load greedy partitioning; returns ``(makespan, job->machine)``.
+
+    ``order="lpt"`` processes jobs by decreasing cheapest processing time.
+    """
+    jobs = sorted(p)
+    if order == "lpt":
+        jobs.sort(key=lambda j: (-min(_finite_row(p, j).values()), j))
+    loads: Dict[int, Fraction] = {i: Fraction(0) for i in machines}
+    placement: Dict[int, int] = {}
+    for j in jobs:
+        row = _finite_row(p, j)
+        best_i: Optional[int] = None
+        best_load: Optional[Fraction] = None
+        for i in sorted(row):
+            candidate = loads[i] + row[i]
+            if best_load is None or candidate < best_load:
+                best_load = candidate
+                best_i = i
+        assert best_i is not None
+        placement[j] = best_i
+        loads[best_i] += row[best_i]
+    makespan = max(loads.values(), default=Fraction(0))
+    return makespan, placement
+
+
+def first_fit_decreasing(
+    p: PMatrix,
+    machines: Sequence[int],
+    T: Time,
+) -> Tuple[Dict[int, int], List[int]]:
+    """First-fit decreasing against per-machine capacity *T*.
+
+    Returns ``(placed: job -> machine, overflow: jobs that fit nowhere)``.
+    This is the partitioning phase of classical semi-partitioned planners:
+    overflow jobs are the candidates for migration.
+    """
+    T = to_fraction(T)
+    jobs = sorted(p, key=lambda j: (-min(_finite_row(p, j).values()), j))
+    loads: Dict[int, Fraction] = {i: Fraction(0) for i in machines}
+    placed: Dict[int, int] = {}
+    overflow: List[int] = []
+    for j in jobs:
+        row = _finite_row(p, j)
+        target: Optional[int] = None
+        for i in sorted(row):
+            if loads[i] + row[i] <= T:
+                target = i
+                break
+        if target is None:
+            overflow.append(j)
+        else:
+            placed[j] = target
+            loads[target] += row[target]
+    return placed, sorted(overflow)
+
+
+def partition_schedule(
+    p: PMatrix,
+    machines: Sequence[int],
+    placement: Mapping[int, int],
+) -> Schedule:
+    """Materialize a partitioned placement as a (sequential) schedule."""
+    loads: Dict[int, Fraction] = {i: Fraction(0) for i in machines}
+    for j in sorted(placement):
+        loads[placement[j]] += to_fraction(p[j][placement[j]])
+    horizon = max(loads.values(), default=Fraction(0))
+    schedule = Schedule(machines, horizon)
+    cursor: Dict[int, Fraction] = {i: Fraction(0) for i in machines}
+    for j in sorted(placement):
+        i = placement[j]
+        length = to_fraction(p[j][i])
+        if length > 0:
+            schedule.add_segment(i, j, cursor[i], cursor[i] + length)
+            cursor[i] += length
+    return schedule

@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [ids…]``
+    Run (a subset of) the E01–E15 experiment suite at test scale and print
+    the tables.
+``solve --demo <name>``
+    Solve one of the built-in demo instances (``ii1``, ``v1``, ``smp``) with
+    the exact solver and the 2-approximation, printing schedules as Gantt
+    charts.
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+
+
+_EXPERIMENTS = {
+    "e01": ("experiments.e01_example_ii1", {}),
+    "e02": ("experiments.e02_example_iii1", {}),
+    "e03": ("experiments.e03_migration_bounds", dict(machine_counts=(2, 3, 4), trials=10, n_jobs=8)),
+    "e04": ("experiments.e04_semi_partitioned_validity", dict(shapes=((6, 2), (10, 4)), trials=8)),
+    "e05": ("experiments.e05_hierarchical_validity", dict(machine_counts=(3, 5, 8), trials=8, n_jobs=10)),
+    "e06": ("experiments.e06_pushdown", dict(machine_counts=(3, 4, 6), n_jobs=6)),
+    "e07": ("experiments.e07_two_approx_ratio", dict(shapes=((4, 3), (6, 3), (8, 4)), trials=4)),
+    "e08": ("experiments.e08_gap_family", dict(sizes=(3, 4, 5, 6, 8))),
+    "e09": ("experiments.e09_general_masks", dict(shapes=((4, 3), (6, 4)), trials=5)),
+    "e10": ("experiments.e10_memory_model1", dict(shapes=(("semi", 6, 2), ("clustered", 6, 4)), trials=3)),
+    "e11": ("experiments.e11_memory_model2", dict(configs=((2, 2, 4), (4, 2, 6)), trials=3)),
+    "e12": ("experiments.e12_scheduler_comparison", dict(n_jobs=5, trials=2)),
+    "e13": ("experiments.e13_integrality", dict(trials=8, gap_ms=(2, 3, 4))),
+    "e14": ("experiments.e14_scaling", dict(shapes=((6, 3), (10, 4)))),
+    "e15": ("experiments.e15_schedulability", dict(utilizations=(0.6, 0.9), m=4, T_ref=20, trials=3)),
+}
+
+
+def _run_experiments(ids: List[str]) -> int:
+    import importlib
+
+    chosen = ids or sorted(_EXPERIMENTS)
+    for exp_id in chosen:
+        if exp_id not in _EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}; choose from {sorted(_EXPERIMENTS)}")
+            return 2
+        module_name, kwargs = _EXPERIMENTS[exp_id]
+        module = importlib.import_module(f"repro.{module_name}")
+        result = module.run(**kwargs)
+        print()
+        print(result.table.render())
+    return 0
+
+
+def _solve_demo(name: str) -> int:
+    from .analysis.gantt import render_gantt
+    from .core.approx import two_approximation
+    from .core.exact import solve_exact
+    from .core.hierarchical import schedule_hierarchical
+
+    if name == "ii1":
+        from .workloads import example_ii1
+
+        instance = example_ii1()
+    elif name == "v1":
+        from .workloads import example_v1
+
+        instance = example_v1(6)
+    elif name == "smp":
+        from .simulation import CostModel, Topology
+        from .workloads import rng_from_seed
+        from .workloads.generators import instance_from_topology
+
+        topo = Topology.smp_cmp(2, 1, 2)
+        instance, _ = instance_from_topology(
+            rng_from_seed(2017), topo, CostModel.xeon_like(), n=topo.m + 1,
+            base_range=(20, 24), flexible_fraction=1.0, specialist_fraction=0.0,
+        )
+    else:
+        print(f"unknown demo {name!r}; choose from ii1, v1, smp")
+        return 2
+
+    print(f"instance: {instance}")
+    exact = solve_exact(instance)
+    schedule = schedule_hierarchical(instance, exact.assignment, exact.optimum)
+    print(f"\nexact optimum: {exact.optimum}")
+    print(render_gantt(schedule))
+    approx = two_approximation(instance)
+    print(f"\n2-approximation: makespan {approx.makespan} "
+          f"(T* = {approx.T_lp}, guarantee ≤ {approx.bound})")
+    print(render_gantt(approx.schedule))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Algorithms for hierarchical and "
+        "semi-partitioned parallel scheduling' (IPDPS 2017)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    exp = sub.add_parser("experiments", help="run the E01–E15 suite (test scale)")
+    exp.add_argument("ids", nargs="*", help="experiment ids, e.g. e01 e08")
+    solve = sub.add_parser("solve", help="solve a built-in demo instance")
+    solve.add_argument("--demo", default="ii1", help="ii1 | v1 | smp")
+    sub.add_parser("version", help="print the package version")
+
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        return _run_experiments(args.ids)
+    if args.command == "solve":
+        return _solve_demo(args.demo)
+    if args.command == "version":
+        print(__version__)
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main
+    sys.exit(main())

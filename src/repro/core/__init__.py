@@ -1,0 +1,85 @@
+"""Core algorithms of the paper: instances, ILP checks, schedulers, rounding."""
+
+from .approx import TwoApproxResult, two_approximation
+from .assignment import (
+    Assignment,
+    FeasibilityReport,
+    FractionalAssignment,
+    min_T_for_assignment,
+    set_volumes,
+    verify_ip1,
+    verify_ip2,
+    verify_lp,
+)
+from .exact import ExactResult, solve_exact
+from .exact_ilp import ip3_feasible_integral, solve_exact_ilp
+from .general_masks import EightApproxResult, GeneralMaskInstance, eight_approximation
+from .hierarchical import LoadAllocation, allocate_loads, schedule_assignment, schedule_hierarchical
+from .instance import Instance
+from .laminar import LaminarFamily, is_laminar
+from .memory import (
+    Model1Result,
+    Model2Result,
+    harmonic,
+    minimal_model1_T,
+    minimal_model2_T,
+    model1_lp_feasible,
+    model2_lp_feasible,
+    model2_rho,
+    solve_model1,
+    solve_model2,
+)
+from .programs import (
+    admissible_pairs,
+    build_ip3,
+    feasible_lp_solution,
+    lp_feasible,
+    minimal_fractional_T,
+)
+from .pushdown import push_down, push_down_once
+from .semi_partitioned import schedule_semi_partitioned
+
+__all__ = [
+    "Assignment",
+    "EightApproxResult",
+    "ExactResult",
+    "FeasibilityReport",
+    "FractionalAssignment",
+    "GeneralMaskInstance",
+    "Instance",
+    "LaminarFamily",
+    "LoadAllocation",
+    "Model1Result",
+    "Model2Result",
+    "TwoApproxResult",
+    "admissible_pairs",
+    "allocate_loads",
+    "build_ip3",
+    "eight_approximation",
+    "feasible_lp_solution",
+    "harmonic",
+    "ip3_feasible_integral",
+    "is_laminar",
+    "lp_feasible",
+    "min_T_for_assignment",
+    "minimal_fractional_T",
+    "minimal_model1_T",
+    "minimal_model2_T",
+    "model1_lp_feasible",
+    "model2_lp_feasible",
+    "model2_rho",
+    "push_down",
+    "push_down_once",
+    "schedule_assignment",
+    "schedule_hierarchical",
+    "schedule_semi_partitioned",
+    "set_volumes",
+    "solve_exact",
+    "solve_exact_ilp",
+    "solve_model1",
+    "solve_model2",
+    "two_approximation",
+    "verify_ip1",
+    "verify_ip2",
+    "verify_lp",
+]

@@ -1,0 +1,335 @@
+"""Assignments of jobs to affinity masks and the ILP feasibility checks.
+
+An *assignment* maps every job to one admissible set (its affinity mask).
+The paper encodes assignments as 0/1 variables ``x_{αj}``; feasibility for a
+makespan ``T`` is governed by
+
+* (IP-1), Section III — the semi-partitioned two-level case, and
+* (IP-2), Section IV — general laminar families,
+
+whose constraints this module checks exactly (Fraction arithmetic).  The
+fractional counterpart (:class:`FractionalAssignment`) is what Lemma V.1 and
+the Section V/VI rounding schemes operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+
+from .._fraction import INF, is_inf, to_fraction
+from ..exceptions import InvalidAssignmentError
+from .instance import Instance
+from .laminar import MachineSet
+
+
+class Assignment:
+    """An integral assignment ``job -> affinity mask``.
+
+    The mapping must cover exactly the jobs ``0..n-1`` of the instance it is
+    checked against; masks must belong to the admissible family.
+    """
+
+    def __init__(self, masks: Mapping[int, Iterable[int]]):
+        self._masks: Dict[int, MachineSet] = {
+            int(j): frozenset(alpha) for j, alpha in masks.items()
+        }
+
+    def __getitem__(self, job: int) -> MachineSet:
+        return self._masks[job]
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def __iter__(self):
+        return iter(sorted(self._masks))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return self._masks == other._masks
+
+    def items(self) -> Iterable[Tuple[int, MachineSet]]:
+        return sorted(self._masks.items())
+
+    def jobs_on(self, alpha: Iterable[int]) -> Tuple[int, ...]:
+        """Jobs whose mask is exactly *alpha*."""
+        alpha = frozenset(alpha)
+        return tuple(j for j, a in sorted(self._masks.items()) if a == alpha)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{j}->{{{','.join(map(str, sorted(a)))}}}" for j, a in self.items())
+        return f"Assignment({parts})"
+
+
+@dataclass
+class ConstraintViolation:
+    """A single violated ILP constraint, for diagnostics."""
+
+    constraint: str
+    detail: str
+    lhs: Union[Fraction, float]
+    rhs: Union[Fraction, float]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.constraint}: {self.detail} ({self.lhs} > {self.rhs})"
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of an ILP feasibility check."""
+
+    feasible: bool
+    violations: List[ConstraintViolation] = field(default_factory=list)
+
+    def raise_if_infeasible(self) -> None:
+        if not self.feasible:
+            msgs = "; ".join(str(v) for v in self.violations)
+            raise InvalidAssignmentError(f"assignment infeasible: {msgs}")
+
+
+def _check_structure(instance: Instance, assignment: Assignment) -> None:
+    jobs = set(range(instance.n))
+    assigned = set(j for j in assignment)
+    if assigned != jobs:
+        raise InvalidAssignmentError(
+            f"assignment covers jobs {sorted(assigned)} but instance has {sorted(jobs)}"
+        )
+    for j in assignment:
+        if assignment[j] not in instance.family:
+            raise InvalidAssignmentError(
+                f"job {j} assigned to {sorted(assignment[j])}, not an admissible set"
+            )
+
+
+def set_volumes(instance: Instance, assignment: Assignment) -> Dict[MachineSet, Fraction]:
+    """Total processing volume assigned to each admissible set.
+
+    ``volume(α) = Σ_{j : mask(j)=α} P_j(α)`` — the quantity ``V`` consumed by
+    Algorithms 1 and 2.
+    """
+    volumes: Dict[MachineSet, Fraction] = {a: Fraction(0) for a in instance.family.sets}
+    for j, alpha in assignment.items():
+        p = instance.p(j, alpha)
+        if is_inf(p):
+            raise InvalidAssignmentError(
+                f"job {j} assigned to forbidden set {sorted(alpha)} (P=∞)"
+            )
+        volumes[alpha] += to_fraction(p)
+    return volumes
+
+
+def verify_ip2(
+    instance: Instance,
+    assignment: Assignment,
+    T: Union[int, Fraction],
+) -> FeasibilityReport:
+    """Check the (IP-2) constraints of Section IV for ``(x, T)``.
+
+    * (2a) every job has exactly one mask — structural, raises on failure;
+    * (2b) for every ``α ∈ A``: ``Σ_j Σ_{β ⊆ α} p_{βj} x_{βj} ≤ |α|·T``;
+    * (2c) ``p_{αj} x_{αj} ≤ T`` for every assigned pair.
+    """
+    _check_structure(instance, assignment)
+    T = to_fraction(T)
+    violations: List[ConstraintViolation] = []
+    volumes = set_volumes(instance, assignment)
+    for alpha in instance.family.sets:
+        nested = sum((volumes[beta] for beta in instance.family.subsets_of(alpha)), Fraction(0))
+        cap = len(alpha) * T
+        if nested > cap:
+            violations.append(
+                ConstraintViolation(
+                    "2b", f"capacity of α={sorted(alpha)}", nested, cap
+                )
+            )
+    for j, alpha in assignment.items():
+        p = to_fraction(instance.p(j, alpha))
+        if p > T:
+            violations.append(
+                ConstraintViolation("2c", f"job {j} on α={sorted(alpha)}", p, T)
+            )
+    return FeasibilityReport(feasible=not violations, violations=violations)
+
+
+def verify_ip1(
+    instance: Instance,
+    assignment: Assignment,
+    T: Union[int, Fraction],
+) -> FeasibilityReport:
+    """Check the (IP-1) constraints of Section III for ``(x, T)``.
+
+    Requires the instance's family to be the semi-partitioned one
+    (``{M} ∪ singletons``).  Constraints:
+
+    * (1a) one mask per job (structural);
+    * (1b) total volume ≤ ``m·T``;
+    * (1c) per-machine local volume ≤ ``T``;
+    * (1d) individual processing times ≤ ``T``.
+
+    For the semi-partitioned family these are exactly the (IP-2) constraints,
+    which the test-suite cross-checks; the direct implementation mirrors the
+    paper's Section III presentation.
+    """
+    family = instance.family
+    root = frozenset(instance.machines)
+    expected = {root} | {frozenset([i]) for i in instance.machines}
+    if set(family.sets) != expected:
+        raise InvalidAssignmentError(
+            "verify_ip1 requires the semi-partitioned family {M} ∪ singletons"
+        )
+    _check_structure(instance, assignment)
+    T = to_fraction(T)
+    violations: List[ConstraintViolation] = []
+    volumes = set_volumes(instance, assignment)
+    total = sum(volumes.values(), Fraction(0))
+    if total > instance.m * T:
+        violations.append(
+            ConstraintViolation("1b", "total volume", total, instance.m * T)
+        )
+    for i in sorted(instance.machines):
+        local = volumes[frozenset([i])]
+        if local > T:
+            violations.append(
+                ConstraintViolation("1c", f"machine {i} local volume", local, T)
+            )
+    for j, alpha in assignment.items():
+        p = to_fraction(instance.p(j, alpha))
+        if p > T:
+            violations.append(
+                ConstraintViolation("1d", f"job {j} on α={sorted(alpha)}", p, T)
+            )
+    return FeasibilityReport(feasible=not violations, violations=violations)
+
+
+def min_T_for_assignment(instance: Instance, assignment: Assignment) -> Fraction:
+    """The minimal makespan for which *assignment* satisfies (IP-2).
+
+    By Theorem IV.3 the (IP-2) constraints are also sufficient, so this is
+    the exact makespan achievable with the given masks:
+    ``max( max_j p_{mask(j),j} , max_α nested_volume(α)/|α| )``.
+    """
+    _check_structure(instance, assignment)
+    volumes = set_volumes(instance, assignment)
+    best = Fraction(0)
+    for alpha in instance.family.sets:
+        nested = sum((volumes[beta] for beta in instance.family.subsets_of(alpha)), Fraction(0))
+        best = max(best, Fraction(nested, len(alpha)))
+    for j, alpha in assignment.items():
+        best = max(best, to_fraction(instance.p(j, alpha)))
+    return best
+
+
+class FractionalAssignment:
+    """A fractional solution ``x_{αj} ∈ [0,1]`` to the LP relaxation.
+
+    Stored sparsely as ``(α, j) -> Fraction``; zero entries are dropped.
+    This is the object Lemma V.1's push-down transformation rewrites.
+    """
+
+    def __init__(self, values: Mapping[Tuple[Iterable[int], int], Union[int, Fraction, float]]):
+        self._x: Dict[Tuple[MachineSet, int], Fraction] = {}
+        for (alpha, j), value in values.items():
+            frac = to_fraction(value)
+            if frac < 0:
+                raise InvalidAssignmentError(f"negative fractional value x[{sorted(frozenset(alpha))},{j}]")
+            if frac != 0:
+                self._x[(frozenset(alpha), int(j))] = frac
+
+    @classmethod
+    def from_assignment(cls, assignment: Assignment) -> "FractionalAssignment":
+        return cls({(alpha, j): Fraction(1) for j, alpha in assignment.items()})
+
+    def value(self, alpha: Iterable[int], job: int) -> Fraction:
+        return self._x.get((frozenset(alpha), job), Fraction(0))
+
+    def items(self) -> Iterable[Tuple[Tuple[MachineSet, int], Fraction]]:
+        return sorted(self._x.items(), key=lambda kv: (kv[0][1], sorted(kv[0][0])))
+
+    @property
+    def support(self) -> Tuple[Tuple[MachineSet, int], ...]:
+        return tuple(k for k, _ in self.items())
+
+    def job_total(self, job: int) -> Fraction:
+        return sum((v for (a, j), v in self._x.items() if j == job), Fraction(0))
+
+    def is_integral(self) -> bool:
+        return all(v == 1 for v in self._x.values())
+
+    def supported_on_singletons(self) -> bool:
+        return all(len(alpha) == 1 for (alpha, _j) in self._x)
+
+    def to_assignment(self) -> Assignment:
+        if not self.is_integral():
+            raise InvalidAssignmentError("fractional solution is not integral")
+        masks: Dict[int, MachineSet] = {}
+        for (alpha, j), _v in self._x.items():
+            if j in masks:
+                raise InvalidAssignmentError(f"job {j} assigned to two sets")
+            masks[j] = alpha
+        return Assignment(masks)
+
+    def copy(self) -> "FractionalAssignment":
+        return FractionalAssignment(dict(self._x))
+
+    def slack(self, instance: Instance, alpha: Iterable[int], T: Union[int, Fraction]) -> Fraction:
+        """``slack(α, x) = |α|·T − Σ_j Σ_{β ⊆ α} p_{βj} x_{βj}`` (Lemma V.1)."""
+        alpha = frozenset(alpha)
+        T = to_fraction(T)
+        used = Fraction(0)
+        for (beta, j), v in self._x.items():
+            if beta <= alpha:
+                p = instance.p(j, beta)
+                if is_inf(p):
+                    raise InvalidAssignmentError(
+                        f"fractional mass on forbidden pair ({sorted(beta)}, {j})"
+                    )
+                used += to_fraction(p) * v
+        return len(alpha) * T - used
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"x[{{{','.join(map(str, sorted(a)))}}},{j}]={v}" for (a, j), v in self.items()
+        )
+        return f"FractionalAssignment({parts})"
+
+
+def verify_lp(
+    instance: Instance,
+    x: FractionalAssignment,
+    T: Union[int, Fraction],
+    require_pruned: bool = True,
+) -> FeasibilityReport:
+    """Check the LP relaxation (4a)-(4d) of (IP-3) for ``(x, T)``.
+
+    * (4a) ``Σ_α x_{αj} = 1`` for every job;
+    * (4b) ``slack(α, x) ≥ 0`` for every admissible set;
+    * (4c) non-negativity (enforced structurally);
+    * (4d) ``x_{αj} = 0`` whenever ``p_{αj} > T`` (the pruning set R) —
+      checked only when *require_pruned* is ``True``.
+    """
+    T = to_fraction(T)
+    violations: List[ConstraintViolation] = []
+    for j in range(instance.n):
+        total = x.job_total(j)
+        if total != 1:
+            violations.append(
+                ConstraintViolation("4a", f"job {j} total assignment", total, Fraction(1))
+            )
+    for alpha in instance.family.sets:
+        s = x.slack(instance, alpha, T)
+        if s < 0:
+            violations.append(
+                ConstraintViolation("4b", f"slack of α={sorted(alpha)}", -s, Fraction(0))
+            )
+    if require_pruned:
+        for (alpha, j), v in x.items():
+            p = instance.p(j, alpha)
+            if is_inf(p) or to_fraction(p) > T:
+                violations.append(
+                    ConstraintViolation(
+                        "4d", f"x[{sorted(alpha)},{j}]={v} but p={p} > T", v, Fraction(0)
+                    )
+                )
+    return FeasibilityReport(feasible=not violations, violations=violations)

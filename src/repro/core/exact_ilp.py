@@ -1,0 +1,131 @@
+"""Exact optimum via the (IP-3) ILP — an independent cross-check solver.
+
+:mod:`repro.core.exact` searches assignments combinatorially; this module
+solves the same problem through the generic LP-based branch-and-bound on the
+paper's own decision program, with the Section V binary search over
+horizons.  The two solvers share no code beyond the instance model, so their
+agreement (asserted in the test suite over random instances) is strong
+evidence both are correct.
+
+Within a bracket where the pruning set ``R`` is constant, the minimal
+feasible horizon is found exactly by a *mixed* program: binary assignment
+variables plus a continuous ``T`` minimized subject to the load rows
+``Σ p x ≤ |α|·T`` — our branch-and-bound handles continuous non-flagged
+variables natively.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple, Union
+
+from .._fraction import is_inf, to_fraction
+from ..exceptions import InfeasibleError
+from ..lp.branch_and_bound import solve_binary_ilp
+from ..lp.model import LinearProgram
+from .assignment import Assignment
+from .exact import ExactResult
+from .instance import Instance
+from .programs import admissible_pairs, build_ip3
+
+_T_KEY = ("__T__",)
+
+
+def ip3_feasible_integral(
+    instance: Instance,
+    T: Union[int, Fraction],
+    backend: str = "exact",
+) -> Optional[Assignment]:
+    """Search a 0/1 solution of (IP-3) at horizon *T*; None when infeasible."""
+    lp = build_ip3(instance, T, integral=True)
+    result = solve_binary_ilp(lp, backend=backend)
+    if not result.is_optimal:
+        return None
+    masks = {}
+    for (tag, alpha, j), value in result.values.items():
+        if tag == "x" and value == 1:
+            masks[j] = alpha
+    if len(masks) != instance.n:  # pragma: no cover - assignment rows forbid it
+        raise InfeasibleError("ILP returned an incomplete assignment")
+    return Assignment(masks)
+
+
+def _min_T_ilp(
+    instance: Instance,
+    anchor: Fraction,
+    backend: str,
+) -> Optional[Tuple[Fraction, Assignment]]:
+    """``min T`` with binary assignment over ``R(anchor)`` and ``T ≥ anchor``."""
+    lp = LinearProgram()
+    lp.add_variable(_T_KEY, lb=0)
+    pairs = admissible_pairs(instance, anchor)
+    by_job: Dict[int, List] = {}
+    for alpha, j in pairs:
+        lp.add_variable(("x", alpha, j), lb=0, ub=1, integral=True)
+        by_job.setdefault(j, []).append(alpha)
+    for j in range(instance.n):
+        if j not in by_job:
+            return None
+        lp.add_constraint(
+            {("x", alpha, j): 1 for alpha in by_job[j]}, "==", 1
+        )
+    for alpha in instance.family.sets:
+        coeffs: Dict = {_T_KEY: -len(alpha)}
+        for beta in instance.family.subsets_of(alpha):
+            for j in range(instance.n):
+                key = ("x", beta, j)
+                if lp.has_variable(key):
+                    coeffs[key] = to_fraction(instance.p(j, beta))
+        lp.add_constraint(coeffs, "<=", 0)
+    lp.add_constraint({_T_KEY: 1}, ">=", anchor)
+    lp.set_objective({_T_KEY: 1})
+    result = solve_binary_ilp(lp, backend=backend)
+    if not result.is_optimal:
+        return None
+    masks = {}
+    for key, value in result.values.items():
+        if isinstance(key, tuple) and key[0] == "x" and value == 1:
+            masks[key[2]] = key[1]
+    return to_fraction(result.values[_T_KEY]), Assignment(masks)
+
+
+def solve_exact_ilp(instance: Instance, backend: str = "exact") -> ExactResult:
+    """Minimize the makespan via binary search + (IP-3) branch-and-bound."""
+    values = sorted(
+        {
+            to_fraction(instance.p(j, alpha))
+            for j in range(instance.n)
+            for alpha in instance.family.sets
+            if not is_inf(instance.p(j, alpha))
+        }
+    )
+    if not values:
+        raise InfeasibleError("no job has any finite processing time")
+    lo, hi = 0, len(values) - 1
+    if ip3_feasible_integral(instance, values[hi], backend=backend) is None:
+        # Load-dominated optimum above every breakpoint: R is maximal.
+        outcome = _min_T_ilp(instance, values[hi], backend)
+        if outcome is None:
+            raise InfeasibleError("no feasible assignment at any horizon")
+        T_best, assignment = outcome
+        return ExactResult(assignment=assignment, optimum=T_best, nodes_explored=-1)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if ip3_feasible_integral(instance, values[mid], backend=backend) is not None:
+            hi = mid
+        else:
+            lo = mid + 1
+    anchor = values[lo]
+    candidates: List[Tuple[Fraction, Assignment]] = []
+    outcome = _min_T_ilp(instance, anchor, backend)
+    if outcome is not None:
+        candidates.append(outcome)
+    if lo > 0:
+        prev = values[lo - 1]
+        outcome_prev = _min_T_ilp(instance, prev, backend)
+        if outcome_prev is not None and outcome_prev[0] < anchor:
+            candidates.append(outcome_prev)
+    if not candidates:  # pragma: no cover - anchor feasibility guarantees one
+        raise InfeasibleError("bracket refinement failed")
+    T_best, assignment = min(candidates, key=lambda c: c[0])
+    return ExactResult(assignment=assignment, optimum=T_best, nodes_explored=-1)

@@ -1,0 +1,216 @@
+"""Section II — the 8-approximation for general (non-laminar) affinity masks.
+
+For an arbitrary admissible family the machinery of Sections III–V does not
+apply; the paper (crediting an anonymous reviewer) gives a simple reduction:
+
+1. Collapse to an unrelated instance ``Iu`` with
+   ``p'_ij = min {P_j(α) : α ∋ i}`` — the cheapest mask through machine *i*.
+2. The optimal **preemptive** makespan of ``Iu`` lower-bounds ``opt(I)``
+   (any valid mask schedule over-fulfils the preemptive LP).
+3. 2-approximate the **non-preemptive** problem on ``Iu`` (binary search +
+   Lenstra–Shmoys–Tardos).  Since the non-preemptive optimum is within a
+   factor 4 of the preemptive one [Lin & Vitter], the result is within
+   ``2 · 4 = 8`` of ``opt(I)``.
+
+The returned assignment maps each job back to a cheapest original mask
+containing its machine, so the schedule is valid for the original instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+
+from .._fraction import INF, is_inf, to_fraction
+from ..baselines.preemptive_unrelated import preemptive_makespan
+from ..exceptions import InvalidFamilyError, InvalidInstanceError, MonotonicityError
+from ..rounding.lst import lst_round
+from ..schedule.schedule import Schedule
+
+ProcTime = Union[int, Fraction, float]
+MachineSet = FrozenSet[int]
+
+
+class GeneralMaskInstance:
+    """An affinity-mask instance with an *arbitrary* admissible family.
+
+    Monotonicity is still required on comparable pairs (it is a modelling
+    assumption, independent of laminarity).
+    """
+
+    def __init__(
+        self,
+        machines: Iterable[int],
+        sets: Iterable[Iterable[int]],
+        processing: Mapping[int, Mapping[Iterable[int], ProcTime]],
+    ):
+        self._machines = frozenset(machines)
+        normalized: List[MachineSet] = []
+        seen = set()
+        for raw in sets:
+            fs = frozenset(raw)
+            if not fs or not fs <= self._machines:
+                raise InvalidFamilyError(f"bad admissible set {sorted(fs)}")
+            if fs in seen:
+                raise InvalidFamilyError(f"duplicate admissible set {sorted(fs)}")
+            seen.add(fs)
+            normalized.append(fs)
+        self._sets = tuple(sorted(normalized, key=lambda s: (-len(s), sorted(s))))
+        jobs = sorted(processing)
+        if jobs != list(range(len(jobs))):
+            raise InvalidInstanceError("jobs must be numbered 0..n-1")
+        self._p: Dict[int, Dict[MachineSet, Union[Fraction, float]]] = {}
+        for j in jobs:
+            row: Dict[MachineSet, Union[Fraction, float]] = {}
+            for raw_alpha, value in processing[j].items():
+                alpha = frozenset(raw_alpha)
+                if alpha not in seen:
+                    raise InvalidInstanceError(
+                        f"job {j}: {sorted(alpha)} is not an admissible set"
+                    )
+                row[alpha] = INF if is_inf(value) else to_fraction(value)
+            for alpha in self._sets:
+                row.setdefault(alpha, INF)
+            self._p[j] = row
+        self._check_monotonicity()
+
+    def _check_monotonicity(self) -> None:
+        for a_idx, alpha in enumerate(self._sets):
+            for beta in self._sets[:a_idx]:  # beta is at least as large
+                if alpha < beta:
+                    for j in self._p:
+                        pa, pb = self._p[j][alpha], self._p[j][beta]
+                        if is_inf(pa) and not is_inf(pb):
+                            raise MonotonicityError(
+                                f"job {j}: P({sorted(alpha)})=∞ > P({sorted(beta)})"
+                            )
+                        if not is_inf(pa) and not is_inf(pb) and pa > pb:
+                            raise MonotonicityError(
+                                f"job {j}: P({sorted(alpha)})={pa} > "
+                                f"P({sorted(beta)})={pb}"
+                            )
+
+    @property
+    def n(self) -> int:
+        return len(self._p)
+
+    @property
+    def m(self) -> int:
+        return len(self._machines)
+
+    @property
+    def machines(self) -> MachineSet:
+        return self._machines
+
+    @property
+    def sets(self) -> Tuple[MachineSet, ...]:
+        return self._sets
+
+    def p(self, job: int, alpha: Iterable[int]) -> Union[Fraction, float]:
+        return self._p[job][frozenset(alpha)]
+
+    def is_laminar(self) -> bool:
+        for i in range(len(self._sets)):
+            for k in range(i + 1, len(self._sets)):
+                a, b = self._sets[i], self._sets[k]
+                if a & b and not (a <= b or b <= a):
+                    return False
+        return True
+
+    def collapse_matrix(self) -> Dict[int, Dict[int, Fraction]]:
+        """``p'_ij = min {P_j(α) : α ∋ i}`` (INF pairs omitted)."""
+        matrix: Dict[int, Dict[int, Fraction]] = {}
+        for j in range(self.n):
+            row: Dict[int, Fraction] = {}
+            for i in sorted(self._machines):
+                best: Union[Fraction, float] = INF
+                for alpha in self._sets:
+                    if i in alpha:
+                        value = self._p[j][alpha]
+                        if not is_inf(value) and (is_inf(best) or value < best):
+                            best = value
+                if not is_inf(best):
+                    row[i] = to_fraction(best)
+            matrix[j] = row
+        return matrix
+
+    def cheapest_mask_through(self, job: int, machine: int) -> MachineSet:
+        """A mask containing *machine* realizing the collapse minimum."""
+        best: Optional[MachineSet] = None
+        best_value: Union[Fraction, float] = INF
+        for alpha in self._sets:
+            if machine in alpha:
+                value = self._p[job][alpha]
+                if not is_inf(value) and (is_inf(best_value) or value < best_value):
+                    best_value = value
+                    best = alpha
+        if best is None:
+            raise InvalidInstanceError(
+                f"job {job} has no admissible set containing machine {machine}"
+            )
+        return best
+
+
+@dataclass
+class EightApproxResult:
+    instance: GeneralMaskInstance
+    preemptive_lower_bound: Fraction
+    """``opt_pmtn(Iu) ≤ opt(I)`` — the certified lower bound."""
+
+    machine_of: Dict[int, int]
+    mask_of: Dict[int, MachineSet]
+    schedule: Schedule
+    makespan: Fraction
+
+    @property
+    def bound(self) -> Fraction:
+        """The a-priori guarantee ``8 · opt_pmtn(Iu)``."""
+        return 8 * self.preemptive_lower_bound
+
+    @property
+    def ratio_vs_lower_bound(self) -> Fraction:
+        if self.preemptive_lower_bound == 0:
+            return Fraction(0)
+        return self.makespan / self.preemptive_lower_bound
+
+
+def eight_approximation(
+    instance: GeneralMaskInstance,
+    backend: str = "exact",
+) -> EightApproxResult:
+    """Run the Section II reduction on a general-mask instance."""
+    from ..baselines.lst_unrelated import minimal_unrelated_T
+
+    p = instance.collapse_matrix()
+    for j, row in p.items():
+        if not row:
+            raise InvalidInstanceError(f"job {j} has no finite processing time")
+    lower = preemptive_makespan(p, backend=backend)
+    T_np = minimal_unrelated_T(p, backend=backend)
+    mapping = lst_round(p, T_np, backend=backend)
+
+    machines = sorted(instance.machines)
+    loads: Dict[int, Fraction] = {i: Fraction(0) for i in machines}
+    for j, i in mapping.items():
+        loads[i] += p[j][i]
+    horizon = max(loads.values(), default=Fraction(0))
+    schedule = Schedule(machines, horizon)
+    cursor = {i: Fraction(0) for i in machines}
+    for j in sorted(mapping):
+        i = mapping[j]
+        length = p[j][i]
+        if length > 0:
+            schedule.add_segment(i, j, cursor[i], cursor[i] + length)
+            cursor[i] += length
+    mask_of = {
+        j: instance.cheapest_mask_through(j, i) for j, i in mapping.items()
+    }
+    return EightApproxResult(
+        instance=instance,
+        preemptive_lower_bound=lower,
+        machine_of=dict(mapping),
+        mask_of=mask_of,
+        schedule=schedule,
+        makespan=schedule.makespan(),
+    )

@@ -1,0 +1,212 @@
+"""Builders for the paper's mathematical programs (IP-1) … (IP-3).
+
+The decision form (IP-3) at a fixed horizon ``T`` is the primitive
+everything else uses:
+
+* ``Σ_{α} x_{αj} = 1``          for every job (assignment rows),
+* ``Σ_j Σ_{β ⊆ α} p_{βj} x_{βj} ≤ |α|·T``  for every admissible set,
+* ``x_{αj} = 0`` whenever ``p_{αj} > T``   (the pruning set ``R``).
+
+Minimizing the makespan reduces to binary search on ``T``: the admissible
+pair set ``R(T)`` only changes at the distinct finite processing-time values,
+and between two consecutive breakpoints feasibility is a single LP with ``T``
+as an explicit variable.  :func:`minimal_fractional_T` implements that search
+exactly, returning the paper's lower bound ``T* ≤ opt(I)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple, Union
+
+from .._fraction import is_inf, to_fraction
+from ..exceptions import InfeasibleError
+from ..lp.model import LinearProgram, LPSolution
+from ..lp.solve import solve_lp
+from .assignment import FractionalAssignment
+from .instance import Instance
+from .laminar import MachineSet
+
+Time = Union[int, Fraction]
+
+#: Variable key for the horizon in the min-T LPs.
+T_KEY = ("__T__",)
+
+
+def admissible_pairs(instance: Instance, T: Time) -> List[Tuple[MachineSet, int]]:
+    """The pruning set ``R = {(α, j) : p_{αj} ≤ T}`` of Section V."""
+    T = to_fraction(T)
+    pairs: List[Tuple[MachineSet, int]] = []
+    for j in range(instance.n):
+        for alpha in instance.family.sets:
+            p = instance.p(j, alpha)
+            if not is_inf(p) and to_fraction(p) <= T:
+                pairs.append((alpha, j))
+    return pairs
+
+
+def build_ip3(
+    instance: Instance,
+    T: Time,
+    integral: bool = False,
+) -> LinearProgram:
+    """The decision program (IP-3) at horizon *T* (LP relaxation by default).
+
+    Variables are keyed ``("x", α, j)``; only pairs in ``R(T)`` get a
+    variable, which encodes constraint (3c) structurally.
+    """
+    T = to_fraction(T)
+    lp = LinearProgram()
+    pairs = admissible_pairs(instance, T)
+    by_job: Dict[int, List[MachineSet]] = {}
+    for alpha, j in pairs:
+        lp.add_variable(("x", alpha, j), lb=0, ub=1, integral=integral)
+        by_job.setdefault(j, []).append(alpha)
+    for j in range(instance.n):
+        if j not in by_job:
+            # No admissible set fits within T — encode infeasibility as an
+            # unsatisfiable row instead of raising, so binary search can
+            # treat it uniformly.
+            lp.add_constraint({}, "==", 1, name=f"assign[{j}]")
+        else:
+            lp.add_constraint(
+                {("x", alpha, j): 1 for alpha in by_job[j]},
+                "==",
+                1,
+                name=f"assign[{j}]",
+            )
+    for alpha in instance.family.sets:
+        coeffs: Dict = {}
+        for beta in instance.family.subsets_of(alpha):
+            for j in range(instance.n):
+                key = ("x", beta, j)
+                if lp.has_variable(key):
+                    coeffs[key] = to_fraction(instance.p(j, beta))
+        lp.add_constraint(coeffs, "<=", len(alpha) * T, name=f"load[{sorted(alpha)}]")
+    return lp
+
+
+def feasible_lp_solution(
+    instance: Instance,
+    T: Time,
+    backend: str = "exact",
+) -> Optional[FractionalAssignment]:
+    """A feasible fractional solution of (IP-3)'s LP relaxation at *T*.
+
+    Returns ``None`` when the relaxation is infeasible.  The solution is a
+    basic one (vertex) when the exact backend is used.
+    """
+    lp = build_ip3(instance, T)
+    solution = solve_lp(lp, backend=backend)
+    if not solution.is_optimal:
+        return None
+    values = {
+        (alpha, j): value
+        for (tag, alpha, j), value in solution.values.items()
+        if tag == "x" and value != 0
+    }
+    return FractionalAssignment(values)
+
+
+def lp_feasible(instance: Instance, T: Time, backend: str = "exact") -> bool:
+    """Whether the LP relaxation of (IP-3) is feasible at horizon *T*."""
+    return feasible_lp_solution(instance, T, backend=backend) is not None
+
+
+def _breakpoints(instance: Instance) -> List[Fraction]:
+    """Sorted distinct finite processing times — where ``R(T)`` changes."""
+    values = set()
+    for j in range(instance.n):
+        for alpha in instance.family.sets:
+            p = instance.p(j, alpha)
+            if not is_inf(p):
+                values.add(to_fraction(p))
+    return sorted(values)
+
+
+def _min_T_with_fixed_R(
+    instance: Instance,
+    r_anchor: Fraction,
+    t_low: Fraction,
+    backend: str,
+) -> Optional[Fraction]:
+    """Minimize T over the LP with ``R = R(r_anchor)`` and ``T ≥ t_low``.
+
+    Returns the optimal T or ``None`` when infeasible.  Caller must ensure
+    the returned value stays inside the bracket where ``R`` is constant.
+    """
+    lp = LinearProgram()
+    lp.add_variable(T_KEY, lb=0)
+    pairs = admissible_pairs(instance, r_anchor)
+    by_job: Dict[int, List[MachineSet]] = {}
+    for alpha, j in pairs:
+        lp.add_variable(("x", alpha, j), lb=0, ub=1)
+        by_job.setdefault(j, []).append(alpha)
+    for j in range(instance.n):
+        if j not in by_job:
+            return None
+        lp.add_constraint(
+            {("x", alpha, j): 1 for alpha in by_job[j]}, "==", 1, name=f"assign[{j}]"
+        )
+    for alpha in instance.family.sets:
+        coeffs: Dict = {T_KEY: -len(alpha)}
+        for beta in instance.family.subsets_of(alpha):
+            for j in range(instance.n):
+                key = ("x", beta, j)
+                if lp.has_variable(key):
+                    coeffs[key] = to_fraction(instance.p(j, beta))
+        lp.add_constraint(coeffs, "<=", 0, name=f"load[{sorted(alpha)}]")
+    lp.add_constraint({T_KEY: 1}, ">=", t_low, name="bracket-low")
+    lp.set_objective({T_KEY: 1})
+    solution = solve_lp(lp, backend=backend)
+    if not solution.is_optimal:
+        return None
+    return to_fraction(solution.value(T_KEY))
+
+
+def minimal_fractional_T(instance: Instance, backend: str = "exact") -> Fraction:
+    """The minimum horizon ``T*`` at which (IP-3)'s LP relaxation is feasible.
+
+    This is the paper's fractional lower bound: ``T* ≤ opt(I)``.  Exact
+    procedure: binary search over the breakpoints of ``R(T)``, then a min-T
+    LP inside the bracket where ``R`` is constant.
+    """
+    points = _breakpoints(instance)
+    if not points:
+        raise InfeasibleError("no job has any finite processing time")
+    # R(T) for T below the smallest breakpoint is empty unless p=0 pairs exist.
+    lo_idx, hi_idx = 0, len(points) - 1
+    if not lp_feasible(instance, points[hi_idx], backend=backend):
+        # The optimum lies above every processing time (the load bound
+        # dominates); R is maximal there, so one min-T LP settles it.
+        top = points[hi_idx]
+        t_above = _min_T_with_fixed_R(instance, top, top, backend)
+        if t_above is None:
+            raise InfeasibleError(
+                "LP relaxation infeasible at every horizon; some job cannot "
+                "be placed"
+            )
+        return t_above
+    # Find the smallest breakpoint index at which the LP becomes feasible.
+    while lo_idx < hi_idx:
+        mid = (lo_idx + hi_idx) // 2
+        if lp_feasible(instance, points[mid], backend=backend):
+            hi_idx = mid
+        else:
+            lo_idx = mid + 1
+    anchor = points[lo_idx]
+    # Below `anchor`, R is strictly smaller.  The optimum lies either in the
+    # previous bracket [prev, anchor) with R(prev), or at/above anchor with
+    # R(anchor).
+    candidates: List[Fraction] = []
+    if lo_idx > 0:
+        prev = points[lo_idx - 1]
+        t_prev = _min_T_with_fixed_R(instance, prev, prev, backend)
+        if t_prev is not None and t_prev < anchor:
+            candidates.append(t_prev)
+    t_here = _min_T_with_fixed_R(instance, anchor, anchor, backend)
+    if t_here is not None:
+        candidates.append(t_here)
+    if not candidates:  # pragma: no cover - guarded by the binary search
+        raise InfeasibleError("bracket search failed to certify feasibility")
+    return min(candidates)

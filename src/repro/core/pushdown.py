@@ -1,0 +1,119 @@
+"""Lemma V.1 — pushing fractional weight down to the singleton sets.
+
+Given a feasible fractional solution ``x`` of (IP-3)'s LP relaxation and a
+non-singleton set ``η``, the lemma redistributes all of ``η``'s weight onto
+its maximal proper subsets ``β_1, …, β_q`` proportionally to their slack:
+
+    x'_{βj} = x_{βj} + slack(β, x) / Σ_i slack(β_i, x) · x_{ηj}     (6)
+
+Feasibility is preserved because (5) bounds ``Σ_j p_{ηj} x_{ηj}`` by the
+total child slack, and monotone processing times mean moving a job downward
+never increases its contribution.  Repeating top-down leaves all weight on
+singletons, turning the hierarchical LP into an unrelated-machines LP —
+the bridge to the Lenstra–Shmoys–Tardos rounding in Theorem V.2.
+
+The family must contain every singleton (Section V's w.l.o.g. step —
+:meth:`repro.Instance.with_singletons` arranges it), so the maximal proper
+subsets of any non-singleton always cover it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Tuple, Union
+
+from .._fraction import to_fraction
+from ..exceptions import RoundingError
+from .assignment import FractionalAssignment
+from .instance import Instance
+from .laminar import MachineSet
+
+Time = Union[int, Fraction]
+
+
+def push_down_once(
+    instance: Instance,
+    x: FractionalAssignment,
+    T: Time,
+    eta: MachineSet,
+) -> FractionalAssignment:
+    """Apply Lemma V.1 to one non-singleton set ``η``.
+
+    Returns a new solution with ``x'_{ηj} = 0`` for all jobs and all other
+    sets outside ``η`` untouched.  Raises :class:`RoundingError` when the
+    preconditions fail (missing singletons / infeasible input).
+    """
+    eta = frozenset(eta)
+    T = to_fraction(T)
+    family = instance.family
+    if len(eta) <= 1:
+        raise RoundingError(f"push-down target {sorted(eta)} is a singleton")
+    children = family.children(eta)
+    covered = frozenset().union(*children) if children else frozenset()
+    if covered != eta:
+        raise RoundingError(
+            f"children of {sorted(eta)} cover only {sorted(covered)}; "
+            f"extend the family with singletons first"
+        )
+
+    moving: List[Tuple[int, Fraction]] = [
+        (j, v) for (alpha, j), v in x.items() if alpha == eta
+    ]
+    if not moving:
+        return x.copy()
+
+    slacks: Dict[MachineSet, Fraction] = {
+        beta: x.slack(instance, beta, T) for beta in children
+    }
+    for beta, s in slacks.items():
+        if s < 0:
+            raise RoundingError(
+                f"negative slack {s} on {sorted(beta)}: input solution "
+                f"violates (4b)"
+            )
+    total_slack = sum(slacks.values(), Fraction(0))
+
+    values = {key: v for key, v in x.items()}
+    if total_slack == 0:
+        # Inequality (5) forces Σ_j p_{ηj} x_{ηj} = 0, so every moving job
+        # has p_{ηj} = 0 and (monotonicity) zero time on any child: park the
+        # whole mass on the first child.
+        target = children[0]
+        for j, v in moving:
+            if to_fraction(instance.p(j, eta)) != 0:
+                raise RoundingError(
+                    f"zero child slack but job {j} has p_η = {instance.p(j, eta)}; "
+                    f"input solution violates (4b)"
+                )
+            values[(target, j)] = values.get((target, j), Fraction(0)) + v
+            del values[(eta, j)]
+        return FractionalAssignment(values)
+
+    for j, v in moving:
+        for beta in children:
+            share = slacks[beta] / total_slack * v
+            if share > 0:
+                values[(beta, j)] = values.get((beta, j), Fraction(0)) + share
+        del values[(eta, j)]
+    return FractionalAssignment(values)
+
+
+def push_down(
+    instance: Instance,
+    x: FractionalAssignment,
+    T: Time,
+) -> FractionalAssignment:
+    """Push all fractional weight onto singleton sets (repeated Lemma V.1).
+
+    Sets are processed top-down so each set is cleared exactly once; the
+    result satisfies ``x_{αj} > 0 ⇒ |α| = 1`` and remains feasible for the
+    LP relaxation of (IP-3) at the same horizon.
+    """
+    current = x
+    for eta in instance.family.top_down():
+        if len(eta) <= 1:
+            continue
+        current = push_down_once(instance, current, T, eta)
+    if not current.supported_on_singletons():  # pragma: no cover - invariant
+        raise RoundingError("push-down left weight on a non-singleton set")
+    return current

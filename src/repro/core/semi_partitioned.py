@@ -1,0 +1,169 @@
+"""Algorithm 1 of the paper — the semi-partitioned wrap-around scheduler.
+
+Given a feasible solution ``(x, T)`` to (IP-1), the scheduler produces a
+valid schedule on ``[0, T]`` (Theorem III.1):
+
+1. Global jobs (mask ``M``) are concatenated into a single *line* of volume
+   ``V = Σ p_{0j} x_{0j}``.  Machines are visited in ascending order; machine
+   ``i`` takes ``δ = min(V, T − local_load(i))`` units of the line, placed on
+   the circle of circumference ``T`` at ``[t, t+δ (mod T))`` where ``t`` is
+   the running end position.  Because the line position of every unit equals
+   its real time mod T, and every job's global time is ≤ T (constraint 1d),
+   no job ever runs on two machines at once.
+2. Local jobs fill each machine's complementary arc.
+
+The construction yields at most ``m−1`` migrations and ``2m−2`` preemptions
+plus migrations in total (Proposition III.2).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple, Union
+
+from .._fraction import to_fraction
+from ..exceptions import InfeasibleError
+from ..schedule.schedule import Schedule
+from ..schedule.segments import advance_mod, place_arc
+from .assignment import Assignment, verify_ip1
+from .instance import Instance
+
+Time = Union[int, Fraction]
+
+
+def _job_line(instance: Instance, assignment: Assignment, alpha) -> List[Tuple[int, Fraction]]:
+    """The jobs assigned to *alpha* as a line of (job, length) pieces."""
+    line: List[Tuple[int, Fraction]] = []
+    for j in assignment.jobs_on(alpha):
+        length = to_fraction(instance.p(j, alpha))
+        if length > 0:
+            line.append((j, length))
+    return line
+
+
+class _LineCursor:
+    """Consumes a job line piece by piece, splitting jobs at chunk borders."""
+
+    def __init__(self, line: List[Tuple[int, Fraction]]):
+        self._line = line
+        self._index = 0
+        self._used = Fraction(0)  # consumed prefix of the current job
+
+    @property
+    def remaining(self) -> Fraction:
+        total = Fraction(0)
+        for idx in range(self._index, len(self._line)):
+            total += self._line[idx][1]
+        return total - self._used
+
+    def take(self, amount: Fraction) -> List[Tuple[int, Fraction]]:
+        """Remove *amount* units from the front; returns (job, length) pieces."""
+        pieces: List[Tuple[int, Fraction]] = []
+        left = amount
+        while left > 0:
+            if self._index >= len(self._line):
+                raise InfeasibleError("job line exhausted before volume was placed")
+            job, length = self._line[self._index]
+            available = length - self._used
+            chunk = min(available, left)
+            if chunk > 0:
+                pieces.append((job, chunk))
+            self._used += chunk
+            left -= chunk
+            if self._used == length:
+                self._index += 1
+                self._used = Fraction(0)
+        return pieces
+
+    def exhausted(self) -> bool:
+        return self._index >= len(self._line)
+
+
+def _place_pieces(
+    schedule: Schedule,
+    machine: int,
+    pieces: List[Tuple[int, Fraction]],
+    start: Fraction,
+    T: Fraction,
+) -> Fraction:
+    """Lay pieces consecutively on the circle from *start*; return end pos."""
+    cursor = start
+    for job, length in pieces:
+        for seg_start, seg_end in place_arc(cursor, length, T):
+            schedule.add_segment(machine, job, seg_start, seg_end)
+        cursor = advance_mod(cursor, length, T)
+    return cursor
+
+
+def schedule_semi_partitioned(
+    instance: Instance,
+    assignment: Assignment,
+    T: Time,
+    check_feasibility: bool = True,
+) -> Schedule:
+    """Run Algorithm 1 on a feasible (IP-1) solution.
+
+    Parameters
+    ----------
+    check_feasibility:
+        Verify the (IP-1) constraints first and raise
+        :class:`~repro.exceptions.InvalidAssignmentError` on violation.
+        Theorem III.1 only promises a valid schedule for feasible inputs.
+    """
+    if check_feasibility:
+        verify_ip1(instance, assignment, T).raise_if_infeasible()
+    T = to_fraction(T)
+    machines = sorted(instance.machines)
+    root = frozenset(instance.machines)
+    schedule = Schedule(machines, T)
+    if T == 0:
+        return schedule  # feasibility forces all processing times to be 0
+
+    local_load: Dict[int, Fraction] = {}
+    for i in machines:
+        local_load[i] = sum(
+            (
+                to_fraction(instance.p(j, frozenset([i])))
+                for j in assignment.jobs_on(frozenset([i]))
+            ),
+            Fraction(0),
+        )
+
+    # --- lines 1-8: wrap-around placement of the global volume --------------
+    cursor = _LineCursor(_job_line(instance, assignment, root))
+    V = cursor.remaining
+    t = Fraction(0)
+    global_arc: Dict[int, Tuple[Fraction, Fraction]] = {}  # machine -> (start, δ)
+    for i in machines:
+        if V <= 0:
+            break
+        delta = min(V, T - local_load[i])
+        if delta < 0:
+            raise InfeasibleError(
+                f"machine {i} local load {local_load[i]} exceeds T={T}"
+            )
+        if delta > 0:
+            pieces = cursor.take(delta)
+            _place_pieces(schedule, i, pieces, t, T)
+            global_arc[i] = (t, delta)
+            t = advance_mod(t, delta, T)
+        V -= delta
+    if V > 0:
+        raise InfeasibleError(
+            f"global volume {V} could not be placed: (IP-1) constraint (1b) "
+            f"must be violated"
+        )
+
+    # --- lines 9-10: local jobs in the complementary arcs -------------------
+    for i in machines:
+        line = _job_line(instance, assignment, frozenset([i]))
+        if not line:
+            continue
+        if i in global_arc:
+            start, delta = global_arc[i]
+            free_start = advance_mod(start, delta, T)
+        else:
+            free_start = Fraction(0)
+        _place_pieces(schedule, i, line, free_start, T)
+
+    return schedule

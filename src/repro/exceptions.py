@@ -1,0 +1,52 @@
+"""Typed exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors (``TypeError``,
+``KeyError`` and friends are never wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidFamilyError(ReproError):
+    """The admissible-set family is not a valid laminar family."""
+
+
+class MonotonicityError(ReproError):
+    """Processing times violate the monotonicity requirement of the model.
+
+    The paper requires ``α ⊆ β  ⇒  P_j(α) ≤ P_j(β)`` for all admissible sets:
+    running a job on a larger machine set can only add (migration) overhead.
+    """
+
+
+class InvalidInstanceError(ReproError):
+    """The problem instance is structurally malformed."""
+
+
+class InvalidAssignmentError(ReproError):
+    """An assignment violates the ILP constraints it is checked against."""
+
+
+class InfeasibleError(ReproError):
+    """The requested (sub)problem admits no feasible solution."""
+
+
+class InvalidScheduleError(ReproError):
+    """A schedule violates the validity conditions of Section II."""
+
+
+class SolverError(ReproError):
+    """An LP/ILP solver failed or returned an unusable status."""
+
+
+class UnboundedError(SolverError):
+    """The linear program is unbounded in the optimization direction."""
+
+
+class RoundingError(ReproError):
+    """A rounding procedure could not establish its guarantee."""

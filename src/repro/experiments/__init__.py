@@ -1,0 +1,46 @@
+"""The experiment suite (E01–E15).
+
+The paper is pure theory — no tables or figures — so "reproducing the
+evaluation" means turning every quantitative claim (worked examples, bound
+statements, approximation guarantees) into a measurable experiment.  Each
+module exposes a ``run(...)`` function returning a structured result with a
+``table`` attribute; ``benchmarks/bench_e*.py`` times the core solve and
+prints the table, and the integration tests assert the paper-predicted
+values on small scales.  EXPERIMENTS.md records expected-vs-measured.
+"""
+
+from . import (
+    e01_example_ii1,
+    e02_example_iii1,
+    e03_migration_bounds,
+    e04_semi_partitioned_validity,
+    e05_hierarchical_validity,
+    e06_pushdown,
+    e07_two_approx_ratio,
+    e08_gap_family,
+    e09_general_masks,
+    e10_memory_model1,
+    e11_memory_model2,
+    e12_scheduler_comparison,
+    e13_integrality,
+    e14_scaling,
+    e15_schedulability,
+)
+
+__all__ = [
+    "e01_example_ii1",
+    "e02_example_iii1",
+    "e03_migration_bounds",
+    "e04_semi_partitioned_validity",
+    "e05_hierarchical_validity",
+    "e06_pushdown",
+    "e07_two_approx_ratio",
+    "e08_gap_family",
+    "e09_general_masks",
+    "e10_memory_model1",
+    "e11_memory_model2",
+    "e12_scheduler_comparison",
+    "e13_integrality",
+    "e14_scaling",
+    "e15_schedulability",
+]

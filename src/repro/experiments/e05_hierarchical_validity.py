@@ -1,0 +1,92 @@
+"""E05 — Theorem IV.3 and Lemmas IV.1/IV.2 on random laminar families.
+
+Paper claim: for any feasible (IP-2) pair, Algorithms 2+3 produce a valid
+schedule; phase one keeps every cumulative load ≤ T (Lemma IV.1) and leaves
+at most one machine per set shared with ancestors (Lemma IV.2).  The
+invariants are asserted inside the implementation — this experiment sweeps
+family depths and reports validity plus invariant statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import Table
+from ..core.hierarchical import allocate_loads, schedule_hierarchical
+from ..schedule.validator import validate_schedule
+from ..workloads import random_feasible_pair, rng_from_seed
+from ..workloads.generators import monotone_instance, random_laminar_family
+
+
+@dataclass
+class E05Row:
+    m: int
+    levels: int
+    sets: int
+    trials: int
+    valid: int
+    max_shared_machines: int
+
+
+@dataclass
+class E05Result:
+    rows: List[E05Row]
+    table: Table
+
+    @property
+    def all_valid(self) -> bool:
+        return all(r.valid == r.trials for r in self.rows)
+
+    @property
+    def lemma_iv2_holds(self) -> bool:
+        return all(r.max_shared_machines <= 1 for r in self.rows)
+
+
+def run(
+    machine_counts=(3, 4, 6, 8, 10),
+    trials: int = 20,
+    n_jobs: int = 12,
+    seed: int = 42,
+) -> E05Result:
+    """Measure Algorithms 2+3 validity and the Lemma IV.1/IV.2 invariants."""
+    rng = rng_from_seed(seed)
+    rows: List[E05Row] = []
+    for m in machine_counts:
+        family = random_laminar_family(rng, m, split_probability=0.9)
+        inst = monotone_instance(rng, family, n=n_jobs)
+        valid = 0
+        max_shared = 0
+        for _ in range(trials):
+            assignment, T = random_feasible_pair(rng, inst)
+            allocation = allocate_loads(inst, assignment, T)
+            for beta in inst.family.sets:
+                shared = allocation.shared_machines(inst.family, beta)
+                max_shared = max(max_shared, len(shared))
+            schedule = schedule_hierarchical(inst, assignment, T)
+            if validate_schedule(inst, assignment, schedule, T=T).valid:
+                valid += 1
+        rows.append(
+            E05Row(
+                m=m,
+                levels=inst.family.num_levels,
+                sets=len(inst.family),
+                trials=trials,
+                valid=valid,
+                max_shared_machines=max_shared,
+            )
+        )
+    table = Table(
+        "E05 — Theorem IV.3 / Lemmas IV.1-IV.2: hierarchical scheduler validity",
+        ["m", "levels", "|A|", "trials", "valid", "max shared (Lemma IV.2 ≤ 1)"],
+    )
+    for row in rows:
+        table.add_row(
+            row.m,
+            row.levels,
+            row.sets,
+            row.trials,
+            f"{row.valid}/{row.trials}",
+            row.max_shared_machines,
+        )
+    return E05Result(rows=rows, table=table)

@@ -1,0 +1,72 @@
+"""E08 — Example V.1: the integral gap between I and Iu approaches 2.
+
+Paper claim: the n-job family has ``opt(I) = n − 1`` and
+``opt(Iu) = 2n − 3``, so the collapse loses a factor ``(2n−3)/(n−1) → 2``.
+We also run the 2-approximation on I to show it recovers the migration win
+(its makespan stays within 2·T*, far below the collapse's optimum for
+large n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List
+
+from ..analysis import Table
+from ..core.approx import two_approximation
+from ..core.exact import solve_exact
+from ..workloads import example_v1, example_v1_gap
+
+
+@dataclass
+class E08Row:
+    n: int
+    opt_i: Fraction
+    opt_iu: Fraction
+    gap: Fraction
+    predicted_gap: Fraction
+    approx_makespan: Fraction
+
+
+@dataclass
+class E08Result:
+    rows: List[E08Row]
+    table: Table
+
+    @property
+    def matches_paper(self) -> bool:
+        return all(
+            r.opt_i == r.n - 1 and r.opt_iu == 2 * r.n - 3 and r.gap == r.predicted_gap
+            for r in self.rows
+        )
+
+
+def run(sizes=(3, 4, 5, 6, 8, 10, 12)) -> E08Result:
+    """Evaluate Example V.1's gap series against the paper's formulas."""
+    rows: List[E08Row] = []
+    for n in sizes:
+        inst = example_v1(n)
+        opt_i = solve_exact(inst).optimum
+        opt_iu = solve_exact(inst.unrelated_collapse()).optimum
+        approx = two_approximation(inst)
+        rows.append(
+            E08Row(
+                n=n,
+                opt_i=opt_i,
+                opt_iu=opt_iu,
+                gap=Fraction(opt_iu, opt_i),
+                predicted_gap=example_v1_gap(n),
+                approx_makespan=approx.makespan,
+            )
+        )
+    table = Table(
+        "E08 — Example V.1: opt(Iu)/opt(I) = (2n-3)/(n-1) → 2",
+        ["n", "opt(I)", "paper n-1", "opt(Iu)", "paper 2n-3", "gap", "predicted", "2-approx"],
+    )
+    for r in rows:
+        table.add_row(
+            r.n, r.opt_i, r.n - 1, r.opt_iu, 2 * r.n - 3, r.gap, r.predicted_gap,
+            r.approx_makespan,
+        )
+    return E08Result(rows=rows, table=table)

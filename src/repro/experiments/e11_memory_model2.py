@@ -1,0 +1,129 @@
+"""E11 — Theorem VI.3 / Lemma VI.2: Model 2 bicriteria (σ = 2 + H_k).
+
+Paper claim: with per-level capacities ``µ^h`` and job sizes ≤ 1, the
+modified iterative rounding achieves makespan ≤ σ·T and memory ≤ σ·µ^h
+with ``σ = 2 + H_k`` (and the tighter ``3 + 1/m`` for two levels).  We
+sweep tree depths, record the measured ratios against the σ guarantee, and
+count fallback drops (zero on all generated workloads — evidence for the
+unproved existence step of Lemma VI.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List
+
+from ..analysis import RatioStats, Table
+from ..core.laminar import LaminarFamily
+from ..core.memory import minimal_model2_T, model2_rho, solve_model2
+from ..exceptions import InfeasibleError
+from ..workloads import rng_from_seed
+from ..workloads.generators import monotone_instance
+
+
+def _uniform_tree(m: int, arity: int) -> LaminarFamily:
+    """A uniform tree over m machines with the given branching."""
+    sets = [frozenset(range(m))]
+    level = [list(range(m))]
+    while len(level[0]) > 1:
+        next_level = []
+        for block in level:
+            size = max(1, len(block) // arity)
+            for start in range(0, len(block), size):
+                piece = block[start : start + size]
+                if piece:
+                    next_level.append(piece)
+                    sets.append(frozenset(piece))
+        if all(len(b) == 1 for b in next_level):
+            break
+        level = next_level
+    for i in range(m):
+        sets.append(frozenset([i]))
+    return LaminarFamily(range(m), set(sets))
+
+
+@dataclass
+class E11Row:
+    m: int
+    k: int
+    sigma: Fraction
+    trials: int
+    completed: int
+    makespan_ratio: RatioStats
+    memory_ratio: RatioStats
+    fallback_drops: int
+
+
+@dataclass
+class E11Result:
+    rows: List[E11Row]
+    table: Table
+
+    @property
+    def bounds_hold(self) -> bool:
+        return all(
+            r.makespan_ratio.maximum <= float(r.sigma) + 1e-12
+            and r.memory_ratio.maximum <= float(r.sigma) + 1e-12
+            for r in self.rows
+            if r.completed
+        )
+
+
+def run(
+    configs=((2, 2, 4), (4, 2, 6), (8, 2, 8)),
+    trials: int = 6,
+    mu: Fraction = Fraction(2),
+    seed: int = 110,
+    backend: str = "exact",
+) -> E11Result:
+    """*configs* entries are ``(m, arity, n_jobs)``."""
+    rng = rng_from_seed(seed)
+    rows: List[E11Row] = []
+    for m, arity, n in configs:
+        family = _uniform_tree(m, arity)
+        mk_ratios = []
+        mem_ratios = []
+        fallbacks = 0
+        completed = 0
+        inst = monotone_instance(rng, family, n=n)
+        sigma = 1 + model2_rho(inst)
+        for _ in range(trials):
+            inst = monotone_instance(rng, family, n=n)
+            sizes = [Fraction(int(rng.integers(1, 5)), 8) for _ in range(n)]
+            try:
+                T = minimal_model2_T(inst, sizes, mu, backend=backend)
+                result = solve_model2(inst, sizes, mu, T, backend=backend)
+            except InfeasibleError:
+                continue
+            completed += 1
+            mk_ratios.append(result.makespan_ratio)
+            mem_ratios.append(result.max_memory_ratio)
+            fallbacks += result.rounding.fallback_drops
+        rows.append(
+            E11Row(
+                m=m,
+                k=inst.family.num_levels,
+                sigma=sigma,
+                trials=trials,
+                completed=completed,
+                makespan_ratio=RatioStats.of(mk_ratios),
+                memory_ratio=RatioStats.of(mem_ratios),
+                fallback_drops=fallbacks,
+            )
+        )
+    table = Table(
+        "E11 — Theorem VI.3 (Model 2): measured ratios vs σ = 2 + H_k",
+        ["m", "k", "σ", "solved", "max mk/T", "max mem/cap", "fallback drops"],
+    )
+    for r in rows:
+        table.add_row(
+            r.m,
+            r.k,
+            r.sigma,
+            f"{r.completed}/{r.trials}",
+            r.makespan_ratio.maximum,
+            r.memory_ratio.maximum,
+            r.fallback_drops,
+        )
+    return E11Result(rows=rows, table=table)

@@ -1,0 +1,70 @@
+"""E13 — integrality behaviour around Proposition II.1.
+
+The paper proves 3/2-hardness (no constant below 3/2 unless P=NP) and uses
+LP relaxations whose integrality gap governs the rounding quality.  This
+experiment measures:
+
+* the empirical ILP/LP gap ``opt / T*`` on random hierarchical instances
+  (Theorem V.2 caps it at 2), and
+* the classic ``R||Cmax`` gap family, where one length-m job forces
+  ``opt / T* → 2`` as m grows, showing the LP bound is tight for the
+  rounding the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List
+
+from ..analysis import RatioStats, Table
+from ..core.exact import solve_exact
+from ..core.programs import minimal_fractional_T
+from ..workloads import lp_gap_instance, random_hierarchical, rng_from_seed
+
+
+@dataclass
+class E13Result:
+    random_gap: RatioStats
+    gap_family_rows: List[tuple]
+    table: Table
+
+    @property
+    def gaps_at_most_2(self) -> bool:
+        ok_random = self.random_gap.maximum <= 2.0 + 1e-12
+        ok_family = all(row[3] <= 2 for row in self.gap_family_rows)
+        return ok_random and ok_family
+
+
+def run(
+    trials: int = 15,
+    n: int = 5,
+    m: int = 3,
+    gap_ms=(2, 3, 4, 5),
+    seed: int = 130,
+) -> E13Result:
+    """Measure ILP/LP gaps on random instances and the R||Cmax family."""
+    rng = rng_from_seed(seed)
+    gaps: List[Fraction] = []
+    for _ in range(trials):
+        inst = random_hierarchical(rng, n=n, m=m)
+        T_star = minimal_fractional_T(inst)
+        opt = solve_exact(inst).optimum
+        if T_star > 0:
+            gaps.append(opt / T_star)
+    family_rows = []
+    for gm in gap_ms:
+        inst = lp_gap_instance(gm)
+        T_star = minimal_fractional_T(inst)
+        opt = solve_exact(inst).optimum
+        family_rows.append((gm, T_star, opt, opt / T_star))
+    stats = RatioStats.of(gaps)
+    table = Table(
+        "E13 — integrality gaps: random instances and the R||Cmax gap family",
+        ["row", "T* (LP)", "opt (ILP)", "opt/T*"],
+    )
+    table.add_row(f"random n={n} m={m} (mean of {stats.count})", None, None, stats.mean)
+    table.add_row("random (max)", None, None, stats.maximum)
+    for gm, T_star, opt, gap in family_rows:
+        table.add_row(f"gap family m={gm}", T_star, opt, gap)
+    return E13Result(random_gap=stats, gap_family_rows=family_rows, table=table)

@@ -1,0 +1,65 @@
+"""E14 — runtime scaling of the Theorem V.2 pipeline.
+
+The paper claims polynomial time; this experiment records wall-clock of the
+full 2-approximation (binary search + LP + rounding + scheduling) across
+instance sizes and both LP backends, so regressions in the solver stack are
+visible.  (pytest-benchmark provides the statistically careful timing; the
+table here reports single-run times for orientation.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis import Table
+from ..core.approx import two_approximation
+from ..workloads import random_hierarchical, rng_from_seed
+
+
+@dataclass
+class E14Row:
+    n: int
+    m: int
+    backend: str
+    seconds: float
+    ratio_vs_lp: float
+
+
+@dataclass
+class E14Result:
+    rows: List[E14Row]
+    table: Table
+
+
+def run(
+    shapes=((6, 3), (10, 4), (16, 6), (24, 8)),
+    backends=("exact", "scipy"),
+    seed: int = 140,
+) -> E14Result:
+    """Time the full 2-approximation across sizes and LP backends."""
+    rows: List[E14Row] = []
+    for n, m in shapes:
+        for backend in backends:
+            rng = rng_from_seed(seed)  # same instances per backend
+            inst = random_hierarchical(rng, n=n, m=m)
+            start = time.perf_counter()
+            result = two_approximation(inst, backend=backend)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                E14Row(
+                    n=n,
+                    m=m,
+                    backend=backend,
+                    seconds=elapsed,
+                    ratio_vs_lp=float(result.ratio_vs_lp),
+                )
+            )
+    table = Table(
+        "E14 — 2-approximation runtime scaling",
+        ["n", "m", "backend", "seconds", "ratio vs T*"],
+    )
+    for r in rows:
+        table.add_row(r.n, r.m, r.backend, r.seconds, r.ratio_vs_lp)
+    return E14Result(rows=rows, table=table)

@@ -1,0 +1,102 @@
+"""E15 — schedulability study (the classic semi-partitioned-literature figure).
+
+The semi-partitioned line of work the paper builds on (Bastoni–Brandenburg–
+Anderson) evaluates schedulers by *acceptance ratio*: the fraction of random
+workloads schedulable within a fixed horizon, plotted against system
+utilization.  We reproduce that figure's shape for the paper's scheduler
+classes: for each utilization level, generate workloads with total cheapest
+volume ``u·m·T_ref`` and ask each class for a schedule with makespan
+≤ ``T_ref`` (exact restricted solve, Theorem IV.3 makes the check precise).
+
+Expected shape (and the paper's motivation): partitioned acceptance decays
+first as bin-packing fragmentation bites; semi-partitioned and hierarchical
+stay near 1 until utilization ≈ 1; global depends on the migration overhead
+mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis import Table
+from ..baselines.restrictions import SCHEDULER_CLASSES, restrict_instance, restricted_family_for
+from ..core.exact import find_assignment_within
+from ..core.laminar import LaminarFamily
+from ..exceptions import InfeasibleError, InvalidFamilyError, SolverError
+from ..workloads import rng_from_seed
+from ..workloads.generators import utilization_workload
+
+
+def _schedulable_within(instance, scheduler_class: str, T_ref: int) -> bool:
+    try:
+        sets = restricted_family_for(instance, scheduler_class)
+        restricted = restrict_instance(instance, sets)
+        for j in range(restricted.n):
+            if not restricted.allowed_sets(j):
+                return False
+        witness = find_assignment_within(restricted, T_ref)
+    except (InfeasibleError, InvalidFamilyError, SolverError):
+        return False
+    return witness is not None
+
+
+@dataclass
+class E15Row:
+    utilization: float
+    acceptance: Dict[str, float]
+
+
+@dataclass
+class E15Result:
+    rows: List[E15Row]
+    table: Table
+
+    def acceptance_curve(self, scheduler_class: str) -> List[float]:
+        return [row.acceptance[scheduler_class] for row in self.rows]
+
+    @property
+    def hierarchy_dominates(self) -> bool:
+        """Hierarchical acceptance ≥ every other class at every level."""
+        for row in self.rows:
+            top = row.acceptance["hierarchical"]
+            if any(row.acceptance[c] > top + 1e-9 for c in SCHEDULER_CLASSES):
+                return False
+        return True
+
+
+def run(
+    utilizations=(0.5, 0.7, 0.8, 0.9, 0.95, 1.0),
+    m: int = 4,
+    cluster_size: int = 2,
+    T_ref: int = 40,
+    trials: int = 10,
+    seed: int = 150,
+) -> E15Result:
+    """Acceptance ratio vs utilization for each scheduler class."""
+    rng = rng_from_seed(seed)
+    family = LaminarFamily.clustered(m, cluster_size)
+    rows: List[E15Row] = []
+    for u in utilizations:
+        accepted = {c: 0 for c in SCHEDULER_CLASSES}
+        for _ in range(trials):
+            inst = utilization_workload(rng, family, u, T_ref)
+            for c in SCHEDULER_CLASSES:
+                if _schedulable_within(inst, c, T_ref):
+                    accepted[c] += 1
+        rows.append(
+            E15Row(
+                utilization=u,
+                acceptance={c: accepted[c] / trials for c in SCHEDULER_CLASSES},
+            )
+        )
+    table = Table(
+        f"E15 — acceptance ratio vs utilization (m={m}, clusters of "
+        f"{cluster_size}, T_ref={T_ref})",
+        ["utilization"] + list(SCHEDULER_CLASSES),
+    )
+    for row in rows:
+        table.add_row(
+            row.utilization, *(row.acceptance[c] for c in SCHEDULER_CLASSES)
+        )
+    return E15Result(rows=rows, table=table)

@@ -1,0 +1,20 @@
+"""LP/ILP substrate: model builder, exact simplex, scipy backend, B&B."""
+
+from .branch_and_bound import BnBResult, solve_binary_ilp
+from .model import LinearProgram, LPSolution, Row
+from .scipy_backend import solve_standard_float
+from .simplex import SimplexResult, solve_standard
+from .solve import is_feasible, solve_lp
+
+__all__ = [
+    "BnBResult",
+    "LPSolution",
+    "LinearProgram",
+    "Row",
+    "SimplexResult",
+    "is_feasible",
+    "solve_binary_ilp",
+    "solve_lp",
+    "solve_standard",
+    "solve_standard_float",
+]

@@ -1,0 +1,126 @@
+"""Exact 0/1 ILP solving via LP-based branch and bound.
+
+Used by the experiment suite to compute true optima on small instances
+(approximation-ratio measurements in E07/E10/E11) and as a generic substrate
+for the memory-constrained programs (IP-3)+(7) and (IP-4).  Branching is on
+the most fractional binary variable; bounding uses the exact simplex so
+pruning decisions are never corrupted by floating-point noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import SolverError
+from .model import LinearProgram, LPSolution, VarKey
+from .solve import solve_lp
+
+
+@dataclass
+class BnBResult:
+    status: str  # "optimal" | "infeasible"
+    values: Dict[VarKey, Fraction]
+    objective: Optional[Fraction]
+    nodes_explored: int
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def _most_fractional(
+    lp: LinearProgram, solution: LPSolution
+) -> Optional[VarKey]:
+    """The binary variable whose value is closest to 1/2, or None."""
+    best_key: Optional[VarKey] = None
+    best_dist: Optional[Fraction] = None
+    for key in lp.variable_keys:
+        if not lp.is_integral_var(key):
+            continue
+        value = solution.value(key)
+        frac_part = value - int(value)
+        if frac_part == 0:
+            continue
+        dist = abs(frac_part - Fraction(1, 2))
+        if best_dist is None or dist < best_dist:
+            best_dist = dist
+            best_key = key
+    return best_key
+
+
+def solve_binary_ilp(
+    lp: LinearProgram,
+    backend: str = "exact",
+    node_limit: int = 100000,
+) -> BnBResult:
+    """Minimize *lp* with its integral-flagged variables forced to {0, 1}.
+
+    Integral variables must carry bounds within [0, 1].  Raises
+    :class:`SolverError` when the node limit is exhausted (the experiment
+    suite sizes its exact comparisons to stay well below it).
+    """
+    for key in lp.variable_keys:
+        if lp.is_integral_var(key):
+            ub = lp.upper_bound(key)
+            if lp.lower_bound(key) != 0 or ub is None or ub > 1:
+                raise SolverError(
+                    f"binary variable {key!r} must have bounds within [0, 1]"
+                )
+
+    best_objective: Optional[Fraction] = None
+    best_values: Optional[Dict[VarKey, Fraction]] = None
+    nodes = 0
+
+    # Each node is a dict of fixed variable values layered over the base LP.
+    stack: List[Dict[VarKey, int]] = [{}]
+    while stack:
+        fixed = stack.pop()
+        nodes += 1
+        if nodes > node_limit:
+            raise SolverError(f"branch-and-bound exceeded {node_limit} nodes")
+        node_lp = _with_fixings(lp, fixed)
+        relaxation = solve_lp(node_lp, backend=backend)
+        if not relaxation.is_optimal:
+            continue  # infeasible subtree
+        if (
+            best_objective is not None
+            and relaxation.objective is not None
+            and relaxation.objective >= best_objective
+        ):
+            continue  # bound
+        branch_key = _most_fractional(lp, relaxation)
+        if branch_key is None:
+            # Integral (in the binary vars) — candidate incumbent.
+            if best_objective is None or relaxation.objective < best_objective:
+                best_objective = relaxation.objective
+                best_values = dict(relaxation.values)
+            continue
+        for value in (1, 0):  # explore the 1-branch first (assignment LPs)
+            child = dict(fixed)
+            child[branch_key] = value
+            stack.append(child)
+
+    if best_values is None:
+        return BnBResult("infeasible", {}, None, nodes)
+    return BnBResult("optimal", best_values, best_objective, nodes)
+
+
+def _with_fixings(lp: LinearProgram, fixed: Dict[VarKey, int]) -> LinearProgram:
+    """A copy of *lp* with equality rows pinning the fixed variables."""
+    clone = LinearProgram()
+    for key in lp.variable_keys:
+        clone.add_variable(
+            key,
+            lb=lp.lower_bound(key),
+            ub=lp.upper_bound(key),
+            integral=lp.is_integral_var(key),
+        )
+    for row in lp.rows:
+        coeffs = {lp.variable_keys[i]: v for i, v in row.coeffs.items()}
+        clone.add_constraint(coeffs, row.sense, row.rhs, name=row.name)
+    clone.set_objective(lp.objective_coeffs)
+    for key, value in fixed.items():
+        clone.add_constraint({key: 1}, "==", value, name=f"fix[{key!r}]")
+    return clone

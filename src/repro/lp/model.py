@@ -1,0 +1,188 @@
+"""A small LP/ILP model builder with named variables.
+
+The paper's programs (IP-1) … (IP-4) index variables by ``(α, j)`` pairs; a
+dense matrix interface would force every call site to maintain its own
+index maps.  :class:`LinearProgram` lets callers build rows against hashable
+variable keys and converts to the dense/standard forms the solvers need.
+
+All coefficients are stored as exact :class:`~fractions.Fraction` values so
+the exact simplex can run unchanged; the scipy backend converts to floats on
+the way out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .._fraction import to_fraction
+from ..exceptions import SolverError
+
+VarKey = Hashable
+Sense = str  # "<=", ">=", "=="
+
+_SENSES = ("<=", ">=", "==")
+
+
+@dataclass
+class Row:
+    """One linear constraint ``Σ coeffs·x  sense  rhs``."""
+
+    coeffs: Dict[int, Fraction]
+    sense: Sense
+    rhs: Fraction
+    name: str = ""
+
+
+class LinearProgram:
+    """Minimization LP with named variables and explicit rows.
+
+    Variables default to ``lb=0, ub=None`` (the natural domain for all
+    programs in the paper); integrality flags are honoured by the
+    branch-and-bound solver only.
+    """
+
+    def __init__(self):
+        self._keys: List[VarKey] = []
+        self._index: Dict[VarKey, int] = {}
+        self._lb: List[Fraction] = []
+        self._ub: List[Optional[Fraction]] = []
+        self._integral: List[bool] = []
+        self._rows: List[Row] = []
+        self._objective: Dict[int, Fraction] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_variable(
+        self,
+        key: VarKey,
+        lb: Union[int, Fraction] = 0,
+        ub: Optional[Union[int, Fraction]] = None,
+        integral: bool = False,
+    ) -> VarKey:
+        if key in self._index:
+            raise SolverError(f"duplicate variable key {key!r}")
+        self._index[key] = len(self._keys)
+        self._keys.append(key)
+        self._lb.append(to_fraction(lb))
+        self._ub.append(None if ub is None else to_fraction(ub))
+        self._integral.append(integral)
+        return key
+
+    def has_variable(self, key: VarKey) -> bool:
+        return key in self._index
+
+    def add_constraint(
+        self,
+        coeffs: Mapping[VarKey, Union[int, Fraction]],
+        sense: Sense,
+        rhs: Union[int, Fraction],
+        name: str = "",
+    ) -> None:
+        if sense not in _SENSES:
+            raise SolverError(f"unknown constraint sense {sense!r}")
+        row: Dict[int, Fraction] = {}
+        for key, value in coeffs.items():
+            coeff = to_fraction(value)
+            if coeff != 0:
+                row[self._index[key]] = coeff
+        self._rows.append(Row(coeffs=row, sense=sense, rhs=to_fraction(rhs), name=name))
+
+    def set_objective(self, coeffs: Mapping[VarKey, Union[int, Fraction]]) -> None:
+        """Minimization objective; omit for pure feasibility problems."""
+        self._objective = {
+            self._index[key]: to_fraction(value) for key, value in coeffs.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._keys)
+
+    @property
+    def objective_coeffs(self) -> Dict[VarKey, Fraction]:
+        """Objective coefficients keyed by variable key (zeros omitted)."""
+        return {self._keys[i]: v for i, v in self._objective.items()}
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._rows)
+
+    @property
+    def variable_keys(self) -> Tuple[VarKey, ...]:
+        return tuple(self._keys)
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        return tuple(self._rows)
+
+    def lower_bound(self, key: VarKey) -> Fraction:
+        return self._lb[self._index[key]]
+
+    def upper_bound(self, key: VarKey) -> Optional[Fraction]:
+        return self._ub[self._index[key]]
+
+    def is_integral_var(self, key: VarKey) -> bool:
+        return self._integral[self._index[key]]
+
+    def index_of(self, key: VarKey) -> int:
+        return self._index[key]
+
+    # ------------------------------------------------------------------
+    # Conversion for the solvers
+    # ------------------------------------------------------------------
+
+    def to_standard_rows(self) -> Tuple[
+        List[Dict[int, Fraction]], List[Sense], List[Fraction], List[Fraction]
+    ]:
+        """Rows with variable bounds materialized as constraints.
+
+        Returns ``(coeff_rows, senses, rhs, objective_vector)``; variable
+        lower bounds must be 0 (all programs in the paper satisfy this) —
+        non-zero lower bounds raise, finite upper bounds become ≤ rows.
+        """
+        for idx, lb in enumerate(self._lb):
+            if lb != 0:
+                raise SolverError(
+                    f"variable {self._keys[idx]!r} has lb={lb}; the exact "
+                    f"solver requires lb=0 (shift the variable instead)"
+                )
+        coeff_rows: List[Dict[int, Fraction]] = []
+        senses: List[Sense] = []
+        rhs: List[Fraction] = []
+        for row in self._rows:
+            coeff_rows.append(dict(row.coeffs))
+            senses.append(row.sense)
+            rhs.append(row.rhs)
+        for idx, ub in enumerate(self._ub):
+            if ub is not None:
+                coeff_rows.append({idx: Fraction(1)})
+                senses.append("<=")
+                rhs.append(ub)
+        objective = [self._objective.get(i, Fraction(0)) for i in range(len(self._keys))]
+        return coeff_rows, senses, rhs, objective
+
+    def values_by_key(self, x: Sequence[Union[Fraction, float]]) -> Dict[VarKey, Union[Fraction, float]]:
+        return {key: x[i] for key, i in self._index.items()}
+
+
+@dataclass
+class LPSolution:
+    """Solver-agnostic result: status, per-key values, objective."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    values: Dict[VarKey, Fraction]
+    objective: Optional[Fraction]
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def value(self, key: VarKey) -> Fraction:
+        return self.values.get(key, Fraction(0))

@@ -1,0 +1,85 @@
+"""Floating-point LP backend on top of :func:`scipy.optimize.linprog`.
+
+Used for the larger benchmark instances where the exact simplex would be
+slow.  ``method="highs"`` (dual simplex inside HiGHS) returns a basic optimal
+solution, which is what the Section V rounding needs; values are snapped back
+to rationals with a denominator bound before re-entering the exact pipeline.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .._fraction import rationalize
+from ..exceptions import SolverError
+from .simplex import SimplexResult
+
+#: Values within this distance of an integer are snapped during rationalization.
+_SNAP_EPS = 1e-9
+
+
+def solve_standard_float(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    objective: Sequence[Fraction],
+    max_denominator: int = 10**6,
+) -> SimplexResult:
+    """Solve the same standard form as the exact simplex, via HiGHS.
+
+    The result's ``x`` is rationalized (``limit_denominator``) so downstream
+    exact checks can run; statuses map onto the exact solver's vocabulary.
+    """
+    n = len(objective)
+    a_ub: List[List[float]] = []
+    b_ub: List[float] = []
+    a_eq: List[List[float]] = []
+    b_eq: List[float] = []
+    for row, sense, b in zip(coeff_rows, senses, rhs):
+        dense = [0.0] * n
+        for j, v in row.items():
+            dense[j] = float(v)
+        if sense == "<=":
+            a_ub.append(dense)
+            b_ub.append(float(b))
+        elif sense == ">=":
+            a_ub.append([-v for v in dense])
+            b_ub.append(-float(b))
+        elif sense == "==":
+            a_eq.append(dense)
+            b_eq.append(float(b))
+        else:  # pragma: no cover - guarded upstream
+            raise SolverError(f"unknown sense {sense!r}")
+
+    result = linprog(
+        c=np.array([float(v) for v in objective]),
+        A_ub=np.array(a_ub) if a_ub else None,
+        b_ub=np.array(b_ub) if b_ub else None,
+        A_eq=np.array(a_eq) if a_eq else None,
+        b_eq=np.array(b_eq) if b_eq else None,
+        bounds=[(0, None)] * n,
+        method="highs",
+    )
+    if result.status == 2:
+        return SimplexResult("infeasible", [], None, None)
+    if result.status == 3:
+        return SimplexResult("unbounded", [], None, None)
+    if result.status != 0:  # pragma: no cover - solver-internal failures
+        raise SolverError(f"HiGHS failed: {result.message}")
+
+    x: List[Fraction] = []
+    for value in result.x:
+        value = float(value)
+        nearest = round(value)
+        if abs(value - nearest) < _SNAP_EPS:
+            x.append(Fraction(int(nearest)))
+        else:
+            x.append(rationalize(value, max_denominator))
+    objective_value = sum(
+        (Fraction(objective[j]) * x[j] for j in range(n)), Fraction(0)
+    )
+    return SimplexResult("optimal", x, objective_value, None)

@@ -1,0 +1,257 @@
+"""Exact two-phase simplex over the rationals.
+
+The rounding arguments of Sections V and VI need *basic* feasible solutions:
+Lenstra–Shmoys–Tardos relies on the pseudo-forest structure of a vertex's
+support, and Lemma VI.2's iterative relaxation counts fractional variables at
+a vertex.  Floating-point solvers return "almost" vertices; telling a
+fractional value from numeric noise then needs tolerances that can break the
+combinatorial arguments.  This implementation works on
+:class:`~fractions.Fraction` throughout, so support and fractionality are
+exact properties.
+
+Algorithm: classic dense-tableau two-phase simplex.  Pivoting uses Dantzig's
+rule for speed and switches to Bland's rule (which cannot cycle) once the
+iteration count exceeds a threshold, so termination is guaranteed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._fraction import to_fraction
+from ..exceptions import SolverError, UnboundedError
+
+#: After this many pivots the pivot rule switches to Bland's (anti-cycling).
+_BLAND_THRESHOLD = 5000
+#: Hard cap — exceeded only by a bug, not by honest degeneracy.
+_MAX_PIVOTS = 200000
+
+
+@dataclass
+class SimplexResult:
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    x: List[Fraction]
+    objective: Optional[Fraction]
+    basis: Optional[List[int]]
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def _pivot(tableau: List[List[Fraction]], basis: List[int], row: int, col: int) -> None:
+    """Pivot the tableau on (row, col); updates basis in place."""
+    pivot_row = tableau[row]
+    pivot_val = pivot_row[col]
+    if pivot_val == 0:
+        raise SolverError("zero pivot element")
+    inv = Fraction(1) / pivot_val
+    tableau[row] = [value * inv for value in pivot_row]
+    pivot_row = tableau[row]
+    for r, other in enumerate(tableau):
+        if r == row:
+            continue
+        factor = other[col]
+        if factor == 0:
+            continue
+        tableau[r] = [a - factor * b for a, b in zip(other, pivot_row)]
+    basis[row] = col
+
+
+def _choose_entering(cost_row: Sequence[Fraction], num_cols: int, bland: bool) -> Optional[int]:
+    """Index of an improving column (negative reduced cost), or None."""
+    if bland:
+        for j in range(num_cols):
+            if cost_row[j] < 0:
+                return j
+        return None
+    best_j: Optional[int] = None
+    best_val = Fraction(0)
+    for j in range(num_cols):
+        if cost_row[j] < best_val:
+            best_val = cost_row[j]
+            best_j = j
+    return best_j
+
+
+def _choose_leaving(
+    tableau: List[List[Fraction]], basis: List[int], col: int, num_rows: int
+) -> Optional[int]:
+    """Min-ratio test; ties broken by smallest basis index (Bland-safe)."""
+    best_row: Optional[int] = None
+    best_ratio: Optional[Fraction] = None
+    for r in range(num_rows):
+        a = tableau[r][col]
+        if a <= 0:
+            continue
+        ratio = tableau[r][-1] / a
+        if best_ratio is None or ratio < best_ratio or (
+            ratio == best_ratio and basis[r] < basis[best_row]  # type: ignore[index]
+        ):
+            best_ratio = ratio
+            best_row = r
+    return best_row
+
+
+def _run_phase(
+    tableau: List[List[Fraction]],
+    basis: List[int],
+    num_rows: int,
+    num_cols: int,
+    pivots_done: int,
+) -> Tuple[str, int]:
+    """Iterate until optimal/unbounded; cost row is tableau[num_rows]."""
+    cost_row = tableau[num_rows]
+    pivots = pivots_done
+    while True:
+        bland = pivots >= _BLAND_THRESHOLD
+        entering = _choose_entering(cost_row, num_cols, bland)
+        if entering is None:
+            return "optimal", pivots
+        leaving = _choose_leaving(tableau, basis, entering, num_rows)
+        if leaving is None:
+            return "unbounded", pivots
+        _pivot(tableau, basis, leaving, entering)
+        cost_row = tableau[num_rows]
+        pivots += 1
+        if pivots > _MAX_PIVOTS:
+            raise SolverError("simplex exceeded the pivot budget (cycling bug?)")
+
+
+def solve_standard(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    objective: Sequence[Fraction],
+) -> SimplexResult:
+    """Solve ``min c·x  s.t.  rows, x ≥ 0`` exactly.
+
+    *coeff_rows* are sparse ``{var_index: coefficient}`` mappings; *senses*
+    entries are ``"<="``, ``">="`` or ``"=="``.  The returned ``x`` is a
+    basic solution: at most ``len(coeff_rows)`` entries are non-zero.
+    """
+    n = len(objective)
+    r = len(coeff_rows)
+    if len(senses) != r or len(rhs) != r:
+        raise SolverError("rows, senses and rhs must have equal length")
+
+    # Normalize to b ≥ 0 and attach slack / artificial columns.
+    slack_cols: List[Tuple[int, Fraction]] = []  # (row, sign)
+    artificial_rows: List[int] = []
+    norm_rows: List[Dict[int, Fraction]] = []
+    norm_rhs: List[Fraction] = []
+    norm_senses: List[str] = []
+    for i in range(r):
+        row = dict(coeff_rows[i])
+        b = to_fraction(rhs[i])
+        sense = senses[i]
+        if b < 0:
+            row = {j: -v for j, v in row.items()}
+            b = -b
+            sense = {"<=": ">=", ">=": "<=", "==": "=="}[sense]
+        norm_rows.append(row)
+        norm_rhs.append(b)
+        norm_senses.append(sense)
+
+    num_slack = sum(1 for s in norm_senses if s in ("<=", ">="))
+    total_cols = n + num_slack  # artificials appended after
+    slack_index = n
+    slack_of_row: List[Optional[int]] = [None] * r
+    slack_sign: List[Fraction] = [Fraction(0)] * r
+    for i, sense in enumerate(norm_senses):
+        if sense == "<=":
+            slack_of_row[i] = slack_index
+            slack_sign[i] = Fraction(1)
+            slack_index += 1
+        elif sense == ">=":
+            slack_of_row[i] = slack_index
+            slack_sign[i] = Fraction(-1)
+            slack_index += 1
+
+    needs_artificial = [
+        sense in (">=", "==") for sense in norm_senses
+    ]
+    num_artificial = sum(needs_artificial)
+    art_start = total_cols
+    total_with_art = total_cols + num_artificial
+
+    # Build the tableau: r constraint rows + 1 cost row; last column is rhs.
+    tableau: List[List[Fraction]] = []
+    basis: List[int] = []
+    art_index = art_start
+    zero = Fraction(0)
+    for i in range(r):
+        row = [zero] * (total_with_art + 1)
+        for j, v in norm_rows[i].items():
+            row[j] = v
+        if slack_of_row[i] is not None:
+            row[slack_of_row[i]] = slack_sign[i]
+        if needs_artificial[i]:
+            row[art_index] = Fraction(1)
+            basis.append(art_index)
+            art_index += 1
+        else:
+            basis.append(slack_of_row[i])  # type: ignore[arg-type]
+        row[-1] = norm_rhs[i]
+        tableau.append(row)
+
+    # ---------------- Phase 1: minimize the sum of artificials -------------
+    pivots = 0
+    if num_artificial:
+        cost = [zero] * (total_with_art + 1)
+        for j in range(art_start, total_with_art):
+            cost[j] = Fraction(1)
+        tableau.append(cost)
+        # Express the cost row in terms of the non-basic variables.
+        for i in range(r):
+            if basis[i] >= art_start:
+                tableau[r] = [a - b for a, b in zip(tableau[r], tableau[i])]
+        status, pivots = _run_phase(tableau, basis, r, total_with_art, 0)
+        if status == "unbounded":  # pragma: no cover - impossible: cost ≥ 0
+            raise SolverError("phase-1 objective unbounded")
+        phase1_obj = -tableau[r][-1]
+        if phase1_obj > 0:
+            return SimplexResult("infeasible", [], None, None)
+        # Drive any zero-level artificials out of the basis.
+        for i in range(r):
+            if basis[i] >= art_start:
+                pivot_col = None
+                for j in range(total_cols):
+                    if tableau[i][j] != 0:
+                        pivot_col = j
+                        break
+                if pivot_col is not None:
+                    _pivot(tableau, basis, i, pivot_col)
+                # else: redundant row; the artificial stays basic at 0, which
+                # is harmless as long as its column never re-enters.
+        tableau.pop()  # drop the phase-1 cost row
+
+    # ---------------- Phase 2: original objective --------------------------
+    cost = [zero] * (total_with_art + 1)
+    for j in range(n):
+        cost[j] = to_fraction(objective[j])
+    # Forbid artificials from re-entering.
+    tableau.append(cost)
+    for i in range(r):
+        cb = cost[basis[i]] if basis[i] < n else zero
+        if cb != 0:
+            tableau[r] = [a - cb * b for a, b in zip(tableau[r], tableau[i])]
+    # Zero out reduced costs of artificial columns so they are never chosen;
+    # mark them unattractive by forcing non-negative reduced cost.
+    for j in range(art_start, total_with_art):
+        if tableau[r][j] < 0:
+            tableau[r][j] = zero
+    status, pivots = _run_phase(tableau, basis, r, total_cols, pivots)
+    if status == "unbounded":
+        return SimplexResult("unbounded", [], None, basis)
+
+    x = [zero] * n
+    for i in range(r):
+        if basis[i] < n:
+            x[basis[i]] = tableau[i][-1]
+    objective_value = sum(
+        (to_fraction(objective[j]) * x[j] for j in range(n)), Fraction(0)
+    )
+    return SimplexResult("optimal", x, objective_value, list(basis))

@@ -1,0 +1,47 @@
+"""Unified LP solving entry point with backend dispatch."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional
+
+from ..exceptions import SolverError
+from .model import LinearProgram, LPSolution
+from .scipy_backend import solve_standard_float
+from .simplex import SimplexResult, solve_standard
+
+BACKENDS = ("exact", "scipy")
+
+#: Problem size (variables × rows) above which "auto" prefers the float backend.
+_AUTO_SIZE_LIMIT = 20000
+
+
+def solve_lp(lp: LinearProgram, backend: str = "exact") -> LPSolution:
+    """Solve *lp* (minimization) and map values back to variable keys.
+
+    ``backend="exact"`` guarantees a rational basic solution;
+    ``backend="scipy"`` is faster on large programs and rationalizes its
+    output; ``backend="auto"`` picks by problem size.
+    """
+    if backend == "auto":
+        size = lp.num_variables * max(lp.num_constraints, 1)
+        backend = "exact" if size <= _AUTO_SIZE_LIMIT else "scipy"
+    if backend not in BACKENDS:
+        raise SolverError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    coeff_rows, senses, rhs, objective = lp.to_standard_rows()
+    if backend == "exact":
+        result = solve_standard(coeff_rows, senses, rhs, objective)
+    else:
+        result = solve_standard_float(coeff_rows, senses, rhs, objective)
+    if result.status != "optimal":
+        return LPSolution(status=result.status, values={}, objective=None)
+    values: Dict = {}
+    for key in lp.variable_keys:
+        values[key] = result.x[lp.index_of(key)]
+    return LPSolution(status="optimal", values=values, objective=result.objective)
+
+
+def is_feasible(lp: LinearProgram, backend: str = "exact") -> bool:
+    """Feasibility check: solve with a zero objective."""
+    solution = solve_lp(lp, backend=backend)
+    return solution.is_optimal

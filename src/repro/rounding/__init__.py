@@ -1,0 +1,17 @@
+"""Rounding substrate: bipartite matching, pseudo-forests, LST, iterative."""
+
+from .lst import assignment_loads, build_unrelated_lp, lst_round, round_fractional_solution
+from .matching import is_perfect_on_left, maximum_bipartite_matching
+from .pseudoforest import Component, connected_components, is_pseudoforest
+
+__all__ = [
+    "Component",
+    "assignment_loads",
+    "build_unrelated_lp",
+    "connected_components",
+    "is_perfect_on_left",
+    "is_pseudoforest",
+    "lst_round",
+    "maximum_bipartite_matching",
+    "round_fractional_solution",
+]

@@ -1,0 +1,60 @@
+"""Bipartite maximum matching via augmenting paths.
+
+Small, dependency-free substrate used by the Lenstra–Shmoys–Tardos rounding:
+the fractional-support graph of a basic LP solution is a pseudo-forest in
+which every fractional job has degree ≥ 2, so a matching saturating all jobs
+exists; this module finds it.  (Kuhn's algorithm, O(V·E) — the graphs here
+have at most ``n + m`` edges, so asymptotics are irrelevant.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set
+
+Left = Hashable
+Right = Hashable
+
+
+def maximum_bipartite_matching(
+    adjacency: Mapping[Left, Iterable[Right]],
+) -> Dict[Left, Right]:
+    """Maximum matching of left vertices to right vertices.
+
+    Parameters
+    ----------
+    adjacency:
+        For each left vertex, the iterable of right vertices it may match.
+
+    Returns
+    -------
+    dict
+        ``left -> right`` for every matched left vertex.  Unmatched left
+        vertices are absent from the result.
+    """
+    adj: Dict[Left, List[Right]] = {
+        u: sorted(vs, key=repr) for u, vs in adjacency.items()
+    }
+    match_right: Dict[Right, Left] = {}
+
+    def try_augment(u: Left, visited: Set[Right]) -> bool:
+        for v in adj[u]:
+            if v in visited:
+                continue
+            visited.add(v)
+            if v not in match_right or try_augment(match_right[v], visited):
+                match_right[v] = u
+                return True
+        return False
+
+    for u in sorted(adj, key=repr):
+        try_augment(u, set())
+
+    return {u: v for v, u in match_right.items()}
+
+
+def is_perfect_on_left(
+    adjacency: Mapping[Left, Iterable[Right]],
+    matching: Mapping[Left, Right],
+) -> bool:
+    """Whether every left vertex with at least one edge is matched."""
+    return all(u in matching for u, vs in adjacency.items() if list(vs))

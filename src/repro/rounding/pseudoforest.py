@@ -1,0 +1,74 @@
+"""Support-graph analysis for basic LP solutions (Section V rounding).
+
+A basic feasible solution of the unrelated-machines LP has at most
+``n + m`` non-zero variables; restricted to the *fractional* ones, every
+connected component of the bipartite job/machine graph contains at most one
+cycle (a *pseudo-forest*).  The Lenstra–Shmoys–Tardos argument hinges on
+this structure; the functions here expose it so both the rounding code and
+the property tests can check it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Set, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class Component:
+    nodes: FrozenSet[Node]
+    edges: Tuple[Edge, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def has_cycle(self) -> bool:
+        # A connected graph has a cycle iff #edges ≥ #nodes.
+        return self.num_edges >= self.num_nodes
+
+    @property
+    def is_pseudotree(self) -> bool:
+        """Connected with at most one cycle: #edges ≤ #nodes."""
+        return self.num_edges <= self.num_nodes
+
+
+def connected_components(edges: Iterable[Edge]) -> List[Component]:
+    """Split an undirected edge list into connected components."""
+    edge_list = list(edges)
+    adjacency: Dict[Node, Set[Node]] = {}
+    for u, v in edge_list:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    seen: Set[Node] = set()
+    components: List[Component] = []
+    for start in adjacency:
+        if start in seen:
+            continue
+        stack = [start]
+        nodes: Set[Node] = set()
+        while stack:
+            node = stack.pop()
+            if node in nodes:
+                continue
+            nodes.add(node)
+            stack.extend(adjacency[node] - nodes)
+        seen |= nodes
+        comp_edges = tuple(
+            (u, v) for u, v in edge_list if u in nodes
+        )
+        components.append(Component(frozenset(nodes), comp_edges))
+    return components
+
+
+def is_pseudoforest(edges: Iterable[Edge]) -> bool:
+    """Whether every connected component has at most one cycle."""
+    return all(c.is_pseudotree for c in connected_components(edges))

@@ -1,0 +1,56 @@
+"""Schedule substrate: segments, containers, validation, metrics."""
+
+from .metrics import (
+    JobTransitionCounts,
+    ScheduleSummary,
+    average_utilization,
+    distinct_machine_migrations,
+    job_transitions,
+    machine_utilization,
+    summarize,
+    total_migrations,
+    total_migrations_processing_order,
+    total_preemptions_and_migrations,
+)
+from .periodic import interior_instance_migrations, steady_state_migrations_per_period, unroll
+from .schedule import Schedule
+from .segments import MachineTimeline, Segment, advance_mod, place_arc
+from .serialize import (
+    assignment_from_dict,
+    assignment_to_dict,
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from .validator import ScheduleViolation, ValidationReport, validate_schedule
+
+__all__ = [
+    "JobTransitionCounts",
+    "MachineTimeline",
+    "Schedule",
+    "ScheduleSummary",
+    "ScheduleViolation",
+    "Segment",
+    "ValidationReport",
+    "advance_mod",
+    "assignment_from_dict",
+    "assignment_to_dict",
+    "average_utilization",
+    "distinct_machine_migrations",
+    "interior_instance_migrations",
+    "job_transitions",
+    "schedule_from_dict",
+    "schedule_from_json",
+    "schedule_to_dict",
+    "schedule_to_json",
+    "steady_state_migrations_per_period",
+    "machine_utilization",
+    "place_arc",
+    "summarize",
+    "total_migrations",
+    "total_migrations_processing_order",
+    "total_preemptions_and_migrations",
+    "unroll",
+    "validate_schedule",
+]

@@ -1,0 +1,138 @@
+"""Schedule metrics: makespan, migrations, preemptions, utilization.
+
+Two migration accountings coexist, and the difference is a real finding of
+this reproduction (see EXPERIMENTS.md, E03):
+
+* **wall-clock** (:func:`job_transitions`): sort a job's merged segments by
+  start time; a machine change is a migration, a same-machine gap a pure
+  preemption.  This is what an execution trace observes — but the
+  wrap-around rule may run the *tail* of a job's processing line (the part
+  after the mod-T wrap) earlier in wall-clock time than its head, which can
+  convert the wrap preemption into an extra observed migration.  On
+  ``m = 2`` one global job can show 2 wall-clock migrations.
+
+* **processing-order** (:func:`distinct_machine_migrations`): the paper's
+  Proposition III.2 counts along the job's processing line, where crossing a
+  chunk boundary is the migration and the mod-T wrap is a preemption.  In
+  the wrap-around constructions each job visits every machine's chunk at
+  most once, so line-order migrations equal ``#distinct machines − 1`` —
+  which is how we count them without tracking line positions.
+
+The *combined* count (preemptions + migrations = number of merged pieces −
+1) is order-invariant, so the ``2m − 2`` bound is checked on wall-clock
+data directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class JobTransitionCounts:
+    migrations: int
+    pure_preemptions: int
+
+    @property
+    def total(self) -> int:
+        """Preemptions and migrations combined (Proposition III.2's 2m−2)."""
+        return self.migrations + self.pure_preemptions
+
+
+def _merged_job_segments(schedule: Schedule, job: int) -> List[Tuple[int, Fraction, Fraction]]:
+    raw = [
+        (machine, seg.start, seg.end)
+        for machine, seg in schedule.job_segments(job)
+    ]
+    raw.sort(key=lambda t: (t[1], t[2]))
+    merged: List[Tuple[int, Fraction, Fraction]] = []
+    for machine, start, end in raw:
+        if merged and merged[-1][0] == machine and merged[-1][2] == start:
+            merged[-1] = (machine, merged[-1][1], end)
+        else:
+            merged.append((machine, start, end))
+    return merged
+
+
+def job_transitions(schedule: Schedule, job: int) -> JobTransitionCounts:
+    """Count migrations and pure preemptions for one job."""
+    merged = _merged_job_segments(schedule, job)
+    migrations = 0
+    pure_preemptions = 0
+    for (m1, _s1, e1), (m2, s2, _e2) in zip(merged, merged[1:]):
+        if m1 != m2:
+            migrations += 1
+        elif s2 > e1:
+            pure_preemptions += 1
+    return JobTransitionCounts(migrations, pure_preemptions)
+
+
+def total_migrations(schedule: Schedule) -> int:
+    """Total wall-clock migrations over all jobs (observable accounting)."""
+    return sum(job_transitions(schedule, j).migrations for j in schedule.jobs())
+
+
+def distinct_machine_migrations(schedule: Schedule, job: int) -> int:
+    """Processing-order migrations of one job: ``#distinct machines − 1``.
+
+    This is Proposition III.2's accounting (the wrap is a preemption, not a
+    migration); it is exact for the paper's wrap-around constructions, where
+    a job's line segment meets each machine's chunk at most once.
+    """
+    machines = {m for m, _seg in schedule.job_segments(job)}
+    return max(0, len(machines) - 1)
+
+
+def total_migrations_processing_order(schedule: Schedule) -> int:
+    """Total processing-order migrations (Prop. III.2 bound: ``m − 1``)."""
+    return sum(distinct_machine_migrations(schedule, j) for j in schedule.jobs())
+
+
+def total_preemptions_and_migrations(schedule: Schedule) -> int:
+    """Combined transitions over all jobs (Prop. III.2 bound: ``2m − 2``).
+
+    Order-invariant: equals Σ_j (merged pieces of j − 1).
+    """
+    return sum(job_transitions(schedule, j).total for j in schedule.jobs())
+
+
+def machine_utilization(schedule: Schedule) -> Dict[int, Fraction]:
+    """Busy fraction of each machine over the horizon ``[0, T]``."""
+    if schedule.T == 0:
+        return {machine: Fraction(0) for machine in schedule.machines}
+    return {
+        machine: schedule.machine_load(machine) / schedule.T
+        for machine in schedule.machines
+    }
+
+
+def average_utilization(schedule: Schedule) -> Fraction:
+    """Mean busy fraction across machines over ``[0, T]``."""
+    per_machine = machine_utilization(schedule)
+    if not per_machine:
+        return Fraction(0)
+    return sum(per_machine.values(), Fraction(0)) / len(per_machine)
+
+
+@dataclass(frozen=True)
+class ScheduleSummary:
+    makespan: Fraction
+    migrations: int
+    preemptions_and_migrations: int
+    segments: int
+    avg_utilization: Fraction
+
+
+def summarize(schedule: Schedule) -> ScheduleSummary:
+    """One-call summary used by examples and the benchmark tables."""
+    return ScheduleSummary(
+        makespan=schedule.makespan(),
+        migrations=total_migrations(schedule),
+        preemptions_and_migrations=total_preemptions_and_migrations(schedule),
+        segments=schedule.total_segments(),
+        avg_utilization=average_utilization(schedule),
+    )

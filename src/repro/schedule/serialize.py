@@ -1,0 +1,79 @@
+"""Exact JSON serialization of schedules and assignments.
+
+Times are stored as ``"num/den"`` strings so round-trips are lossless —
+required for replaying schedules through the simulator or re-validating a
+stored experiment artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Dict
+
+from ..core.assignment import Assignment
+from ..exceptions import InvalidScheduleError
+from .schedule import Schedule
+
+
+def _frac_to_str(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _str_to_frac(text: str) -> Fraction:
+    num, _, den = text.partition("/")
+    return Fraction(int(num), int(den or 1))
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict:
+    """A JSON-ready dict with exact rational times."""
+    return {
+        "T": _frac_to_str(schedule.T),
+        "machines": list(schedule.machines),
+        "segments": [
+            {
+                "machine": machine,
+                "job": seg.job,
+                "start": _frac_to_str(seg.start),
+                "end": _frac_to_str(seg.end),
+            }
+            for machine in schedule.machines
+            for seg in schedule.timeline(machine)
+        ],
+    }
+
+
+def schedule_from_dict(data: Dict) -> Schedule:
+    """Rebuild a schedule; re-checks machine exclusivity on insert."""
+    try:
+        schedule = Schedule(data["machines"], _str_to_frac(data["T"]))
+        for item in data["segments"]:
+            schedule.add_segment(
+                item["machine"],
+                item["job"],
+                _str_to_frac(item["start"]),
+                _str_to_frac(item["end"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidScheduleError(f"malformed schedule document: {exc}") from exc
+    return schedule
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize to a JSON string with exact \"num/den\" times."""
+    return json.dumps(schedule_to_dict(schedule), indent=2, sort_keys=True)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Inverse of :func:`schedule_to_json`; re-validates exclusivity."""
+    return schedule_from_dict(json.loads(text))
+
+
+def assignment_to_dict(assignment: Assignment) -> Dict:
+    """JSON-ready mapping ``job -> sorted machine list``."""
+    return {str(j): sorted(alpha) for j, alpha in assignment.items()}
+
+
+def assignment_from_dict(data: Dict) -> Assignment:
+    """Inverse of :func:`assignment_to_dict`."""
+    return Assignment({int(j): frozenset(machines) for j, machines in data.items()})

@@ -1,0 +1,164 @@
+"""Exact schedule validity checking — the conditions of Section II.
+
+A schedule is *valid with respect to an assignment* when
+
+1. each job runs only on machines of its affinity mask,
+2. no job is processed in parallel with itself,
+3. every job receives exactly ``P_j(mask(j))`` units of work,
+4. no machine runs two jobs at once, and
+5. everything happens inside the horizon ``[0, T]``.
+
+Condition 4 is enforced eagerly by :class:`~repro.schedule.schedule.Schedule`
+but re-checked here so the validator stands on its own (e.g. for schedules
+deserialized from traces).  All arithmetic is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Union
+
+from .._fraction import is_inf, to_fraction
+from ..core.assignment import Assignment
+from ..core.instance import Instance
+from ..exceptions import InvalidScheduleError
+from .schedule import Schedule
+from .segments import Time
+
+
+@dataclass
+class ScheduleViolation:
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    valid: bool
+    violations: List[ScheduleViolation] = field(default_factory=list)
+    makespan: Fraction = Fraction(0)
+
+    def raise_if_invalid(self) -> None:
+        if not self.valid:
+            msgs = "; ".join(str(v) for v in self.violations)
+            raise InvalidScheduleError(f"invalid schedule: {msgs}")
+
+
+def validate_schedule(
+    instance: Instance,
+    assignment: Assignment,
+    schedule: Schedule,
+    T: Optional[Time] = None,
+    require_integral_times: bool = False,
+) -> ValidationReport:
+    """Check all Section II validity conditions exactly.
+
+    Parameters
+    ----------
+    T:
+        Horizon to check against; defaults to ``schedule.T``.
+    require_integral_times:
+        The paper assumes preemptions/migrations at integer points.  The
+        constructions preserve integrality when ``(x, T)`` is integral, but
+        LP-derived fractional horizons legitimately produce fractional
+        endpoints, so the check is opt-in.
+    """
+    horizon = to_fraction(T) if T is not None else schedule.T
+    violations: List[ScheduleViolation] = []
+
+    # --- condition 5: horizon ------------------------------------------------
+    for machine in schedule.machines:
+        for seg in schedule.timeline(machine):
+            if seg.start < 0 or seg.end > horizon:
+                violations.append(
+                    ScheduleViolation(
+                        "horizon",
+                        f"job {seg.job} on machine {machine} in [{seg.start},{seg.end}) "
+                        f"outside [0,{horizon}]",
+                    )
+                )
+
+    # --- condition 4: machine exclusivity ------------------------------------
+    for machine in schedule.machines:
+        segs = sorted(schedule.timeline(machine).segments)
+        for a, b in zip(segs, segs[1:]):
+            if b.start < a.end:
+                violations.append(
+                    ScheduleViolation(
+                        "machine-overlap",
+                        f"machine {machine}: jobs {a.job} and {b.job} overlap "
+                        f"at [{b.start},{min(a.end, b.end)})",
+                    )
+                )
+
+    # --- per-job conditions ---------------------------------------------------
+    scheduled_jobs = set(schedule.jobs())
+    for job in range(instance.n):
+        mask = assignment[job]
+        required = instance.p(job, mask)
+        if is_inf(required):
+            violations.append(
+                ScheduleViolation("mask", f"job {job} assigned to forbidden set {sorted(mask)}")
+            )
+            continue
+        required = to_fraction(required)
+        segments = schedule.job_segments(job)
+
+        # condition 1: mask containment
+        for machine, seg in segments:
+            if machine not in mask:
+                violations.append(
+                    ScheduleViolation(
+                        "mask",
+                        f"job {job} runs on machine {machine} ∉ mask {sorted(mask)}",
+                    )
+                )
+
+        # condition 2: no parallel self-execution
+        ordered = sorted(segments, key=lambda pair: (pair[1].start, pair[1].end))
+        for (m1, s1), (m2, s2) in zip(ordered, ordered[1:]):
+            if s2.start < s1.end:
+                violations.append(
+                    ScheduleViolation(
+                        "self-parallel",
+                        f"job {job} runs simultaneously on machines {m1} and {m2} "
+                        f"during [{s2.start},{min(s1.end, s2.end)})",
+                    )
+                )
+
+        # condition 3: delivered work
+        delivered = sum((seg.length for _m, seg in segments), Fraction(0))
+        if delivered != required:
+            violations.append(
+                ScheduleViolation(
+                    "work",
+                    f"job {job} received {delivered} units, requires {required}",
+                )
+            )
+
+        if required > 0 and job not in scheduled_jobs:
+            violations.append(
+                ScheduleViolation("work", f"job {job} never scheduled")
+            )
+
+    if require_integral_times:
+        for machine in schedule.machines:
+            for seg in schedule.timeline(machine):
+                if seg.start.denominator != 1 or seg.end.denominator != 1:
+                    violations.append(
+                        ScheduleViolation(
+                            "integrality",
+                            f"segment [{seg.start},{seg.end}) of job {seg.job} "
+                            f"has non-integer endpoints",
+                        )
+                    )
+
+    return ValidationReport(
+        valid=not violations,
+        violations=violations,
+        makespan=schedule.makespan(),
+    )

@@ -1,0 +1,19 @@
+"""SimSo-style execution substrate: topologies, cost models, simulator."""
+
+from .costs import CostModel, mask_overhead_budget
+from .engine import BudgetReport, check_overhead_budgets, simulate
+from .topology import Topology
+from .trace import Event, EventKind, ExecutionTrace, JobStats
+
+__all__ = [
+    "BudgetReport",
+    "CostModel",
+    "Event",
+    "EventKind",
+    "ExecutionTrace",
+    "JobStats",
+    "Topology",
+    "check_overhead_budgets",
+    "mask_overhead_budget",
+    "simulate",
+]

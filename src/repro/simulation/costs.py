@@ -1,0 +1,92 @@
+"""Migration/preemption cost models over a topology.
+
+The paper's modelling assumption is that migration overhead can be folded
+into the mask-dependent processing time ``P_j(α)`` (Section I, justified by
+the migration bound of Proposition III.2).  A :class:`CostModel` makes the
+underlying per-event costs explicit so the execution simulator can charge
+them, and :func:`mask_overhead_budget` computes the per-mask overhead the
+workload generator folds into ``P_j(α)`` — monotone by construction because
+wider masks can only raise the worst migration tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Sequence, Tuple, Union
+
+from .._fraction import to_fraction
+from ..exceptions import InvalidInstanceError
+from .topology import Topology
+
+Time = Union[int, Fraction]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event overheads, indexed by migration tier.
+
+    ``tier_costs[t]`` is the cost of resuming a job after crossing a
+    tier-``t`` domain boundary (tier 1 = same chip, 2 = same node, …);
+    index 0 is the cost of resuming on the *same* core (a pure preemption).
+    Costs must be non-decreasing in the tier — the paper's premise that
+    intra-CMP beats inter-CMP beats inter-node.
+    """
+
+    tier_costs: Tuple[Fraction, ...]
+
+    def __post_init__(self):
+        costs = tuple(to_fraction(c) for c in self.tier_costs)
+        object.__setattr__(self, "tier_costs", costs)
+        if any(c < 0 for c in costs):
+            raise InvalidInstanceError("costs must be non-negative")
+        if any(a > b for a, b in zip(costs, costs[1:])):
+            raise InvalidInstanceError(
+                "tier costs must be non-decreasing (intra beats inter)"
+            )
+
+    def cost_of_tier(self, tier: int) -> Fraction:
+        if tier < len(self.tier_costs):
+            return self.tier_costs[tier]
+        return self.tier_costs[-1]
+
+    def migration_cost(self, topology: Topology, a: int, b: int) -> Fraction:
+        """Cost of moving a job from core *a* to core *b*."""
+        return self.cost_of_tier(topology.migration_tier(a, b))
+
+    @classmethod
+    def xeon_like(cls) -> "CostModel":
+        """Default three-tier model shaped like the paper's Xeon example.
+
+        Resume-on-same-core is nearly free; intra-CMP (shared L2) cheap;
+        inter-CMP moderate; inter-node expensive.  Units are abstract time
+        quanta, chosen so overheads stay small next to unit-scale jobs.
+        """
+        return cls((Fraction(0), Fraction(1, 10), Fraction(1, 2), Fraction(2)))
+
+
+def mask_overhead_budget(
+    topology: Topology,
+    cost_model: CostModel,
+    alpha: Iterable[int],
+) -> Fraction:
+    """Worst-case migration overhead of running one job inside mask *alpha*.
+
+    In the wrap-around constructions a job's processing line crosses at most
+    ``s − 1`` chunk boundaries (``s = |α|``) and wraps past T at most once,
+    so it splits into at most ``s + 1`` pieces — at most ``s`` wall-clock
+    transitions, each charged at most the mask's widest tier (pure
+    preemptions cost the tier-0 rate, which is no larger).  The budget
+
+        s · cost(tier(α)) + cost(0)
+
+    therefore upper-bounds what the simulator can ever charge the job, and
+    folding it into ``P_j(α)`` is monotone: supersets have at least the size
+    and at least the tier.
+    """
+    alpha = frozenset(alpha)
+    size = len(alpha)
+    if size <= 1:
+        return cost_model.cost_of_tier(0)
+    tier = topology.mask_tier(alpha)
+    return size * cost_model.cost_of_tier(tier) + cost_model.cost_of_tier(0)

@@ -1,0 +1,144 @@
+"""Hierarchical machine topologies (the paper's SMP-CMP cluster motivation).
+
+The introduction motivates the model with Intel's dual-core Xeon clusters:
+communication is cheapest between cores on one chip (intra-CMP), pricier
+across chips in a node (inter-CMP), and priciest across nodes (inter-node).
+A :class:`Topology` is a laminar *tree* over the cores whose internal levels
+are those domains; the cost of migrating a job between two cores is decided
+by the smallest set containing both (their lowest common ancestor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.laminar import LaminarFamily, MachineSet
+from ..exceptions import InvalidFamilyError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A machine hierarchy: a tree-shaped laminar family with all singletons.
+
+    ``level_names[d]`` names the migration domain at height ``d`` of the
+    tree: index 0 is a single core, the last index the whole system.
+    """
+
+    family: LaminarFamily
+    level_names: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.family.is_tree:
+            raise InvalidFamilyError("a topology must be a single tree")
+        if not self.family.has_all_singletons:
+            raise InvalidFamilyError("a topology must contain every core as a leaf")
+
+    @property
+    def m(self) -> int:
+        return self.family.m
+
+    @property
+    def machines(self) -> MachineSet:
+        return self.family.machines
+
+    @property
+    def num_levels(self) -> int:
+        return self.family.num_levels
+
+    def lca(self, a: int, b: int) -> MachineSet:
+        """The smallest admissible set containing both cores."""
+        containing = self.family.minimal_containing([a, b])
+        assert containing is not None  # the root contains everything
+        return containing
+
+    def migration_tier(self, a: int, b: int) -> int:
+        """0 for a = b, else the height of the LCA domain (1 = same chip…)."""
+        if a == b:
+            return 0
+        return self.family.height(self.lca(a, b))
+
+    def tier_name(self, tier: int) -> str:
+        if tier < len(self.level_names):
+            return self.level_names[tier]
+        return f"level-{tier}"
+
+    def mask_tier(self, alpha: Iterable[int]) -> int:
+        """The height of a mask — the widest migration domain it spans."""
+        alpha = frozenset(alpha)
+        if alpha not in self.family:
+            raise InvalidFamilyError(f"{sorted(alpha)} is not a topology domain")
+        return self.family.height(alpha)
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def flat(cls, m: int) -> "Topology":
+        """A single shared domain of *m* symmetric cores."""
+        family = LaminarFamily.semi_partitioned(m)
+        return cls(family, ("core", "system"))
+
+    @classmethod
+    def clustered(cls, m: int, cluster_size: int) -> "Topology":
+        """Cores grouped into equal clusters (chips) under one system."""
+        family = LaminarFamily.clustered(m, cluster_size)
+        return cls(family, ("core", "chip", "system"))
+
+    @classmethod
+    def smp_cmp(
+        cls,
+        nodes: int,
+        chips_per_node: int,
+        cores_per_chip: int,
+    ) -> "Topology":
+        """The paper's SMP-CMP cluster: nodes × chips × cores.
+
+        Yields a 4-level family: cores ⊂ chips ⊂ nodes ⊂ system (degenerate
+        levels collapse automatically when a count is 1).
+        """
+        if min(nodes, chips_per_node, cores_per_chip) < 1:
+            raise InvalidFamilyError("all topology dimensions must be ≥ 1")
+        m = nodes * chips_per_node * cores_per_chip
+        sets: List[FrozenSet[int]] = [frozenset(range(m))]
+        names: List[str] = ["core"]
+        core = 0
+        node_sets: List[FrozenSet[int]] = []
+        chip_sets: List[FrozenSet[int]] = []
+        for _node in range(nodes):
+            node_members: List[int] = []
+            for _chip in range(chips_per_node):
+                chip_members = list(range(core, core + cores_per_chip))
+                core += cores_per_chip
+                node_members.extend(chip_members)
+                chip_sets.append(frozenset(chip_members))
+            node_sets.append(frozenset(node_members))
+        if cores_per_chip > 1:
+            names.append("chip")
+        if chips_per_node > 1:
+            names.append("node")
+        names.append("system")
+        all_sets = set(sets)
+        for s in chip_sets + node_sets:
+            all_sets.add(s)
+        for i in range(m):
+            all_sets.add(frozenset([i]))
+        family = LaminarFamily(range(m), all_sets)
+        return cls(family, tuple(names))
+
+    @classmethod
+    def binary(cls, depth: int) -> "Topology":
+        """A complete binary hierarchy with ``2**depth`` cores."""
+        if depth < 1:
+            raise InvalidFamilyError("depth must be ≥ 1")
+        m = 2 ** depth
+        sets: List[FrozenSet[int]] = []
+        width = m
+        while width >= 1:
+            for start in range(0, m, width):
+                sets.append(frozenset(range(start, start + width)))
+            width //= 2
+        family = LaminarFamily(range(m), set(sets))
+        names = tuple(["core"] + [f"l{d}" for d in range(1, depth)] + ["system"])
+        return cls(family, names)

@@ -1,0 +1,108 @@
+"""Execution traces: the event log produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+
+class EventKind(Enum):
+    """The five event types a runtime observes (see the paper's §I)."""
+
+    START = "start"
+    PREEMPT = "preempt"
+    RESUME = "resume"
+    MIGRATE = "migrate"
+    COMPLETE = "complete"
+
+
+@dataclass(frozen=True)
+class Event:
+    time: Fraction
+    kind: EventKind
+    job: int
+    machine: int
+    """Machine the event happens on (target machine for MIGRATE)."""
+
+    source_machine: Optional[int] = None
+    """For MIGRATE: where the job came from."""
+
+    overhead: Fraction = Fraction(0)
+    """Cost charged for this event by the cost model."""
+
+    tier: Optional[int] = None
+    """Migration tier for MIGRATE events (1 = intra-chip, …)."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = f"t={self.time} {self.kind.value} job {self.job} @m{self.machine}"
+        if self.kind is EventKind.MIGRATE:
+            base += f" (from m{self.source_machine}, tier {self.tier})"
+        if self.overhead:
+            base += f" [+{self.overhead}]"
+        return base
+
+
+@dataclass
+class JobStats:
+    job: int
+    migrations: int = 0
+    preemptions: int = 0
+    overhead: Fraction = Fraction(0)
+    completion: Fraction = Fraction(0)
+    work: Fraction = Fraction(0)
+
+    @property
+    def transitions(self) -> int:
+        return self.migrations + self.preemptions
+
+
+@dataclass
+class ExecutionTrace:
+    events: List[Event] = field(default_factory=list)
+
+    def add(self, event: Event) -> None:
+        self.events.append(event)
+
+    def for_job(self, job: int) -> List[Event]:
+        return [e for e in self.events if e.job == job]
+
+    def job_stats(self) -> Dict[int, JobStats]:
+        stats: Dict[int, JobStats] = {}
+        for event in self.events:
+            s = stats.setdefault(event.job, JobStats(event.job))
+            if event.kind is EventKind.MIGRATE:
+                s.migrations += 1
+            elif event.kind is EventKind.PREEMPT:
+                s.preemptions += 1
+            if event.kind is EventKind.COMPLETE:
+                s.completion = event.time
+            s.overhead += event.overhead
+        return stats
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(1 for e in self.events if e.kind is EventKind.MIGRATE)
+
+    @property
+    def total_preemptions(self) -> int:
+        return sum(1 for e in self.events if e.kind is EventKind.PREEMPT)
+
+    @property
+    def total_overhead(self) -> Fraction:
+        return sum((e.overhead for e in self.events), Fraction(0))
+
+    def tier_histogram(self) -> Dict[int, int]:
+        """Migration counts per tier — the paper's intra/inter breakdown."""
+        histogram: Dict[int, int] = {}
+        for e in self.events:
+            if e.kind is EventKind.MIGRATE and e.tier is not None:
+                histogram[e.tier] = histogram.get(e.tier, 0) + 1
+        return histogram
+
+    def render(self, limit: int = 50) -> str:  # pragma: no cover - cosmetic
+        lines = [str(e) for e in sorted(self.events, key=lambda e: (e.time, e.job))]
+        if len(lines) > limit:
+            lines = lines[:limit] + [f"... ({len(lines) - limit} more events)"]
+        return "\n".join(lines)

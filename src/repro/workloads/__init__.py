@@ -1,0 +1,39 @@
+"""Workload generators: random instances, topologies, adversarial families."""
+
+from .adversarial import (
+    BIG,
+    example_ii1,
+    example_ii1_optimal_assignment,
+    example_v1,
+    example_v1_gap,
+    example_v1_optimal_assignment,
+    lp_gap_instance,
+)
+from .generators import (
+    instance_from_topology,
+    monotone_instance,
+    random_feasible_pair,
+    random_hierarchical,
+    random_laminar_family,
+    random_semi_partitioned,
+    rng_from_seed,
+    scale_to_utilization,
+)
+
+__all__ = [
+    "BIG",
+    "example_ii1",
+    "example_ii1_optimal_assignment",
+    "example_v1",
+    "example_v1_gap",
+    "example_v1_optimal_assignment",
+    "instance_from_topology",
+    "lp_gap_instance",
+    "monotone_instance",
+    "random_feasible_pair",
+    "random_hierarchical",
+    "random_laminar_family",
+    "random_semi_partitioned",
+    "rng_from_seed",
+    "scale_to_utilization",
+]

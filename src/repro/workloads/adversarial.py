@@ -1,0 +1,96 @@
+"""The paper's worked examples and adversarial instance families.
+
+* :func:`example_ii1` — Example II.1/III.1: two pinned specialists plus one
+  flexible job; hierarchical optimum 2, unrelated collapse optimum 3.
+* :func:`example_v1` — Example V.1: the family showing the integral gap
+  between a semi-partitioned instance ``I`` and its unrelated collapse
+  ``Iu`` approaches 2 (``opt(I) = n−1`` vs ``opt(Iu) = 2n−3``).
+* :func:`lp_gap_instance` — the classic ``R||Cmax`` LP integrality-gap
+  construction (one long job split across machines by the LP), used in E13.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from .._fraction import INF
+from ..core.assignment import Assignment
+from ..core.instance import Instance
+from ..exceptions import InvalidInstanceError
+
+#: The "sufficiently large constant" of Example II.1 — any value that can
+#: never be part of an optimal schedule works; INF masks the pair entirely.
+BIG = 10**6
+
+
+def example_ii1(use_inf: bool = True) -> Instance:
+    """Example II.1: 3 jobs, 2 machines, semi-partitioned family.
+
+    Job 0 must run on machine 0 (time 1), job 1 on machine 1 (time 1), job 2
+    takes 2 anywhere.  Semi-partitioned optimum 2; unrelated collapse 3.
+    """
+    big = INF if use_inf else BIG
+    return Instance.semi_partitioned(
+        p_local=[[1, big], [big, 1], [2, 2]],
+        p_global=[big, big, 2],
+    )
+
+
+def example_ii1_optimal_assignment() -> Tuple[Assignment, int]:
+    """The optimal assignment of Example III.1 and its makespan 2."""
+    root = frozenset({0, 1})
+    return Assignment({0: frozenset({0}), 1: frozenset({1}), 2: root}), 2
+
+
+def example_v1(n: int, use_inf: bool = True) -> Instance:
+    """Example V.1 with *n* jobs and ``m = n − 1`` machines.
+
+    Job ``j < n−1`` runs only on machine ``j`` (time ``n−2``); job ``n−1``
+    takes ``n−1`` anywhere.  ``opt(I) = n−1`` while the unrelated collapse
+    has ``opt(Iu) = 2n−3`` — a ratio approaching 2.
+    """
+    if n < 3:
+        raise InvalidInstanceError("Example V.1 needs n ≥ 3")
+    m = n - 1
+    big = INF if use_inf else BIG
+    p_local = []
+    for j in range(n - 1):
+        row = [big] * m
+        row[j] = n - 2
+        p_local.append(row)
+    p_local.append([n - 1] * m)
+    p_global = [big] * (n - 1) + [n - 1]
+    return Instance.semi_partitioned(p_local=p_local, p_global=p_global)
+
+
+def example_v1_optimal_assignment(n: int) -> Tuple[Assignment, int]:
+    """The paper's optimal solution of Example V.1: makespan ``n − 1``."""
+    m = n - 1
+    masks: Dict[int, frozenset] = {j: frozenset({j}) for j in range(n - 1)}
+    masks[n - 1] = frozenset(range(m))
+    return Assignment(masks), n - 1
+
+
+def example_v1_gap(n: int) -> Fraction:
+    """The predicted gap ``opt(Iu)/opt(I) = (2n−3)/(n−1)`` (→ 2)."""
+    return Fraction(2 * n - 3, n - 1)
+
+
+def lp_gap_instance(m: int) -> Instance:
+    """The standard ``R||Cmax`` integrality-gap family (gap → 2).
+
+    One job of length ``m`` runnable anywhere plus ``m·(m−1)`` unit jobs
+    pinned round-robin.  The LP spreads the long job (``T* close to m``
+    …actually ``T* = m``), while any integral schedule must put it whole on
+    one machine on top of that machine's units.
+    """
+    if m < 2:
+        raise InvalidInstanceError("need m ≥ 2")
+    matrix = [[m] * m]  # the long job
+    for i in range(m):
+        for _ in range(m - 1):
+            row = [INF] * m
+            row[i] = 1
+            matrix.append(row)
+    return Instance.unrelated(matrix)

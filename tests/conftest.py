@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import INF, Assignment, Instance, LaminarFamily
+from repro.workloads import example_ii1, example_v1, rng_from_seed
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG; tests that need different streams reseed locally."""
+    return rng_from_seed(12345)
+
+
+@pytest.fixture
+def family_semi_4() -> LaminarFamily:
+    return LaminarFamily.semi_partitioned(4)
+
+
+@pytest.fixture
+def family_clustered_4() -> LaminarFamily:
+    return LaminarFamily.clustered(4, 2)
+
+
+@pytest.fixture
+def instance_ii1() -> Instance:
+    """Example II.1 with INF sentinels."""
+    return example_ii1()
+
+
+@pytest.fixture
+def instance_ii1_big() -> Instance:
+    """Example II.1 with a large finite constant instead of INF."""
+    return example_ii1(use_inf=False)
+
+
+@pytest.fixture
+def assignment_ii1() -> Assignment:
+    return Assignment({0: frozenset({0}), 1: frozenset({1}), 2: frozenset({0, 1})})
+
+
+@pytest.fixture
+def small_hierarchical() -> Instance:
+    """A 3-level instance: {0,1,2,3} ⊃ {0,1}, {2,3} ⊃ singletons."""
+    family = LaminarFamily.clustered(4, 2)
+    processing = {}
+    for j in range(5):
+        processing[j] = {}
+        for alpha in family.sets:
+            base = 2 + (j % 3)
+            processing[j][alpha] = base + len(alpha) - 1
+    return Instance(family, processing)

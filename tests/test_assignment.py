@@ -1,0 +1,201 @@
+"""Unit tests for assignments and the (IP-1)/(IP-2) feasibility checks."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Assignment, FractionalAssignment, Instance, verify_ip1, verify_ip2, verify_lp
+from repro.core.assignment import min_T_for_assignment, set_volumes
+from repro.exceptions import InvalidAssignmentError
+
+
+class TestAssignment:
+    def test_roundtrip(self):
+        a = Assignment({0: {0}, 1: {0, 1}})
+        assert a[0] == frozenset({0})
+        assert a[1] == frozenset({0, 1})
+        assert len(a) == 2
+
+    def test_jobs_on(self):
+        a = Assignment({0: {0}, 1: {0}, 2: {1}})
+        assert a.jobs_on({0}) == (0, 1)
+        assert a.jobs_on({1}) == (2,)
+        assert a.jobs_on({0, 1}) == ()
+
+    def test_equality(self):
+        assert Assignment({0: {0}}) == Assignment({0: [0]})
+        assert Assignment({0: {0}}) != Assignment({0: {1}})
+
+
+class TestVolumes:
+    def test_set_volumes(self, instance_ii1, assignment_ii1):
+        volumes = set_volumes(instance_ii1, assignment_ii1)
+        assert volumes[frozenset({0})] == 1
+        assert volumes[frozenset({1})] == 1
+        assert volumes[frozenset({0, 1})] == 2
+
+    def test_forbidden_assignment_raises(self, instance_ii1):
+        bad = Assignment({0: {1}, 1: {1}, 2: {0, 1}})  # job 0 can't run on m1
+        with pytest.raises(InvalidAssignmentError):
+            set_volumes(instance_ii1, bad)
+
+
+class TestVerifyIP2:
+    def test_example_iii1_feasible_at_2(self, instance_ii1, assignment_ii1):
+        assert verify_ip2(instance_ii1, assignment_ii1, 2).feasible
+
+    def test_example_iii1_infeasible_at_1(self, instance_ii1, assignment_ii1):
+        report = verify_ip2(instance_ii1, assignment_ii1, 1)
+        assert not report.feasible
+        kinds = {v.constraint for v in report.violations}
+        assert "2c" in kinds  # job 2 has p=2 > 1
+
+    def test_capacity_violation_detected(self):
+        inst = Instance.identical(2, [3, 3, 3])
+        root = frozenset({0, 1})
+        a = Assignment({0: root, 1: root, 2: root})
+        report = verify_ip2(inst, a, 4)
+        assert not report.feasible  # 9 > 2·4
+        assert report.violations[0].constraint == "2b"
+        assert verify_ip2(inst, a, Fraction(9, 2)).feasible
+
+    def test_nested_volume_counts_subsets(self, small_hierarchical):
+        # All jobs on singletons must still respect the root capacity.
+        a = Assignment({j: frozenset({0}) for j in range(5)})
+        vol = sum(small_hierarchical.p(j, {0}) for j in range(5))
+        report = verify_ip2(small_hierarchical, a, vol)
+        assert report.feasible
+        report2 = verify_ip2(small_hierarchical, a, vol - 1)
+        assert not report2.feasible
+
+    def test_wrong_job_cover_raises(self, instance_ii1):
+        with pytest.raises(InvalidAssignmentError):
+            verify_ip2(instance_ii1, Assignment({0: {0}}), 2)
+
+    def test_non_admissible_mask_raises(self, instance_ii1):
+        bad = Assignment({0: {0}, 1: {1}, 2: {0, 1}})
+        inst_unrelated = instance_ii1.unrelated_collapse()
+        with pytest.raises(InvalidAssignmentError):
+            verify_ip2(inst_unrelated, bad, 5)
+
+    def test_raise_if_infeasible(self, instance_ii1, assignment_ii1):
+        with pytest.raises(InvalidAssignmentError):
+            verify_ip2(instance_ii1, assignment_ii1, 1).raise_if_infeasible()
+        verify_ip2(instance_ii1, assignment_ii1, 2).raise_if_infeasible()
+
+
+class TestVerifyIP1:
+    def test_matches_ip2_on_semi_partitioned(self, instance_ii1, assignment_ii1):
+        for T in (1, 2, 3):
+            assert (
+                verify_ip1(instance_ii1, assignment_ii1, T).feasible
+                == verify_ip2(instance_ii1, assignment_ii1, T).feasible
+            )
+
+    def test_rejects_non_semi_partitioned_family(self, small_hierarchical):
+        a = Assignment({j: frozenset({0}) for j in range(5)})
+        with pytest.raises(InvalidAssignmentError):
+            verify_ip1(small_hierarchical, a, 100)
+
+    def test_local_overload_is_1c(self):
+        inst = Instance.semi_partitioned(p_local=[[1, 5], [1, 5]], p_global=[5, 5])
+        a = Assignment({0: {0}, 1: {0}})
+        report = verify_ip1(inst, a, Fraction(3, 2))
+        assert not report.feasible
+        assert any(v.constraint == "1c" for v in report.violations)
+
+    def test_total_volume_is_1b(self):
+        inst = Instance.semi_partitioned(
+            p_local=[[2, 2]] * 3, p_global=[2, 2, 2]
+        )
+        root = frozenset({0, 1})
+        a = Assignment({j: root for j in range(3)})
+        report = verify_ip1(inst, a, 2)
+        assert not report.feasible
+        assert any(v.constraint == "1b" for v in report.violations)
+
+
+class TestMinT:
+    def test_example_iii1(self, instance_ii1, assignment_ii1):
+        assert min_T_for_assignment(instance_ii1, assignment_ii1) == 2
+
+    def test_fractional_optimum(self):
+        inst = Instance.identical(2, [3, 3, 3])
+        root = frozenset({0, 1})
+        a = Assignment({j: root for j in range(3)})
+        assert min_T_for_assignment(inst, a) == Fraction(9, 2)
+
+    def test_individual_time_dominates(self):
+        inst = Instance.identical(3, [10, 1, 1])
+        root = frozenset(range(3))
+        a = Assignment({j: root for j in range(3)})
+        assert min_T_for_assignment(inst, a) == 10
+
+
+class TestFractionalAssignment:
+    def test_integral_roundtrip(self, assignment_ii1):
+        x = FractionalAssignment.from_assignment(assignment_ii1)
+        assert x.is_integral()
+        assert x.to_assignment() == assignment_ii1
+
+    def test_zero_entries_dropped(self):
+        x = FractionalAssignment({(frozenset({0}), 0): 0, (frozenset({1}), 0): 1})
+        assert x.support == ((frozenset({1}), 0),)
+
+    def test_negative_raises(self):
+        with pytest.raises(InvalidAssignmentError):
+            FractionalAssignment({(frozenset({0}), 0): -1})
+
+    def test_job_total(self):
+        x = FractionalAssignment(
+            {(frozenset({0}), 0): Fraction(1, 3), (frozenset({1}), 0): Fraction(2, 3)}
+        )
+        assert x.job_total(0) == 1
+        assert x.job_total(1) == 0
+
+    def test_non_integral_to_assignment_raises(self):
+        x = FractionalAssignment({(frozenset({0}), 0): Fraction(1, 2)})
+        with pytest.raises(InvalidAssignmentError):
+            x.to_assignment()
+
+    def test_supported_on_singletons(self):
+        x = FractionalAssignment({(frozenset({0}), 0): 1})
+        assert x.supported_on_singletons()
+        y = FractionalAssignment({(frozenset({0, 1}), 0): 1})
+        assert not y.supported_on_singletons()
+
+    def test_slack_definition(self, instance_ii1, assignment_ii1):
+        x = FractionalAssignment.from_assignment(assignment_ii1)
+        root = frozenset({0, 1})
+        # slack(M) = 2T − (1 + 1 + 2)
+        assert x.slack(instance_ii1, root, 2) == 0
+        assert x.slack(instance_ii1, root, 3) == 2
+        assert x.slack(instance_ii1, frozenset({0}), 2) == 1
+
+
+class TestVerifyLP:
+    def test_integral_solution_checks_out(self, instance_ii1, assignment_ii1):
+        x = FractionalAssignment.from_assignment(assignment_ii1)
+        assert verify_lp(instance_ii1, x, 2).feasible
+
+    def test_4a_violation(self, instance_ii1):
+        x = FractionalAssignment({(frozenset({0}), 0): Fraction(1, 2)})
+        report = verify_lp(instance_ii1, x, 10)
+        assert not report.feasible
+        assert any(v.constraint == "4a" for v in report.violations)
+
+    def test_4b_violation(self):
+        inst = Instance.identical(1, [4])
+        x = FractionalAssignment({(frozenset({0}), 0): 1})
+        report = verify_lp(inst, x, 3)
+        assert any(v.constraint == "4b" for v in report.violations)
+
+    def test_4d_pruning_violation(self, instance_ii1):
+        root = frozenset({0, 1})
+        x = FractionalAssignment(
+            {(frozenset({0}), 0): 1, (frozenset({1}), 1): 1, (root, 2): 1}
+        )
+        report = verify_lp(instance_ii1, x, Fraction(3, 2))
+        assert any(v.constraint == "4d" for v in report.violations)
+        relaxed = verify_lp(instance_ii1, x, Fraction(3, 2), require_pruned=False)
+        assert all(v.constraint != "4d" for v in relaxed.violations)

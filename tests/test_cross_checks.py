@@ -1,0 +1,102 @@
+"""Cross-checks between independent implementations of the same quantity.
+
+Agreement between code paths that share no logic is the strongest internal
+correctness evidence the reproduction can produce; these tests pin the key
+identities.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    Instance,
+    minimal_fractional_T,
+    schedule_hierarchical,
+    schedule_semi_partitioned,
+    solve_exact,
+    two_approximation,
+    verify_ip1,
+    verify_ip2,
+)
+from repro.baselines import (
+    mcnaughton_makespan,
+    minimal_unrelated_T,
+    preemptive_makespan,
+)
+from repro.workloads import (
+    random_feasible_pair,
+    random_semi_partitioned,
+    rng_from_seed,
+)
+
+
+class TestIPFormulationAgreement:
+    def test_ip1_equals_ip2_on_semi_partitioned_families(self):
+        """(IP-1) is the two-level specialization of (IP-2) — check on many
+        random (assignment, T) pairs including infeasible ones."""
+        rng = rng_from_seed(500)
+        for _ in range(20):
+            inst = random_semi_partitioned(
+                rng, n=int(rng.integers(2, 8)), m=int(rng.integers(2, 5))
+            )
+            assignment, T = random_feasible_pair(rng, inst)
+            for horizon in (T, T - 1, T + 3, Fraction(T, 2)):
+                if horizon < 0:
+                    continue
+                assert (
+                    verify_ip1(inst, assignment, horizon).feasible
+                    == verify_ip2(inst, assignment, horizon).feasible
+                )
+
+
+class TestMakespanIdentities:
+    def test_identical_machines_three_ways(self):
+        """McNaughton formula == preemptive LP == fractional (IP-3) bound."""
+        rng = rng_from_seed(501)
+        for _ in range(5):
+            m = int(rng.integers(2, 5))
+            lengths = [int(rng.integers(1, 15)) for _ in range(int(rng.integers(2, 8)))]
+            mcn = mcnaughton_makespan(lengths, m)
+            p = {j: {i: lengths[j] for i in range(m)} for j in range(len(lengths))}
+            lp = preemptive_makespan(p)
+            inst = Instance.identical(m, lengths)
+            t_star = minimal_fractional_T(inst)
+            assert mcn == lp == t_star
+
+    def test_unrelated_lp_bound_equals_ip3_bound_on_singleton_families(self):
+        rng = rng_from_seed(502)
+        for _ in range(5):
+            n, m = int(rng.integers(2, 6)), int(rng.integers(2, 4))
+            matrix = [
+                [int(rng.integers(1, 12)) for _ in range(m)] for _ in range(n)
+            ]
+            inst = Instance.unrelated(matrix)
+            p = {j: {i: matrix[j][i] for i in range(m)} for j in range(n)}
+            assert minimal_fractional_T(inst) == minimal_unrelated_T(p)
+
+    def test_exact_optimum_sandwiched(self):
+        """T* ≤ OPT ≤ 2-approx makespan ≤ 2·T*, all four computed separately."""
+        rng = rng_from_seed(503)
+        for _ in range(5):
+            inst = random_semi_partitioned(rng, n=4, m=3)
+            t_star = minimal_fractional_T(inst)
+            opt = solve_exact(inst).optimum
+            approx = two_approximation(inst).makespan
+            assert t_star <= opt <= approx <= 2 * t_star
+
+
+class TestSchedulerAgreement:
+    def test_both_schedulers_realize_min_T_exactly(self):
+        """Theorem III.1/IV.3: at the assignment's min horizon both
+        schedulers deliver the full work with zero slack on the bottleneck."""
+        rng = rng_from_seed(504)
+        for _ in range(8):
+            inst = random_semi_partitioned(rng, n=5, m=3)
+            assignment, T = random_feasible_pair(rng, inst)
+            s1 = schedule_semi_partitioned(inst, assignment, T)
+            s2 = schedule_hierarchical(inst, assignment, T)
+            total1 = sum((s1.machine_load(i) for i in s1.machines), Fraction(0))
+            total2 = sum((s2.machine_load(i) for i in s2.machines), Fraction(0))
+            assert total1 == total2
+            assert s1.makespan() <= T and s2.makespan() <= T

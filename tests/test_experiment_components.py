@@ -1,0 +1,149 @@
+"""Unit tests for the experiment harness' result objects and helpers.
+
+The integration tests exercise ``run()`` end to end; these cover the result
+dataclasses' derived predicates — the logic the benches' assertions rely on.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import RatioStats, Table
+from repro.experiments.e03_migration_bounds import E03Row
+from repro.experiments.e07_two_approx_ratio import E07Result, E07Row
+from repro.experiments.e08_gap_family import E08Result, E08Row
+from repro.experiments.e09_general_masks import random_crossing_instance
+from repro.experiments.e11_memory_model2 import _uniform_tree
+from repro.experiments.e12_scheduler_comparison import E12Result, E12Row
+from repro.experiments.e15_schedulability import E15Result, E15Row
+from repro.workloads import rng_from_seed
+
+
+class TestE03Row:
+    def test_within_bounds(self):
+        row = E03Row(
+            m=4,
+            trials=10,
+            max_migrations_processing=3,
+            bound_migrations=3,
+            max_wallclock_migrations=4,
+            max_total_transitions=6,
+            bound_total=6,
+        )
+        assert row.within_bounds
+
+    def test_violation_detected(self):
+        row = E03Row(
+            m=4,
+            trials=10,
+            max_migrations_processing=4,
+            bound_migrations=3,
+            max_wallclock_migrations=4,
+            max_total_transitions=6,
+            bound_total=6,
+        )
+        assert not row.within_bounds
+
+
+class TestE07Result:
+    def _row(self, max_ratio):
+        return E07Row(
+            n=4, m=3, trials=5, vs_lp=RatioStats.of([1.0, max_ratio]), vs_opt=None
+        )
+
+    def test_bound_holds(self):
+        result = E07Result(rows=[self._row(1.9)], table=Table("t", ["a"]))
+        assert result.bound_holds
+
+    def test_bound_violation(self):
+        result = E07Result(rows=[self._row(2.1)], table=Table("t", ["a"]))
+        assert not result.bound_holds
+
+
+class TestE08Result:
+    def test_matches_paper_requires_all_fields(self):
+        good = E08Row(
+            n=5,
+            opt_i=4,
+            opt_iu=7,
+            gap=Fraction(7, 4),
+            predicted_gap=Fraction(7, 4),
+            approx_makespan=7,
+        )
+        bad = E08Row(
+            n=5,
+            opt_i=4,
+            opt_iu=8,
+            gap=Fraction(2, 1),
+            predicted_gap=Fraction(7, 4),
+            approx_makespan=7,
+        )
+        assert E08Result(rows=[good], table=Table("t", ["a"])).matches_paper
+        assert not E08Result(rows=[good, bad], table=Table("t", ["a"])).matches_paper
+
+
+class TestE12Result:
+    def test_hierarchy_never_loses(self):
+        row = E12Row(
+            workload="w",
+            normalized={"global": 2.0, "hierarchical": 1.0, "partitioned": None},
+            infeasible={"partitioned": 3},
+            migrations=1.0,
+        )
+        assert E12Result(rows=[row], table=Table("t", ["a"])).hierarchy_never_loses
+
+    def test_loss_detected(self):
+        row = E12Row(
+            workload="w",
+            normalized={"global": 0.9, "hierarchical": 1.0},
+            infeasible={},
+            migrations=0.0,
+        )
+        assert not E12Result(rows=[row], table=Table("t", ["a"])).hierarchy_never_loses
+
+
+class TestE15Result:
+    def _result(self, hier, part):
+        rows = [
+            E15Row(
+                utilization=0.9,
+                acceptance={
+                    "global": 0.1,
+                    "partitioned": part,
+                    "clustered": 0.1,
+                    "semi": hier,
+                    "hierarchical": hier,
+                },
+            )
+        ]
+        return E15Result(rows=rows, table=Table("t", ["a"]))
+
+    def test_domination(self):
+        assert self._result(1.0, 0.8).hierarchy_dominates
+        assert not self._result(0.7, 0.8).hierarchy_dominates
+
+    def test_acceptance_curve(self):
+        result = self._result(1.0, 0.8)
+        assert result.acceptance_curve("partitioned") == [0.8]
+
+
+class TestGeneratorsHelpers:
+    def test_random_crossing_instance_valid(self):
+        rng = rng_from_seed(77)
+        gmi = random_crossing_instance(rng, n=5, m=4)
+        assert gmi.n == 5 and gmi.m == 4
+        # singletons always present
+        for i in range(4):
+            assert frozenset([i]) in gmi.sets
+
+    def test_uniform_tree_structure(self):
+        fam = _uniform_tree(8, 2)
+        assert fam.is_tree
+        assert fam.has_all_singletons
+        # all leaves at the same level (Model 2's assumption)
+        assert fam.is_uniform_tree
+
+    def test_uniform_tree_odd_arity(self):
+        fam = _uniform_tree(9, 3)
+        assert fam.is_tree
+        assert fam.has_all_singletons

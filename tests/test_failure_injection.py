@@ -1,0 +1,153 @@
+"""Failure injection: corrupt valid artifacts and assert detection.
+
+The validator and the runtime invariant checks are the safety net for the
+whole reproduction — these tests prove the net actually catches each class
+of corruption (rather than everything merely *happening* to be green).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    Assignment,
+    Instance,
+    Schedule,
+    schedule_semi_partitioned,
+    validate_schedule,
+)
+from repro.core.hierarchical import LoadAllocation, allocate_loads
+from repro.exceptions import InvalidScheduleError
+from repro.schedule.serialize import schedule_from_dict, schedule_to_dict
+from repro.workloads import random_feasible_pair, random_semi_partitioned, rng_from_seed
+
+
+@pytest.fixture
+def valid_artifact():
+    rng = rng_from_seed(404)
+    inst = random_semi_partitioned(rng, n=6, m=3)
+    assignment, T = random_feasible_pair(rng, inst)
+    schedule = schedule_semi_partitioned(inst, assignment, T)
+    assert validate_schedule(inst, assignment, schedule, T=T).valid
+    return inst, assignment, T, schedule
+
+
+def _rebuild_without(schedule: Schedule, victim_machine, victim_index) -> Schedule:
+    data = schedule_to_dict(schedule)
+    kept = []
+    count = 0
+    for item in data["segments"]:
+        if item["machine"] == victim_machine:
+            if count == victim_index:
+                count += 1
+                continue
+            count += 1
+        kept.append(item)
+    data["segments"] = kept
+    return schedule_from_dict(data)
+
+
+class TestScheduleCorruption:
+    def test_dropping_a_segment_caught(self, valid_artifact):
+        inst, assignment, T, schedule = valid_artifact
+        machine = next(m for m in schedule.machines if len(schedule.timeline(m)) > 0)
+        corrupted = _rebuild_without(schedule, machine, 0)
+        report = validate_schedule(inst, assignment, corrupted, T=T)
+        assert not report.valid
+        assert any(v.kind == "work" for v in report.violations)
+
+    def test_shifting_a_segment_out_of_horizon_caught(self, valid_artifact):
+        inst, assignment, T, schedule = valid_artifact
+        data = schedule_to_dict(schedule)
+        data["T"] = f"{(2 * T).numerator}/{(2 * T).denominator}"
+        seg = data["segments"][0]
+        start = Fraction(int(seg["start"].split("/")[0]), int(seg["start"].split("/")[1]))
+        end = Fraction(int(seg["end"].split("/")[0]), int(seg["end"].split("/")[1]))
+        seg["start"] = f"{(start + T).numerator}/{(start + T).denominator}"
+        seg["end"] = f"{(end + T).numerator}/{(end + T).denominator}"
+        corrupted = schedule_from_dict(data)
+        report = validate_schedule(inst, assignment, corrupted, T=T)
+        assert not report.valid
+        kinds = {v.kind for v in report.violations}
+        assert "horizon" in kinds or "self-parallel" in kinds
+
+    def test_moving_work_to_wrong_machine_caught(self, valid_artifact):
+        inst, assignment, T, schedule = valid_artifact
+        # Find a locally-assigned job and replay its work on another machine.
+        local_job = next(
+            j for j, a in assignment.items() if len(a) == 1
+        )
+        (home,) = tuple(assignment[local_job])
+        other = next(m for m in schedule.machines if m != home)
+        corrupted = Schedule(schedule.machines, T)
+        for machine in schedule.machines:
+            for seg in schedule.timeline(machine):
+                target = other if seg.job == local_job else machine
+                try:
+                    corrupted.add_segment(target, seg.job, seg.start, seg.end)
+                except InvalidScheduleError:
+                    # Collision on the new machine is itself a detection.
+                    return
+        report = validate_schedule(inst, assignment, corrupted, T=T)
+        assert not report.valid
+        assert any(v.kind == "mask" for v in report.violations)
+
+    def test_duplicating_work_caught(self, valid_artifact):
+        inst, assignment, T, schedule = valid_artifact
+        data = schedule_to_dict(schedule)
+        grown = dict(data)
+        victim = data["segments"][0]
+        # Append a copy of the victim's interval on a free machine slot at
+        # the end of an enlarged horizon.
+        grown["T"] = f"{(2 * T).numerator}/{(2 * T).denominator}"
+        length = Fraction(int(victim["end"].split("/")[0]), int(victim["end"].split("/")[1])) - Fraction(
+            int(victim["start"].split("/")[0]), int(victim["start"].split("/")[1])
+        )
+        grown["segments"] = data["segments"] + [
+            {
+                "machine": victim["machine"],
+                "job": victim["job"],
+                "start": f"{(T).numerator}/{(T).denominator}",
+                "end": f"{(T + length).numerator}/{(T + length).denominator}",
+            }
+        ]
+        corrupted = schedule_from_dict(grown)
+        report = validate_schedule(inst, assignment, corrupted)
+        assert not report.valid
+        assert any(v.kind == "work" for v in report.violations)
+
+
+class TestAllocationCorruption:
+    def test_overloaded_allocation_caught_by_lemma_iv1_check(self, valid_artifact):
+        inst, assignment, T, _schedule = valid_artifact
+        allocation = allocate_loads(inst, assignment, T)
+        # Inflate one cumulative load beyond T and re-check.
+        key = next(iter(allocation.tot_load))
+        corrupted = LoadAllocation(
+            T=allocation.T,
+            load=dict(allocation.load),
+            tot_load={**allocation.tot_load, key: T + 1},
+        )
+        with pytest.raises(InvalidScheduleError):
+            corrupted.check_lemma_iv1()
+
+    def test_scheduler_rejects_wrong_T(self, valid_artifact):
+        inst, assignment, T, _schedule = valid_artifact
+        from repro.exceptions import InfeasibleError, InvalidAssignmentError
+
+        with pytest.raises((InfeasibleError, InvalidAssignmentError)):
+            schedule_semi_partitioned(inst, assignment, T / 4)
+
+
+class TestContainerDefenses:
+    def test_overlap_insertion_rejected_eagerly(self):
+        s = Schedule([0], 10)
+        s.add_segment(0, 0, 0, 5)
+        with pytest.raises(InvalidScheduleError):
+            s.add_segment(0, 1, 4, 6)
+
+    def test_timeline_is_immutable_from_outside(self):
+        s = Schedule([0], 10)
+        s.add_segment(0, 0, 0, 5)
+        segments = s.timeline(0).segments
+        assert isinstance(segments, tuple)  # no in-place mutation surface

@@ -1,0 +1,90 @@
+"""Unit tests for the exact-arithmetic helpers."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro._fraction import INF, as_int_if_integral, fsum, is_inf, rationalize, to_fraction
+
+
+class TestToFraction:
+    def test_int(self):
+        assert to_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(1, 3)
+        assert to_fraction(f) is f
+
+    def test_exact_float(self):
+        assert to_fraction(0.5) == Fraction(1, 2)
+
+    def test_float_binary_expansion_is_exact(self):
+        # 0.1 is not 1/10 in binary; the conversion must be exact, not pretty.
+        assert to_fraction(0.1) == Fraction(0.1)
+        assert to_fraction(0.1) != Fraction(1, 10)
+
+    def test_numpy_scalar(self):
+        import numpy as np
+
+        assert to_fraction(np.int64(7)) == Fraction(7)
+        assert to_fraction(np.float64(0.25)) == Fraction(1, 4)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            to_fraction(True)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            to_fraction(math.inf)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            to_fraction(math.nan)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            to_fraction("1/2")
+
+
+class TestIsInf:
+    def test_inf_sentinel(self):
+        assert is_inf(INF)
+
+    def test_finite_values(self):
+        assert not is_inf(5)
+        assert not is_inf(Fraction(1, 2))
+        assert not is_inf(5.0)
+
+    def test_non_numeric(self):
+        assert not is_inf("inf")
+        assert not is_inf(None)
+
+
+class TestRationalize:
+    def test_snaps_to_simple_rational(self):
+        assert rationalize(1 / 3) == Fraction(1, 3)
+
+    def test_integer(self):
+        assert rationalize(4.0) == Fraction(4)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            rationalize(math.inf)
+
+
+class TestHelpers:
+    def test_as_int_if_integral(self):
+        assert as_int_if_integral(Fraction(6, 3)) == 2
+        assert isinstance(as_int_if_integral(Fraction(6, 3)), int)
+        assert as_int_if_integral(Fraction(1, 2)) == Fraction(1, 2)
+
+    def test_fsum_exact(self):
+        values = [Fraction(1, 3)] * 3
+        assert fsum(values) == 1
+
+    def test_fsum_mixed_types(self):
+        assert fsum([1, Fraction(1, 2), 0.5]) == 2
+
+    def test_fsum_empty(self):
+        assert fsum([]) == 0

@@ -1,0 +1,191 @@
+"""Tests for the Section II 8-approximation and the preemptive R|pmtn|Cmax LP."""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import INF, GeneralMaskInstance, eight_approximation
+from repro.baselines.preemptive_unrelated import preemptive_makespan, preemptive_schedule
+from repro.exceptions import InfeasibleError, InvalidInstanceError, MonotonicityError
+from repro.workloads import rng_from_seed
+
+
+class TestGeneralMaskInstance:
+    def test_laminar_detection(self):
+        laminar = GeneralMaskInstance(
+            range(2), [{0, 1}, {0}], {0: {frozenset({0}): 1, frozenset({0, 1}): 2}}
+        )
+        assert laminar.is_laminar()
+        crossing = GeneralMaskInstance(
+            range(3),
+            [{0, 1}, {1, 2}],
+            {0: {frozenset({0, 1}): 1, frozenset({1, 2}): 1}},
+        )
+        assert not crossing.is_laminar()
+
+    def test_monotonicity_enforced_on_comparable_pairs(self):
+        with pytest.raises(MonotonicityError):
+            GeneralMaskInstance(
+                range(2),
+                [{0, 1}, {0}],
+                {0: {frozenset({0}): 5, frozenset({0, 1}): 2}},
+            )
+
+    def test_incomparable_sets_unconstrained(self):
+        gmi = GeneralMaskInstance(
+            range(3),
+            [{0, 1}, {1, 2}],
+            {0: {frozenset({0, 1}): 1, frozenset({1, 2}): 100}},
+        )
+        assert gmi.p(0, {1, 2}) == 100
+
+    def test_collapse_matrix(self):
+        gmi = GeneralMaskInstance(
+            range(3),
+            [{0, 1}, {1, 2}],
+            {0: {frozenset({0, 1}): 3, frozenset({1, 2}): 5}},
+        )
+        p = gmi.collapse_matrix()
+        assert p[0] == {0: 3, 1: 3, 2: 5}
+
+    def test_cheapest_mask_through(self):
+        gmi = GeneralMaskInstance(
+            range(3),
+            [{0, 1}, {1, 2}],
+            {0: {frozenset({0, 1}): 3, frozenset({1, 2}): 5}},
+        )
+        assert gmi.cheapest_mask_through(0, 1) == frozenset({0, 1})
+        assert gmi.cheapest_mask_through(0, 2) == frozenset({1, 2})
+
+    def test_unknown_set_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            GeneralMaskInstance(range(2), [{0}], {0: {frozenset({1}): 1}})
+
+
+class TestPreemptiveUnrelated:
+    def test_identical_machines_matches_mcnaughton(self):
+        # R|pmtn with equal speeds degenerates to max(max p, Σp/m).
+        p = {j: {i: 3 for i in range(2)} for j in range(3)}
+        assert preemptive_makespan(p) == Fraction(9, 2)
+
+    def test_single_machine(self):
+        assert preemptive_makespan({0: {0: 4}, 1: {0: 1}}) == 5
+
+    def test_speed_heterogeneity_exploited(self):
+        # Job runs at speed 1 on m0 and 2x on m1: splitting beats pinning.
+        p = {0: {0: 2, 1: 1}}
+        assert preemptive_makespan(p) <= 1
+
+    def test_zero_time_job_free(self):
+        p = {0: {0: 0, 1: 5}, 1: {0: 3}}
+        assert preemptive_makespan(p) == 3
+
+    def test_infeasible_job(self):
+        with pytest.raises(InfeasibleError):
+            preemptive_makespan({0: {}})
+
+    def test_schedule_matches_makespan_and_is_consistent(self):
+        p = {0: {0: 3, 1: 3}, 1: {0: 3, 1: 3}, 2: {0: 3, 1: 3}}
+        T, schedule = preemptive_schedule(p)
+        assert T == Fraction(9, 2)
+        assert schedule.makespan() <= T
+        # machine-exclusivity is enforced by construction; check per-job
+        # completion: each job's processed fraction must equal 1.
+        for j in range(3):
+            fraction_done = sum(
+                (seg.length / Fraction(p[j][m]) for m, seg in schedule.job_segments(j)),
+                Fraction(0),
+            )
+            assert fraction_done == 1
+        # no job overlaps itself
+        for j in range(3):
+            segs = sorted(
+                (seg for _m, seg in schedule.job_segments(j)),
+                key=lambda s: s.start,
+            )
+            for a, b in zip(segs, segs[1:]):
+                assert a.end <= b.start
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10**6))
+    def test_schedule_validity_random(self, seed):
+        rng = rng_from_seed(seed)
+        n = int(rng.integers(1, 5))
+        m = int(rng.integers(1, 4))
+        p = {j: {i: int(rng.integers(1, 9)) for i in range(m)} for j in range(n)}
+        T, schedule = preemptive_schedule(p)
+        for j in range(n):
+            done = sum(
+                (seg.length / Fraction(p[j][mach]) for mach, seg in schedule.job_segments(j)),
+                Fraction(0),
+            )
+            assert done == 1
+            segs = sorted(
+                (seg for _m2, seg in schedule.job_segments(j)), key=lambda s: s.start
+            )
+            for a, b in zip(segs, segs[1:]):
+                assert a.end <= b.start
+        # The LP optimum lower-bounds any alternative: spot-check bounds.
+        total_min = sum(min(p[j].values()) for j in range(n))
+        assert T >= Fraction(total_min, m)
+
+
+class TestEightApproximation:
+    @pytest.fixture
+    def crossing_instance(self):
+        return GeneralMaskInstance(
+            machines=range(3),
+            sets=[{0, 1}, {1, 2}, {0}, {1}, {2}],
+            processing={
+                0: {frozenset({0, 1}): 4, frozenset({0}): 3, frozenset({1}): 3},
+                1: {frozenset({1, 2}): 4, frozenset({1}): 2, frozenset({2}): 2},
+                2: {frozenset({0}): 5, frozenset({0, 1}): 6, frozenset({1}): 5},
+            },
+        )
+
+    def test_bound_holds(self, crossing_instance):
+        result = eight_approximation(crossing_instance)
+        assert result.makespan <= result.bound
+        assert result.ratio_vs_lower_bound <= 8
+
+    def test_masks_contain_assigned_machines(self, crossing_instance):
+        result = eight_approximation(crossing_instance)
+        for j, machine in result.machine_of.items():
+            assert machine in result.mask_of[j]
+
+    def test_schedule_is_partitioned(self, crossing_instance):
+        result = eight_approximation(crossing_instance)
+        for j in result.machine_of:
+            machines = {m for m, _seg in result.schedule.job_segments(j)}
+            assert len(machines) <= 1
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10**6))
+    def test_ratio_random_crossing_families(self, seed):
+        rng = rng_from_seed(seed)
+        m = int(rng.integers(3, 5))
+        n = int(rng.integers(2, 6))
+        # Random overlapping (non-laminar) windows of machines.
+        sets = []
+        for _ in range(3):
+            start = int(rng.integers(0, m - 1))
+            width = int(rng.integers(2, m - start + 1))
+            sets.append(frozenset(range(start, start + width)))
+        sets = list({*sets, *(frozenset([i]) for i in range(m))})
+        processing = {}
+        for j in range(n):
+            base = int(rng.integers(1, 9))
+            row = {}
+            for alpha in sets:
+                row[alpha] = base + len(alpha) * int(rng.integers(0, 3))
+            # enforce monotonicity on comparable pairs by lifting parents
+            for a in sets:
+                for b in sets:
+                    if a < b and row[a] > row[b]:
+                        row[b] = row[a]
+            processing[j] = row
+        gmi = GeneralMaskInstance(range(m), sets, processing)
+        result = eight_approximation(gmi)
+        assert result.ratio_vs_lower_bound <= 8

@@ -1,0 +1,176 @@
+"""Tests for Algorithms 2+3 — the hierarchical two-phase scheduler."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    Assignment,
+    INF,
+    Instance,
+    LaminarFamily,
+    min_T_for_assignment,
+    schedule_assignment,
+    schedule_hierarchical,
+    validate_schedule,
+)
+from repro.core.hierarchical import allocate_loads
+from repro.exceptions import InfeasibleError, InvalidAssignmentError
+
+
+@pytest.fixture
+def clustered_instance():
+    """4 machines in 2 clusters; 6 jobs with mixed masks."""
+    return Instance.clustered(
+        2,
+        p_local=[[2, 2, 2, 2]] * 6,
+        p_cluster=[[3, 3]] * 6,
+        p_global=[4] * 6,
+    )
+
+
+class TestAllocateLoads:
+    def test_volume_fully_allocated(self, clustered_instance):
+        cluster0 = frozenset({0, 1})
+        a = Assignment({0: cluster0, 1: cluster0, 2: {2}, 3: {3}, 4: {0}, 5: {1}})
+        T = min_T_for_assignment(clustered_instance, a)
+        alloc = allocate_loads(clustered_instance, a, T)
+        total = sum(alloc.load.values(), Fraction(0))
+        # Each set's volume is conserved: Σ_i LOAD[i,α] = vol(α).
+        assert total == sum(
+            clustered_instance.p(j, a[j]) for j in range(6)
+        )
+
+    def test_lemma_iv1_tot_load_bounded(self, clustered_instance):
+        root = frozenset(range(4))
+        a = Assignment({j: root for j in range(6)})
+        T = min_T_for_assignment(clustered_instance, a)
+        alloc = allocate_loads(clustered_instance, a, T)
+        for (i, alpha), value in alloc.tot_load.items():
+            assert value <= T
+
+    def test_lemma_iv2_at_most_one_shared_machine(self, clustered_instance):
+        cluster0 = frozenset({0, 1})
+        cluster1 = frozenset({2, 3})
+        root = frozenset(range(4))
+        a = Assignment(
+            {0: {0}, 1: cluster0, 2: cluster0, 3: cluster1, 4: root, 5: root}
+        )
+        T = min_T_for_assignment(clustered_instance, a)
+        alloc = allocate_loads(clustered_instance, a, T)
+        fam = clustered_instance.family
+        for beta in fam.sets:
+            assert len(alloc.shared_machines(fam, beta)) <= 1
+
+    def test_infeasible_volume_raises(self, clustered_instance):
+        root = frozenset(range(4))
+        a = Assignment({j: root for j in range(6)})
+        with pytest.raises(InfeasibleError):
+            allocate_loads(clustered_instance, a, 2)  # 24 volume > 4·2
+
+
+class TestScheduleHierarchical:
+    def test_example_iii1_via_hierarchical(self, instance_ii1, assignment_ii1):
+        s = schedule_hierarchical(instance_ii1, assignment_ii1, 2)
+        assert validate_schedule(instance_ii1, assignment_ii1, s, T=2).valid
+
+    def test_three_level_mixed_masks(self, clustered_instance):
+        cluster0 = frozenset({0, 1})
+        cluster1 = frozenset({2, 3})
+        root = frozenset(range(4))
+        a = Assignment(
+            {0: {0}, 1: cluster0, 2: cluster0, 3: cluster1, 4: root, 5: root}
+        )
+        T = min_T_for_assignment(clustered_instance, a)
+        s = schedule_hierarchical(clustered_instance, a, T)
+        report = validate_schedule(clustered_instance, a, s, T=T)
+        assert report.valid
+
+    def test_agrees_with_algorithm1_on_semi_partitioned(self, instance_ii1, assignment_ii1):
+        from repro import schedule_semi_partitioned
+
+        s1 = schedule_semi_partitioned(instance_ii1, assignment_ii1, 2)
+        s2 = schedule_hierarchical(instance_ii1, assignment_ii1, 2)
+        for s in (s1, s2):
+            assert validate_schedule(instance_ii1, assignment_ii1, s, T=2).valid
+        assert s1.makespan() == s2.makespan() == 2
+
+    def test_forest_family(self):
+        # Two disjoint clusters with no root: a laminar forest.
+        fam = LaminarFamily([0, 1, 2, 3], [[0, 1], [2, 3], [0], [1], [2], [3]])
+        inst = Instance(
+            fam,
+            {
+                0: {frozenset({0, 1}): 2, frozenset({0}): 2, frozenset({1}): 2},
+                1: {frozenset({2, 3}): 2, frozenset({2}): 2, frozenset({3}): 2},
+                2: {frozenset({0, 1}): 2, frozenset({0}): 1, frozenset({1}): 1},
+            },
+        )
+        a = Assignment({0: frozenset({0, 1}), 1: frozenset({2, 3}), 2: {0}})
+        T = min_T_for_assignment(inst, a)
+        s = schedule_hierarchical(inst, a, T)
+        assert validate_schedule(inst, a, s, T=T).valid
+
+    def test_deep_chain_family(self):
+        # Nested chain {0} ⊂ {0,1} ⊂ {0,1,2} ⊂ {0,1,2,3} stresses the
+        # top-down chaining of start positions.
+        fam = LaminarFamily(
+            [0, 1, 2, 3],
+            [[0, 1, 2, 3], [0, 1, 2], [0, 1], [0], [1], [2], [3]],
+        )
+        processing = {}
+        for j in range(5):
+            processing[j] = {alpha: 2 + len(alpha) for alpha in fam.sets}
+        inst = Instance(fam, processing)
+        a = Assignment(
+            {
+                0: frozenset({0}),
+                1: frozenset({0, 1}),
+                2: frozenset({0, 1, 2}),
+                3: frozenset({0, 1, 2, 3}),
+                4: frozenset({1}),
+            }
+        )
+        T = min_T_for_assignment(inst, a)
+        s = schedule_hierarchical(inst, a, T)
+        assert validate_schedule(inst, a, s, T=T).valid
+
+    def test_uncovered_machine_in_internal_set(self):
+        # {0,1,2} has child {0,1} only; machine 2 is uncovered below the set.
+        fam = LaminarFamily([0, 1, 2], [[0, 1, 2], [0, 1], [0], [1]])
+        inst = Instance(
+            fam,
+            {
+                0: {frozenset({0, 1, 2}): 3, frozenset({0, 1}): 3, frozenset({0}): 3, frozenset({1}): 3},
+                1: {frozenset({0, 1, 2}): 3, frozenset({0, 1}): 2, frozenset({0}): 2, frozenset({1}): 2},
+            },
+        )
+        a = Assignment({0: frozenset({0, 1, 2}), 1: frozenset({0, 1})})
+        T = min_T_for_assignment(inst, a)
+        s = schedule_hierarchical(inst, a, T)
+        assert validate_schedule(inst, a, s, T=T).valid
+
+    def test_infeasible_rejected(self, clustered_instance):
+        root = frozenset(range(4))
+        a = Assignment({j: root for j in range(6)})
+        with pytest.raises(InvalidAssignmentError):
+            schedule_hierarchical(clustered_instance, a, 2)
+
+    def test_zero_horizon(self):
+        inst = Instance.identical(2, [0, 0])
+        root = frozenset({0, 1})
+        a = Assignment({0: root, 1: root})
+        s = schedule_hierarchical(inst, a, 0)
+        assert validate_schedule(inst, a, s, T=0).valid
+
+
+class TestScheduleAssignment:
+    def test_defaults_to_min_T(self, instance_ii1, assignment_ii1):
+        s = schedule_assignment(instance_ii1, assignment_ii1)
+        assert s.T == 2
+        assert validate_schedule(instance_ii1, assignment_ii1, s).valid
+
+    def test_explicit_T(self, instance_ii1, assignment_ii1):
+        s = schedule_assignment(instance_ii1, assignment_ii1, T=4)
+        assert s.T == 4
+        assert validate_schedule(instance_ii1, assignment_ii1, s, T=4).valid

@@ -1,0 +1,181 @@
+"""Unit tests for the Instance model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import INF, Instance, LaminarFamily
+from repro.exceptions import InvalidInstanceError, MonotonicityError
+
+
+class TestConstructors:
+    def test_identical(self):
+        inst = Instance.identical(3, [2, 4, 6])
+        assert inst.n == 3 and inst.m == 3
+        root = frozenset(range(3))
+        assert inst.p(1, root) == 4
+        assert len(inst.family) == 1
+
+    def test_unrelated(self):
+        inst = Instance.unrelated([[1, 2], [3, 4]])
+        assert inst.p(0, {0}) == 1
+        assert inst.p(1, {1}) == 4
+        assert inst.family.num_levels == 1
+
+    def test_semi_partitioned(self):
+        inst = Instance.semi_partitioned(p_local=[[1, 2]], p_global=[3])
+        assert inst.p(0, {0}) == 1
+        assert inst.p(0, {0, 1}) == 3
+
+    def test_clustered(self):
+        inst = Instance.clustered(
+            2,
+            p_local=[[1, 1, 1, 1]],
+            p_cluster=[[2, 2]],
+            p_global=[3],
+        )
+        assert inst.p(0, {0, 1}) == 2
+        assert inst.p(0, {0, 1, 2, 3}) == 3
+
+    def test_callable_processing(self):
+        fam = LaminarFamily.semi_partitioned(2)
+        inst = Instance(fam, lambda j, a: len(a) + j, n=2)
+        assert inst.p(1, {0, 1}) == 3
+
+    def test_callable_requires_n(self):
+        fam = LaminarFamily.semi_partitioned(2)
+        with pytest.raises(InvalidInstanceError):
+            Instance(fam, lambda j, a: 1)
+
+    def test_missing_larger_sets_default_to_inf(self):
+        # Monotonicity only permits omitting *supersets*: P(child) ≤ P(parent)
+        # holds with P(parent) = ∞, never the other way around.
+        fam = LaminarFamily.semi_partitioned(2)
+        inst = Instance(fam, {0: {frozenset({0}): 5}})
+        assert inst.p(0, {0, 1}) == INF
+        assert inst.p(0, {1}) == INF
+        assert inst.allows(0, {0})
+        assert not inst.allows(0, {0, 1})
+
+    def test_job_numbering_must_be_dense(self):
+        fam = LaminarFamily.global_only(2)
+        with pytest.raises(InvalidInstanceError):
+            Instance(fam, {0: {frozenset({0, 1}): 1}, 2: {frozenset({0, 1}): 1}})
+
+    def test_unknown_set_raises(self):
+        fam = LaminarFamily.global_only(2)
+        with pytest.raises(InvalidInstanceError):
+            Instance(fam, {0: {frozenset({0}): 1}})
+
+    def test_negative_time_raises(self):
+        fam = LaminarFamily.global_only(2)
+        with pytest.raises(InvalidInstanceError):
+            Instance(fam, {0: {frozenset({0, 1}): -1}})
+
+    def test_empty_instance_raises(self):
+        fam = LaminarFamily.global_only(2)
+        with pytest.raises(InvalidInstanceError):
+            Instance(fam, {})
+
+
+class TestMonotonicity:
+    def test_violation_detected(self):
+        with pytest.raises(MonotonicityError):
+            Instance.semi_partitioned(p_local=[[5, 5]], p_global=[3])
+
+    def test_inf_on_child_finite_on_parent_rejected(self):
+        # P({0}) = ∞ > P(M) finite violates monotonicity.
+        with pytest.raises(MonotonicityError):
+            Instance.semi_partitioned(p_local=[[INF, 1]], p_global=[2])
+
+    def test_inf_on_parent_allowed(self):
+        inst = Instance.semi_partitioned(p_local=[[1, 1]], p_global=[INF])
+        assert inst.p(0, {0, 1}) == INF
+
+    def test_equal_times_allowed(self):
+        inst = Instance.semi_partitioned(p_local=[[2, 2]], p_global=[2])
+        assert inst.p(0, {0}) == inst.p(0, {0, 1})
+
+    def test_validate_false_skips_check(self):
+        inst = Instance(
+            LaminarFamily.semi_partitioned(2),
+            {0: {frozenset({0}): 5, frozenset({1}): 5, frozenset({0, 1}): 3}},
+            validate=False,
+        )
+        assert inst.p(0, {0}) == 5
+
+
+class TestQueries:
+    def test_allowed_sets(self, instance_ii1):
+        assert instance_ii1.allowed_sets(0) == (frozenset({0}),)
+        assert len(instance_ii1.allowed_sets(2)) == 3
+
+    def test_effective_p_minimal_containing(self):
+        inst = Instance.clustered(
+            2, p_local=[[1, 1, 1, 1]], p_cluster=[[2, 2]], p_global=[4]
+        )
+        assert inst.effective_p(0, {0}) == 1
+        assert inst.effective_p(0, {0, 1}) == 2
+        assert inst.effective_p(0, {0, 2}) == 4
+
+    def test_effective_p_uncontained(self):
+        inst = Instance.unrelated([[1, 2]])
+        assert inst.effective_p(0, {0, 1}) == INF
+
+    def test_min_p(self, instance_ii1):
+        assert instance_ii1.min_p(0) == 1
+        assert instance_ii1.min_p(2) == 2
+
+    def test_trivial_bounds(self):
+        inst = Instance.identical(2, [3, 3, 3])
+        lower, upper = inst.trivial_bounds()
+        assert lower == Fraction(9, 2)
+        assert upper == 9
+
+    def test_trivial_bounds_infeasible_job(self):
+        fam = LaminarFamily.global_only(2)
+        inst = Instance(fam, {0: {frozenset({0, 1}): INF}})
+        with pytest.raises(InvalidInstanceError):
+            inst.trivial_bounds()
+
+    def test_repr(self, instance_ii1):
+        assert "n=3" in repr(instance_ii1)
+
+
+class TestDerivedInstances:
+    def test_with_singletons_noop_when_present(self, instance_ii1):
+        assert instance_ii1.with_singletons() is instance_ii1
+
+    def test_with_singletons_inherits_minimal_containing(self):
+        fam = LaminarFamily([0, 1], [[0, 1]])
+        inst = Instance(fam, {0: {frozenset({0, 1}): 7}})
+        ext = inst.with_singletons()
+        assert ext.p(0, {0}) == 7
+        assert ext.p(0, {1}) == 7
+        assert ext.family.has_all_singletons
+
+    def test_unrelated_collapse_takes_min_over_masks(self):
+        # Without singletons in the family the collapse minimum is over the
+        # clusters and the root: min(3, 4) = 3 on every machine.
+        fam = LaminarFamily([0, 1, 2, 3], [[0, 1, 2, 3], [0, 1], [2, 3]])
+        inst = Instance(
+            fam,
+            {0: {frozenset({0, 1}): 3, frozenset({2, 3}): 3, frozenset(range(4)): 4}},
+        )
+        iu = inst.unrelated_collapse()
+        for i in range(4):
+            assert iu.p(0, {i}) == 3
+
+    def test_unrelated_collapse_with_singletons_is_singleton_time(self):
+        # Monotonicity makes the singleton the cheapest mask through i.
+        inst = Instance.clustered(
+            2, p_local=[[1, 2, 3, 4]], p_cluster=[[2, 4]], p_global=[4]
+        )
+        iu = inst.unrelated_collapse()
+        assert [iu.p(0, {i}) for i in range(4)] == [1, 2, 3, 4]
+
+    def test_unrelated_collapse_example_ii1(self, instance_ii1):
+        iu = instance_ii1.unrelated_collapse()
+        assert iu.p(0, {0}) == 1
+        assert iu.p(0, {1}) == INF
+        assert iu.p(2, {0}) == 2

@@ -1,0 +1,227 @@
+"""Unit tests for the laminar family data structure."""
+
+import pytest
+
+from repro import LaminarFamily
+from repro.core.laminar import is_laminar
+from repro.exceptions import InvalidFamilyError
+
+
+class TestConstruction:
+    def test_global_only(self):
+        fam = LaminarFamily.global_only(3)
+        assert fam.m == 3
+        assert fam.sets == (frozenset({0, 1, 2}),)
+
+    def test_singletons(self):
+        fam = LaminarFamily.singletons(3)
+        assert len(fam) == 3
+        assert all(len(s) == 1 for s in fam)
+
+    def test_semi_partitioned(self):
+        fam = LaminarFamily.semi_partitioned(4)
+        assert len(fam) == 5
+        assert frozenset(range(4)) in fam
+        assert fam.num_levels == 2
+
+    def test_clustered(self):
+        fam = LaminarFamily.clustered(6, 2)
+        assert frozenset({0, 1}) in fam
+        assert frozenset({4, 5}) in fam
+        assert fam.num_levels == 3
+
+    def test_clustered_degenerate_cluster_size_m(self):
+        # clusters of size m collapse onto the root — no duplicates.
+        fam = LaminarFamily.clustered(4, 4)
+        assert len(fam) == 5  # root + 4 singletons
+
+    def test_clustered_cluster_size_one(self):
+        fam = LaminarFamily.clustered(4, 1)
+        assert len(fam) == 5  # root + singletons (clusters == singletons)
+
+    def test_clustered_indivisible_raises(self):
+        with pytest.raises(InvalidFamilyError):
+            LaminarFamily.clustered(5, 2)
+
+    def test_from_nested(self):
+        fam = LaminarFamily.from_nested([[0, 1], [2, 3]])
+        assert frozenset({0, 1}) in fam
+        assert frozenset({0, 1, 2, 3}) in fam
+        assert fam.has_all_singletons
+
+    def test_from_nested_deep(self):
+        fam = LaminarFamily.from_nested([[[0, 1], [2, 3]], [4, 5]])
+        assert frozenset({0, 1, 2, 3}) in fam
+        assert fam.num_levels == 4
+
+    def test_empty_family_raises(self):
+        with pytest.raises(InvalidFamilyError):
+            LaminarFamily([0, 1], [])
+
+    def test_empty_machine_set_raises(self):
+        with pytest.raises(InvalidFamilyError):
+            LaminarFamily([], [[0]])
+
+    def test_empty_set_raises(self):
+        with pytest.raises(InvalidFamilyError):
+            LaminarFamily([0, 1], [[]])
+
+    def test_duplicate_set_raises(self):
+        with pytest.raises(InvalidFamilyError):
+            LaminarFamily([0, 1], [[0], [0]])
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(InvalidFamilyError):
+            LaminarFamily([0, 1], [[0, 5]])
+
+    def test_non_laminar_raises(self):
+        with pytest.raises(InvalidFamilyError):
+            LaminarFamily([0, 1, 2], [[0, 1], [1, 2]])
+
+    def test_non_int_machine_raises(self):
+        with pytest.raises(InvalidFamilyError):
+            LaminarFamily(["a"], [["a"]])
+
+
+class TestStructure:
+    def test_parent_child(self):
+        fam = LaminarFamily.clustered(4, 2)
+        root = frozenset(range(4))
+        cluster = frozenset({0, 1})
+        assert fam.parent(cluster) == root
+        assert fam.parent(root) is None
+        assert cluster in fam.children(root)
+        assert frozenset({0}) in fam.children(cluster)
+
+    def test_levels_match_paper_definition(self):
+        # level(β) = number of sets α with β ⊆ α (including itself).
+        fam = LaminarFamily.clustered(4, 2)
+        assert fam.level(frozenset(range(4))) == 1
+        assert fam.level(frozenset({0, 1})) == 2
+        assert fam.level(frozenset({0})) == 3
+        assert fam.num_levels == 3
+
+    def test_heights(self):
+        fam = LaminarFamily.clustered(4, 2)
+        assert fam.height(frozenset({0})) == 0
+        assert fam.height(frozenset({0, 1})) == 1
+        assert fam.height(frozenset(range(4))) == 2
+
+    def test_ancestors_smallest_first(self):
+        fam = LaminarFamily.clustered(4, 2)
+        anc = fam.ancestors(frozenset({0}))
+        assert anc == (frozenset({0, 1}), frozenset(range(4)))
+
+    def test_descendants_and_subsets(self):
+        fam = LaminarFamily.clustered(4, 2)
+        root = frozenset(range(4))
+        desc = set(fam.descendants(root))
+        assert len(desc) == 6  # 2 clusters + 4 singletons
+        assert set(fam.subsets_of(root)) == desc | {root}
+
+    def test_chain(self):
+        fam = LaminarFamily.clustered(4, 2)
+        chain = fam.chain(2)
+        assert chain == (frozenset({2}), frozenset({2, 3}), frozenset(range(4)))
+
+    def test_child_containing(self):
+        fam = LaminarFamily.clustered(4, 2)
+        root = frozenset(range(4))
+        assert fam.child_containing(root, 3) == frozenset({2, 3})
+        assert fam.child_containing(frozenset({0, 1}), 0) == frozenset({0})
+        assert fam.child_containing(frozenset({0}), 0) is None
+
+    def test_child_containing_uncovered_machine(self):
+        fam = LaminarFamily([0, 1, 2], [[0, 1, 2], [0, 1], [0], [1]])
+        root = frozenset({0, 1, 2})
+        assert fam.child_containing(root, 2) is None
+
+    def test_minimal_containing(self):
+        fam = LaminarFamily.clustered(4, 2)
+        assert fam.minimal_containing([0]) == frozenset({0})
+        assert fam.minimal_containing([0, 1]) == frozenset({0, 1})
+        assert fam.minimal_containing([0, 2]) == frozenset(range(4))
+
+    def test_minimal_containing_none(self):
+        fam = LaminarFamily([0, 1, 2], [[0], [1], [2]])
+        assert fam.minimal_containing([0, 1]) is None
+
+    def test_roots_and_leaves(self):
+        fam = LaminarFamily.clustered(4, 2)
+        assert fam.roots == (frozenset(range(4)),)
+        assert all(len(s) == 1 for s in fam.leaves)
+
+    def test_forest_multiple_roots(self):
+        fam = LaminarFamily([0, 1, 2, 3], [[0, 1], [2, 3], [0], [1], [2], [3]])
+        assert len(fam.roots) == 2
+        assert not fam.is_tree
+
+    def test_uncovered(self):
+        fam = LaminarFamily([0, 1, 2], [[0, 1, 2], [0, 1]])
+        assert fam.uncovered(frozenset({0, 1, 2})) == frozenset({2})
+        assert fam.uncovered(frozenset({0, 1})) == frozenset({0, 1})
+
+
+class TestOrders:
+    def test_bottom_up_subsets_first(self):
+        fam = LaminarFamily.clustered(8, 2)
+        seen = set()
+        for alpha in fam.bottom_up():
+            for beta in seen:
+                assert not beta > alpha, "superset visited before subset"
+            seen.add(alpha)
+
+    def test_top_down_supersets_first(self):
+        fam = LaminarFamily.clustered(8, 2)
+        seen = set()
+        for alpha in fam.top_down():
+            for beta in seen:
+                assert not beta < alpha, "subset visited before superset"
+            seen.add(alpha)
+
+    def test_orders_are_reverses(self):
+        fam = LaminarFamily.semi_partitioned(5)
+        assert tuple(reversed(fam.bottom_up())) == fam.top_down()
+
+
+class TestDerived:
+    def test_with_singletons_adds_missing(self):
+        fam = LaminarFamily([0, 1, 2], [[0, 1, 2], [0, 1]])
+        ext = fam.with_singletons()
+        assert ext.has_all_singletons
+        assert len(ext) == len(fam) + 3
+
+    def test_with_singletons_idempotent_content(self):
+        fam = LaminarFamily.semi_partitioned(3)
+        assert set(fam.with_singletons().sets) == set(fam.sets)
+
+    def test_is_uniform_tree(self):
+        assert LaminarFamily.clustered(4, 2).is_uniform_tree
+        assert LaminarFamily.semi_partitioned(3).is_uniform_tree
+        lopsided = LaminarFamily([0, 1, 2], [[0, 1, 2], [0, 1], [0], [1], [2]])
+        assert lopsided.is_tree
+        assert not lopsided.is_uniform_tree
+
+    def test_equality_and_hash(self):
+        a = LaminarFamily.semi_partitioned(3)
+        b = LaminarFamily(range(3), [[0, 1, 2], [0], [1], [2]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != LaminarFamily.singletons(3)
+
+    def test_contains_accepts_iterables(self):
+        fam = LaminarFamily.semi_partitioned(3)
+        assert [0, 1, 2] in fam
+        assert {0} in fam
+        assert [0, 1] not in fam
+
+
+class TestIsLaminarHelper:
+    def test_laminar(self):
+        assert is_laminar([[0, 1], [0], [2]])
+
+    def test_not_laminar(self):
+        assert not is_laminar([[0, 1], [1, 2]])
+
+    def test_empty(self):
+        assert is_laminar([])

@@ -1,0 +1,138 @@
+"""Unit tests for migration/preemption counting (Proposition III.2 semantics)."""
+
+from fractions import Fraction
+
+from repro import Schedule
+from repro.schedule.metrics import (
+    average_utilization,
+    job_transitions,
+    machine_utilization,
+    summarize,
+    total_migrations,
+    total_preemptions_and_migrations,
+)
+
+
+def test_no_transitions_for_contiguous_run():
+    s = Schedule([0], 5)
+    s.add_segment(0, 0, 0, 5)
+    t = job_transitions(s, 0)
+    assert t.migrations == 0 and t.pure_preemptions == 0
+
+
+def test_seamless_same_machine_pieces_are_merged():
+    s = Schedule([0], 5)
+    s.add_segment(0, 0, 0, 2)
+    s.add_segment(0, 0, 2, 5)
+    t = job_transitions(s, 0)
+    assert t.total == 0
+
+
+def test_gap_on_same_machine_is_pure_preemption():
+    s = Schedule([0], 5)
+    s.add_segment(0, 0, 0, 1)
+    s.add_segment(0, 0, 3, 4)
+    t = job_transitions(s, 0)
+    assert t.migrations == 0 and t.pure_preemptions == 1
+
+
+def test_seamless_handover_is_migration_only():
+    s = Schedule([0, 1], 4)
+    s.add_segment(0, 0, 0, 2)
+    s.add_segment(1, 0, 2, 4)
+    t = job_transitions(s, 0)
+    assert t.migrations == 1 and t.pure_preemptions == 0
+    assert t.total == 1
+
+
+def test_gap_plus_machine_change_counts_once_as_migration():
+    s = Schedule([0, 1], 6)
+    s.add_segment(0, 0, 0, 2)
+    s.add_segment(1, 0, 4, 6)
+    t = job_transitions(s, 0)
+    assert t.migrations == 1 and t.pure_preemptions == 0
+
+
+def test_wrap_around_pattern():
+    # The classic Algorithm 1 pattern: run at end of window, wrap to start.
+    s = Schedule([0, 1], 4)
+    s.add_segment(0, 7, 3, 4)
+    s.add_segment(1, 7, 0, 1)
+    # Job 7: piece on machine 1 at [0,1), then machine 0 at [3,4).
+    t = job_transitions(s, 7)
+    assert t.migrations == 1
+
+
+def test_totals_across_jobs():
+    s = Schedule([0, 1], 6)
+    s.add_segment(0, 0, 0, 2)
+    s.add_segment(1, 0, 2, 4)  # migration
+    s.add_segment(1, 1, 0, 1)
+    s.add_segment(1, 1, 4, 5)  # pure preemption
+    assert total_migrations(s) == 1
+    assert total_preemptions_and_migrations(s) == 2
+
+
+def test_utilization():
+    s = Schedule([0, 1], 4)
+    s.add_segment(0, 0, 0, 4)
+    s.add_segment(1, 1, 0, 2)
+    u = machine_utilization(s)
+    assert u[0] == 1 and u[1] == Fraction(1, 2)
+    assert average_utilization(s) == Fraction(3, 4)
+
+
+def test_utilization_zero_horizon():
+    s = Schedule([0], 0)
+    assert machine_utilization(s) == {0: 0}
+
+
+def test_summarize():
+    s = Schedule([0, 1], 4)
+    s.add_segment(0, 0, 0, 2)
+    s.add_segment(1, 0, 2, 4)
+    summary = summarize(s)
+    assert summary.makespan == 4
+    assert summary.migrations == 1
+    assert summary.segments == 2
+    assert summary.avg_utilization == Fraction(1, 2)
+
+
+def test_processing_order_vs_wall_clock_migration_accounting():
+    """The E03 finding: wrap-around can inflate wall-clock migration counts.
+
+    Job 3's processing line runs m0 → m1 and wraps past T on m1, so its tail
+    piece [0, 1/2) executes *first* in wall-clock time.  Processing-order
+    accounting (the paper's): 1 migration + 1 preemption.  Wall-clock: 2
+    migrations.  The combined total (2 = 2m−2) agrees.
+    """
+    from fractions import Fraction
+    from repro import Assignment, Instance, schedule_semi_partitioned
+    from repro.schedule.metrics import (
+        distinct_machine_migrations,
+        total_migrations,
+        total_migrations_processing_order,
+    )
+
+    inst = Instance.semi_partitioned(
+        p_local=[[1, 1], [1, 1], [1, 1], [1, 2]],
+        p_global=[1, 1, 1, 2],
+    )
+    root = frozenset({0, 1})
+    a = Assignment({0: root, 1: frozenset({0}), 2: frozenset({1}), 3: root})
+    T = Fraction(5, 2)
+    s = schedule_semi_partitioned(inst, a, T)
+    assert distinct_machine_migrations(s, 3) == 1
+    assert total_migrations_processing_order(s) <= inst.m - 1
+    assert total_migrations(s) == 2  # wall-clock sees the wrap as a migration
+    assert total_preemptions_and_migrations(s) == 2  # == 2m − 2, order-free
+
+
+def test_distinct_machine_migrations_single_machine():
+    s = Schedule([0, 1], 5)
+    s.add_segment(0, 0, 0, 1)
+    s.add_segment(0, 0, 3, 4)
+    from repro.schedule.metrics import distinct_machine_migrations
+
+    assert distinct_machine_migrations(s, 0) == 0
+    assert distinct_machine_migrations(s, 99) == 0  # absent job

@@ -1,0 +1,202 @@
+"""Property-based tests: the paper's theorems as hypothesis invariants.
+
+* Theorem III.1 — Algorithm 1 always yields a valid schedule for feasible
+  (IP-1) pairs;
+* Proposition III.2 — ≤ m−1 migrations and ≤ 2m−2 transitions;
+* Theorem IV.3 — Algorithms 2+3 always yield valid schedules for feasible
+  (IP-2) pairs, over randomly generated laminar families;
+* Lemmas IV.1 / IV.2 — the phase-one invariants (checked inside
+  allocate_loads and re-asserted here).
+"""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import (
+    Assignment,
+    Instance,
+    LaminarFamily,
+    min_T_for_assignment,
+    schedule_hierarchical,
+    schedule_semi_partitioned,
+    validate_schedule,
+)
+from repro.core.hierarchical import allocate_loads
+from repro.schedule.metrics import (
+    total_migrations_processing_order,
+    total_preemptions_and_migrations,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def semi_partitioned_feasible(draw):
+    """A random semi-partitioned instance + feasible (assignment, T)."""
+    m = draw(st.integers(2, 6))
+    n = draw(st.integers(1, 8))
+    p_local = [
+        [draw(st.integers(1, 12)) for _ in range(m)] for _ in range(n)
+    ]
+    # Monotone global times: at least the max local time of the job.
+    p_global = [
+        max(p_local[j]) + draw(st.integers(0, 4)) for j in range(n)
+    ]
+    inst = Instance.semi_partitioned(p_local=p_local, p_global=p_global)
+    root = frozenset(range(m))
+    masks = {}
+    for j in range(n):
+        if draw(st.booleans()):
+            masks[j] = root
+        else:
+            masks[j] = frozenset([draw(st.integers(0, m - 1))])
+    assignment = Assignment(masks)
+    T = min_T_for_assignment(inst, assignment)
+    slack = draw(st.integers(0, 3))
+    if slack:
+        T = T * (1 + Fraction(slack, 7))
+    return inst, assignment, T
+
+
+@st.composite
+def laminar_family_strategy(draw, max_m: int = 8):
+    """A random laminar tree family with all singletons."""
+    m = draw(st.integers(2, max_m))
+    sets = [frozenset(range(m))]
+
+    def split(block):
+        if len(block) < 2 or not draw(st.booleans()):
+            return
+        cut = draw(st.integers(1, len(block) - 1))
+        left, right = block[:cut], block[cut:]
+        for part in (left, right):
+            if len(part) >= 2:
+                sets.append(frozenset(part))
+                split(part)
+
+    split(list(range(m)))
+    for i in range(m):
+        sets.append(frozenset([i]))
+    return LaminarFamily(range(m), set(sets))
+
+
+@st.composite
+def hierarchical_feasible(draw):
+    """A random hierarchical instance + feasible (assignment, T)."""
+    family = draw(laminar_family_strategy())
+    n = draw(st.integers(1, 8))
+    processing = {}
+    for j in range(n):
+        row = {}
+        for alpha in family.bottom_up():
+            if len(alpha) == 1:
+                row[alpha] = draw(st.integers(1, 10))
+            else:
+                below = max(row[beta] for beta in family.children(alpha))
+                row[alpha] = below + draw(st.integers(0, 3))
+        processing[j] = row
+    inst = Instance(family, processing)
+    masks = {}
+    sets = family.sets
+    for j in range(n):
+        masks[j] = sets[draw(st.integers(0, len(sets) - 1))]
+    assignment = Assignment(masks)
+    T = min_T_for_assignment(inst, assignment)
+    slack = draw(st.integers(0, 2))
+    if slack:
+        T = T * (1 + Fraction(slack, 5))
+    return inst, assignment, T
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@_SETTINGS
+@given(semi_partitioned_feasible())
+def test_theorem_iii1_algorithm1_always_valid(data):
+    inst, assignment, T = data
+    schedule = schedule_semi_partitioned(inst, assignment, T)
+    report = validate_schedule(inst, assignment, schedule, T=T)
+    assert report.valid, report.violations[:3]
+
+
+@_SETTINGS
+@given(semi_partitioned_feasible())
+def test_proposition_iii2_transition_bounds(data):
+    # Migrations are counted in processing order (the paper's accounting —
+    # the mod-T wrap is a preemption, not a migration; see metrics module).
+    inst, assignment, T = data
+    schedule = schedule_semi_partitioned(inst, assignment, T)
+    m = inst.m
+    assert total_migrations_processing_order(schedule) <= m - 1
+    assert total_preemptions_and_migrations(schedule) <= 2 * m - 2
+
+
+@_SETTINGS
+@given(hierarchical_feasible())
+def test_theorem_iv3_hierarchical_always_valid(data):
+    inst, assignment, T = data
+    schedule = schedule_hierarchical(inst, assignment, T)
+    report = validate_schedule(inst, assignment, schedule, T=T)
+    assert report.valid, report.violations[:3]
+
+
+@_SETTINGS
+@given(hierarchical_feasible())
+def test_lemma_iv1_and_iv2_invariants(data):
+    inst, assignment, T = data
+    allocation = allocate_loads(inst, assignment, T)  # asserts IV.1 internally
+    family = inst.family
+    volumes = {}
+    for (i, alpha), value in allocation.load.items():
+        assert value >= 0
+        volumes[alpha] = volumes.get(alpha, Fraction(0)) + value
+    # Volume conservation per set.
+    for alpha in family.sets:
+        expected = sum(
+            (Fraction(inst.p(j, alpha)) for j in assignment.jobs_on(alpha)),
+            Fraction(0),
+        )
+        assert volumes.get(alpha, Fraction(0)) == expected
+    # Lemma IV.2: at most one shared machine per set.
+    for beta in family.sets:
+        assert len(allocation.shared_machines(family, beta)) <= 1
+
+
+@_SETTINGS
+@given(hierarchical_feasible())
+def test_schedulers_preserve_integrality_when_T_integral(data):
+    inst, assignment, T = data
+    if T.denominator != 1:
+        return  # wrap positions stay integral only for integral T
+    schedule = schedule_hierarchical(inst, assignment, T)
+    report = validate_schedule(
+        inst, assignment, schedule, T=T, require_integral_times=True
+    )
+    assert report.valid, report.violations[:3]
+
+
+@_SETTINGS
+@given(semi_partitioned_feasible())
+def test_algorithm1_and_hierarchical_agree_on_validity(data):
+    inst, assignment, T = data
+    s1 = schedule_semi_partitioned(inst, assignment, T)
+    s2 = schedule_hierarchical(inst, assignment, T)
+    for s in (s1, s2):
+        assert validate_schedule(inst, assignment, s, T=T).valid
+    # Both deliver the same total work.
+    total1 = sum((s1.machine_load(i) for i in s1.machines), Fraction(0))
+    total2 = sum((s2.machine_load(i) for i in s2.machines), Fraction(0))
+    assert total1 == total2

@@ -1,0 +1,103 @@
+"""Property tests on the structural substrates: laminar families, schedules,
+serialization, and the simulator's accounting identities."""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import LaminarFamily, Schedule, schedule_hierarchical
+from repro.schedule.serialize import schedule_from_json, schedule_to_json
+from repro.simulation import CostModel, Topology, simulate
+from repro.workloads import random_feasible_pair, rng_from_seed
+from repro.workloads.generators import (
+    monotone_instance,
+    random_laminar_family,
+    utilization_workload,
+)
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@_SETTINGS
+@given(st.integers(0, 10**6), st.integers(2, 10))
+def test_laminar_structure_invariants(seed, m):
+    rng = rng_from_seed(seed)
+    fam = random_laminar_family(rng, m)
+    for alpha in fam.sets:
+        # level == number of supersets including self == ancestors + 1
+        assert fam.level(alpha) == len(fam.ancestors(alpha)) + 1
+        # children partition-or-undershoot the set, pairwise disjoint
+        kids = fam.children(alpha)
+        for a_idx in range(len(kids)):
+            for b_idx in range(a_idx + 1, len(kids)):
+                assert not (kids[a_idx] & kids[b_idx])
+        for kid in kids:
+            assert fam.parent(kid) == alpha
+        # height consistency: leaf ⇒ 0, else 1 + min child height
+        if kids:
+            assert fam.height(alpha) == 1 + min(fam.height(k) for k in kids)
+        else:
+            assert fam.height(alpha) == 0
+    # chains are sorted by inclusion
+    for i in sorted(fam.machines):
+        chain = fam.chain(i)
+        for small, big in zip(chain, chain[1:]):
+            assert small < big
+    # subsets_of(root) covers the whole family for tree-rooted instances
+    root = frozenset(fam.machines)
+    if root in fam:
+        assert set(fam.subsets_of(root)) == set(fam.sets)
+
+
+@_SETTINGS
+@given(st.integers(0, 10**6))
+def test_serialize_roundtrip_random_schedules(seed):
+    rng = rng_from_seed(seed)
+    fam = random_laminar_family(rng, int(rng.integers(2, 6)))
+    inst = monotone_instance(rng, fam, n=int(rng.integers(2, 7)))
+    assignment, T = random_feasible_pair(rng, inst)
+    schedule = schedule_hierarchical(inst, assignment, T)
+    restored = schedule_from_json(schedule_to_json(schedule))
+    assert restored.T == schedule.T
+    assert restored.machines == schedule.machines
+    for machine in schedule.machines:
+        assert restored.timeline(machine).segments == schedule.timeline(machine).segments
+
+
+@_SETTINGS
+@given(st.integers(0, 10**6))
+def test_simulator_overhead_is_sum_of_event_overheads(seed):
+    rng = rng_from_seed(seed)
+    topo = Topology.clustered(4, 2)
+    cm = CostModel.xeon_like()
+    inst = monotone_instance(rng, topo.family, n=int(rng.integers(2, 8)))
+    assignment, T = random_feasible_pair(rng, inst)
+    schedule = schedule_hierarchical(inst, assignment, T)
+    trace = simulate(schedule, topo, cm)
+    per_job = trace.job_stats()
+    assert trace.total_overhead == sum(
+        (s.overhead for s in per_job.values()), Fraction(0)
+    )
+    # Migration tier histogram total equals the migration event count.
+    assert sum(trace.tier_histogram().values()) == trace.total_migrations
+
+
+@_SETTINGS
+@given(st.integers(0, 10**6), st.sampled_from([0.4, 0.7, 0.9, 1.0]))
+def test_utilization_workload_hits_target(seed, u):
+    rng = rng_from_seed(seed)
+    fam = LaminarFamily.clustered(4, 2)
+    T_ref = 40
+    inst = utilization_workload(rng, fam, u, T_ref)
+    total_min = sum(Fraction(inst.min_p(j)) for j in range(inst.n))
+    target = Fraction(round(u * 4 * T_ref))
+    # The generator hits the budget exactly up to the final-piece clamp.
+    assert abs(total_min - target) <= max(1, T_ref // 2)
+    # Every job remains schedulable somewhere within T_ref.
+    for j in range(inst.n):
+        assert inst.min_p(j) <= T_ref

@@ -1,0 +1,76 @@
+"""Unit tests for the Schedule container."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Schedule
+from repro.exceptions import InvalidScheduleError
+
+
+class TestSchedule:
+    def test_basic(self):
+        s = Schedule([0, 1], 5)
+        s.add_segment(0, 0, 0, 3)
+        s.add_segment(1, 0, 3, 5)
+        assert s.machines == (0, 1)
+        assert s.makespan() == 5
+        assert s.work_of(0) == 5
+        assert s.completion_time(0) == 5
+
+    def test_out_of_horizon_raises(self):
+        s = Schedule([0], 5)
+        with pytest.raises(InvalidScheduleError):
+            s.add_segment(0, 0, 4, 6)
+        with pytest.raises(InvalidScheduleError):
+            s.add_segment(0, 0, -1, 1)
+
+    def test_machine_overlap_raises(self):
+        s = Schedule([0], 5)
+        s.add_segment(0, 0, 0, 3)
+        with pytest.raises(InvalidScheduleError):
+            s.add_segment(0, 1, 2, 4)
+
+    def test_job_segments_sorted_by_time(self):
+        s = Schedule([0, 1], 10)
+        s.add_segment(1, 5, 4, 6)
+        s.add_segment(0, 5, 0, 2)
+        segs = s.job_segments(5)
+        assert [m for m, _ in segs] == [0, 1]
+
+    def test_jobs_and_loads(self):
+        s = Schedule([0, 1], 4)
+        s.add_segment(0, 2, 0, 1)
+        s.add_segment(0, 3, 1, 2)
+        assert s.jobs() == (2, 3)
+        assert s.machine_load(0) == 2
+        assert s.machine_load(1) == 0
+        assert s.total_segments() == 2
+
+    def test_empty_schedule(self):
+        s = Schedule([0], 5)
+        assert s.makespan() == 0
+        assert s.jobs() == ()
+
+    def test_zero_horizon(self):
+        s = Schedule([0], 0)
+        assert s.makespan() == 0
+
+    def test_negative_horizon_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([0], -1)
+
+    def test_no_machines_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([], 5)
+
+    def test_as_table_mentions_jobs(self):
+        s = Schedule([0], 3)
+        s.add_segment(0, 9, 0, 3)
+        assert "j9" in s.as_table()
+        assert "idle" in Schedule([0], 3).as_table()
+
+    def test_fractional_times(self):
+        s = Schedule([0], Fraction(7, 2))
+        s.add_segment(0, 0, Fraction(1, 2), Fraction(7, 2))
+        assert s.makespan() == Fraction(7, 2)

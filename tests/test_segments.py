@@ -1,0 +1,137 @@
+"""Unit tests for segments, arc placement and machine timelines."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InvalidScheduleError
+from repro.schedule.segments import MachineTimeline, Segment, advance_mod, place_arc
+
+
+class TestSegment:
+    def test_construction_coerces_fractions(self):
+        s = Segment(0, 2, job=1)
+        assert s.start == Fraction(0) and s.end == Fraction(2)
+        assert s.length == 2
+
+    def test_zero_length_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            Segment(1, 1, job=0)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            Segment(2, 1, job=0)
+
+    def test_overlap_half_open(self):
+        a = Segment(0, 2, 0)
+        b = Segment(2, 3, 1)
+        c = Segment(1, 3, 2)
+        assert not a.overlaps(b)  # touching endpoints do not overlap
+        assert a.overlaps(c)
+        assert c.overlaps(a)
+
+
+class TestPlaceArc:
+    def test_no_wrap(self):
+        assert place_arc(1, 2, 5) == [(Fraction(1), Fraction(3))]
+
+    def test_wrap_splits(self):
+        pieces = place_arc(4, 3, 5)
+        assert pieces == [(Fraction(4), Fraction(5)), (Fraction(0), Fraction(2))]
+
+    def test_exact_fit_to_boundary(self):
+        assert place_arc(3, 2, 5) == [(Fraction(3), Fraction(5))]
+
+    def test_full_circle(self):
+        pieces = place_arc(2, 5, 5)
+        assert pieces == [(Fraction(2), Fraction(5)), (Fraction(0), Fraction(2))]
+        assert sum(e - s for s, e in pieces) == 5
+
+    def test_zero_length_empty(self):
+        assert place_arc(1, 0, 5) == []
+
+    def test_length_exceeding_period_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            place_arc(0, 6, 5)
+
+    def test_start_outside_period_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            place_arc(5, 1, 5)
+
+    def test_nonpositive_period_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            place_arc(0, 1, 0)
+
+    def test_fractional_arithmetic(self):
+        pieces = place_arc(Fraction(9, 2), Fraction(3, 2), 5)
+        assert pieces == [
+            (Fraction(9, 2), Fraction(5)),
+            (Fraction(0), Fraction(1)),
+        ]
+
+
+class TestAdvanceMod:
+    def test_plain(self):
+        assert advance_mod(1, 2, 5) == 3
+
+    def test_wraps(self):
+        assert advance_mod(4, 3, 5) == 2
+
+    def test_lands_on_zero(self):
+        assert advance_mod(3, 2, 5) == 0
+
+    def test_fractions(self):
+        assert advance_mod(Fraction(9, 2), 1, 5) == Fraction(1, 2)
+
+
+class TestMachineTimeline:
+    def test_add_sorted(self):
+        tl = MachineTimeline(0)
+        tl.add(Segment(3, 4, 1))
+        tl.add(Segment(0, 2, 0))
+        assert [s.start for s in tl.segments] == [0, 3]
+        assert tl.load == 3
+
+    def test_overlap_rejected(self):
+        tl = MachineTimeline(0)
+        tl.add(Segment(0, 2, 0))
+        with pytest.raises(InvalidScheduleError):
+            tl.add(Segment(1, 3, 1))
+
+    def test_touching_accepted(self):
+        tl = MachineTimeline(0)
+        tl.add(Segment(0, 2, 0))
+        tl.add(Segment(2, 3, 1))
+        assert len(tl) == 2
+
+    def test_busy_at(self):
+        tl = MachineTimeline(0)
+        tl.add(Segment(1, 2, 0))
+        assert tl.busy_at(1)
+        assert tl.busy_at(Fraction(3, 2))
+        assert not tl.busy_at(2)  # half-open
+        assert not tl.busy_at(0)
+
+    def test_free_intervals(self):
+        tl = MachineTimeline(0)
+        tl.add(Segment(1, 2, 0))
+        tl.add(Segment(3, 4, 1))
+        assert tl.free_intervals(5) == [(0, 1), (2, 3), (4, 5)]
+
+    def test_free_intervals_empty_timeline(self):
+        tl = MachineTimeline(0)
+        assert tl.free_intervals(5) == [(0, 5)]
+
+    def test_free_intervals_fully_packed(self):
+        tl = MachineTimeline(0)
+        tl.add(Segment(0, 5, 0))
+        assert tl.free_intervals(5) == []
+
+    def test_merged_segments(self):
+        tl = MachineTimeline(0)
+        tl.add(Segment(0, 1, 7))
+        tl.add(Segment(1, 2, 7))
+        tl.add(Segment(2, 3, 8))
+        merged = tl.merged_segments()
+        assert len(merged) == 2
+        assert merged[0].length == 2 and merged[0].job == 7

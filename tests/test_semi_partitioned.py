@@ -1,0 +1,148 @@
+"""Tests for Algorithm 1 — the semi-partitioned wrap-around scheduler."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    Assignment,
+    INF,
+    Instance,
+    schedule_semi_partitioned,
+    validate_schedule,
+)
+from repro.exceptions import InvalidAssignmentError
+from repro.schedule.metrics import (
+    total_migrations,
+    total_migrations_processing_order,
+    total_preemptions_and_migrations,
+)
+from repro.workloads import example_ii1, example_ii1_optimal_assignment
+
+
+class TestExampleIII1:
+    """The paper's worked Example III.1 (same instance as II.1)."""
+
+    def test_schedule_is_valid_at_T2(self, instance_ii1, assignment_ii1):
+        s = schedule_semi_partitioned(instance_ii1, assignment_ii1, 2)
+        report = validate_schedule(instance_ii1, assignment_ii1, s, T=2)
+        assert report.valid
+        assert report.makespan == 2
+
+    def test_global_job_migrates_once(self, instance_ii1, assignment_ii1):
+        s = schedule_semi_partitioned(instance_ii1, assignment_ii1, 2)
+        assert total_migrations(s) == 1  # job 2 wraps between the machines
+
+    def test_layout_matches_paper(self, instance_ii1, assignment_ii1):
+        # Paper's schedule: job 3 (our job 2) on machine 1 in [0,1) then
+        # machine 2 in [1,2); locals fill the complements.  Our construction
+        # reproduces it with machines relabelled 0/1.
+        s = schedule_semi_partitioned(instance_ii1, assignment_ii1, 2)
+        job2 = s.job_segments(2)
+        assert len(job2) == 2
+        (m_a, seg_a), (m_b, seg_b) = job2
+        assert {m_a, m_b} == {0, 1}
+        assert seg_a.end == seg_b.start  # seamless handover
+
+    def test_integral_times_preserved(self, instance_ii1, assignment_ii1):
+        s = schedule_semi_partitioned(instance_ii1, assignment_ii1, 2)
+        report = validate_schedule(
+            instance_ii1, assignment_ii1, s, require_integral_times=True
+        )
+        assert report.valid
+
+
+class TestEdgeCases:
+    def test_all_local(self):
+        inst = Instance.semi_partitioned(p_local=[[1, 9], [9, 1]], p_global=[9, 9])
+        a = Assignment({0: {0}, 1: {1}})
+        s = schedule_semi_partitioned(inst, a, 1)
+        assert validate_schedule(inst, a, s, T=1).valid
+        assert total_migrations(s) == 0
+
+    def test_all_global_equals_mcnaughton_shape(self):
+        inst = Instance.semi_partitioned(
+            p_local=[[3, 3]] * 3, p_global=[3, 3, 3]
+        )
+        root = frozenset({0, 1})
+        a = Assignment({j: root for j in range(3)})
+        T = Fraction(9, 2)
+        s = schedule_semi_partitioned(inst, a, T)
+        assert validate_schedule(inst, a, s, T=T).valid
+        assert s.machine_load(0) == T and s.machine_load(1) == T
+
+    def test_zero_horizon_all_zero_jobs(self):
+        inst = Instance.semi_partitioned(p_local=[[0, 0]], p_global=[0])
+        a = Assignment({0: {0}})
+        s = schedule_semi_partitioned(inst, a, 0)
+        assert validate_schedule(inst, a, s, T=0).valid
+
+    def test_zero_length_local_job(self):
+        inst = Instance.semi_partitioned(p_local=[[0, 1], [1, 1]], p_global=[1, 1])
+        a = Assignment({0: {0}, 1: {1}})
+        s = schedule_semi_partitioned(inst, a, 1)
+        assert validate_schedule(inst, a, s, T=1).valid
+        assert s.job_segments(0) == []
+
+    def test_exactly_full_machines(self):
+        # Local jobs consume all capacity; the global job fits in nothing —
+        # only feasible when there is no global volume.
+        inst = Instance.semi_partitioned(p_local=[[2, 2], [2, 2]], p_global=[4, 4])
+        a = Assignment({0: {0}, 1: {1}})
+        s = schedule_semi_partitioned(inst, a, 2)
+        assert validate_schedule(inst, a, s, T=2).valid
+
+    def test_global_fills_all_machines(self):
+        # The global job needs more than one machine's residual capacity,
+        # forcing a δ = capacity cut on machine 0 (δ=2) then machine 1 (δ=1).
+        inst = Instance.semi_partitioned(
+            p_local=[[1, INF], [INF, 1], [3, 3]], p_global=[INF, INF, 3]
+        )
+        a = Assignment({0: {0}, 1: {1}, 2: frozenset({0, 1})})
+        s = schedule_semi_partitioned(inst, a, 3)
+        assert validate_schedule(inst, a, s, T=3).valid
+        assert len(s.job_segments(2)) >= 2  # split across machines
+
+    def test_global_job_of_length_exactly_T(self):
+        inst = Instance.semi_partitioned(
+            p_local=[[2, 2], [2, 2]], p_global=[2, 2]
+        )
+        root = frozenset({0, 1})
+        a = Assignment({0: root, 1: root})
+        s = schedule_semi_partitioned(inst, a, 2)
+        assert validate_schedule(inst, a, s, T=2).valid
+
+    def test_infeasible_input_rejected(self, instance_ii1, assignment_ii1):
+        with pytest.raises(InvalidAssignmentError):
+            schedule_semi_partitioned(instance_ii1, assignment_ii1, 1)
+
+    def test_check_feasibility_off_still_schedules_feasible(self, instance_ii1, assignment_ii1):
+        s = schedule_semi_partitioned(
+            instance_ii1, assignment_ii1, 2, check_feasibility=False
+        )
+        assert validate_schedule(instance_ii1, assignment_ii1, s, T=2).valid
+
+    def test_slack_horizon(self, instance_ii1, assignment_ii1):
+        # Feasible (x, T) with strict slack also yields a valid schedule.
+        s = schedule_semi_partitioned(instance_ii1, assignment_ii1, 5)
+        assert validate_schedule(instance_ii1, assignment_ii1, s, T=5).valid
+
+
+class TestPropositionIII2:
+    """Migration/preemption bounds: ≤ m−1 and ≤ 2m−2 (Proposition III.2)."""
+
+    @pytest.mark.parametrize("m", [2, 3, 5, 8])
+    def test_bounds_on_saturated_global_load(self, m):
+        # m+1 global jobs of length m·T/(m+1) saturate all machines.
+        n = m + 1
+        length = m
+        inst = Instance.semi_partitioned(
+            p_local=[[length] * m] * n, p_global=[length] * n
+        )
+        root = frozenset(range(m))
+        a = Assignment({j: root for j in range(n)})
+        T = Fraction(n * length, m)
+        s = schedule_semi_partitioned(inst, a, T)
+        assert validate_schedule(inst, a, s, T=T).valid
+        assert total_migrations_processing_order(s) <= m - 1
+        assert total_preemptions_and_migrations(s) <= 2 * m - 2

@@ -1,0 +1,195 @@
+"""Tests for the simulation substrate: topology, costs, engine, trace."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Assignment, Instance, Schedule, schedule_hierarchical
+from repro.exceptions import InvalidFamilyError, InvalidInstanceError
+from repro.simulation import (
+    CostModel,
+    EventKind,
+    Topology,
+    check_overhead_budgets,
+    mask_overhead_budget,
+    simulate,
+)
+from repro.workloads import random_feasible_pair, rng_from_seed
+from repro.workloads.generators import instance_from_topology
+
+
+class TestTopology:
+    def test_smp_cmp_structure(self):
+        topo = Topology.smp_cmp(nodes=2, chips_per_node=2, cores_per_chip=2)
+        assert topo.m == 8
+        assert topo.num_levels == 4
+        assert topo.lca(0, 1) == frozenset({0, 1})          # same chip
+        assert topo.lca(0, 2) == frozenset({0, 1, 2, 3})    # same node
+        assert topo.lca(0, 4) == frozenset(range(8))        # cross node
+
+    def test_migration_tiers(self):
+        topo = Topology.smp_cmp(2, 2, 2)
+        assert topo.migration_tier(3, 3) == 0
+        assert topo.migration_tier(0, 1) == 1
+        assert topo.migration_tier(0, 2) == 2
+        assert topo.migration_tier(0, 7) == 3
+
+    def test_degenerate_dimensions_collapse(self):
+        topo = Topology.smp_cmp(1, 1, 4)
+        assert topo.m == 4
+        assert topo.migration_tier(0, 3) == 1
+
+    def test_flat_and_clustered(self):
+        flat = Topology.flat(3)
+        assert flat.migration_tier(0, 2) == 1
+        clustered = Topology.clustered(4, 2)
+        assert clustered.migration_tier(0, 1) == 1
+        assert clustered.migration_tier(0, 3) == 2
+
+    def test_binary(self):
+        topo = Topology.binary(3)
+        assert topo.m == 8
+        assert topo.migration_tier(0, 1) == 1
+        assert topo.migration_tier(0, 7) == 3
+
+    def test_forest_rejected(self):
+        from repro import LaminarFamily
+
+        fam = LaminarFamily([0, 1, 2, 3], [[0, 1], [2, 3], [0], [1], [2], [3]])
+        with pytest.raises(InvalidFamilyError):
+            Topology(fam, ("core", "pair"))
+
+    def test_tier_names(self):
+        topo = Topology.smp_cmp(2, 2, 2)
+        assert topo.tier_name(0) == "core"
+        assert topo.tier_name(3) == "system"
+        assert topo.tier_name(9) == "level-9"
+
+    def test_mask_tier(self):
+        topo = Topology.clustered(4, 2)
+        assert topo.mask_tier({0}) == 0
+        assert topo.mask_tier({0, 1}) == 1
+        assert topo.mask_tier(range(4)) == 2
+        with pytest.raises(InvalidFamilyError):
+            topo.mask_tier({0, 2})
+
+
+class TestCostModel:
+    def test_monotone_tiers_enforced(self):
+        with pytest.raises(InvalidInstanceError):
+            CostModel((Fraction(2), Fraction(1)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CostModel((Fraction(-1),))
+
+    def test_cost_lookup_saturates(self):
+        cm = CostModel((Fraction(0), Fraction(1)))
+        assert cm.cost_of_tier(0) == 0
+        assert cm.cost_of_tier(5) == 1
+
+    def test_migration_cost_via_topology(self):
+        topo = Topology.clustered(4, 2)
+        cm = CostModel.xeon_like()
+        assert cm.migration_cost(topo, 0, 0) == 0
+        assert cm.migration_cost(topo, 0, 1) == Fraction(1, 10)
+        assert cm.migration_cost(topo, 0, 2) == Fraction(1, 2)
+
+    def test_mask_overhead_budget_monotone(self):
+        topo = Topology.smp_cmp(2, 2, 2)
+        cm = CostModel.xeon_like()
+        chain = [frozenset({0}), frozenset({0, 1}), frozenset(range(4)), frozenset(range(8))]
+        budgets = [mask_overhead_budget(topo, cm, a) for a in chain]
+        assert budgets == sorted(budgets)
+
+
+class TestEngine:
+    def test_events_for_migrating_job(self):
+        topo = Topology.flat(2)
+        cm = CostModel.xeon_like()
+        s = Schedule([0, 1], 4)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 0, 2, 4)
+        trace = simulate(s, topo, cm)
+        kinds = [e.kind for e in trace.for_job(0)]
+        assert kinds == [
+            EventKind.START,
+            EventKind.PREEMPT,
+            EventKind.MIGRATE,
+            EventKind.COMPLETE,
+        ]
+        migrate = [e for e in trace.events if e.kind is EventKind.MIGRATE][0]
+        assert migrate.source_machine == 0 and migrate.machine == 1
+        assert migrate.tier == 1
+        assert trace.total_overhead == cm.cost_of_tier(1)
+
+    def test_same_machine_resume(self):
+        topo = Topology.flat(1)
+        cm = CostModel((Fraction(1, 4), Fraction(1)))
+        s = Schedule([0], 5)
+        s.add_segment(0, 0, 0, 1)
+        s.add_segment(0, 0, 3, 4)
+        trace = simulate(s, topo, cm)
+        kinds = [e.kind for e in trace.for_job(0)]
+        assert EventKind.RESUME in kinds
+        assert trace.total_overhead == Fraction(1, 4)
+
+    def test_seamless_pieces_merged(self):
+        topo = Topology.flat(1)
+        cm = CostModel.xeon_like()
+        s = Schedule([0], 4)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(0, 0, 2, 4)
+        trace = simulate(s, topo, cm)
+        assert trace.total_preemptions == 0
+
+    def test_tier_histogram(self):
+        topo = Topology.clustered(4, 2)
+        cm = CostModel.xeon_like()
+        s = Schedule(range(4), 6)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 0, 2, 4)   # tier 1
+        s.add_segment(2, 0, 4, 6)   # tier 2
+        trace = simulate(s, topo, cm)
+        assert trace.tier_histogram() == {1: 1, 2: 1}
+
+    def test_job_stats(self):
+        topo = Topology.flat(2)
+        cm = CostModel.xeon_like()
+        s = Schedule([0, 1], 4)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 0, 2, 4)
+        stats = simulate(s, topo, cm).job_stats()
+        assert stats[0].migrations == 1
+        assert stats[0].completion == 4
+
+
+class TestOverheadBudgets:
+    def test_budgets_hold_for_generated_workloads(self):
+        topo = Topology.smp_cmp(2, 2, 2)
+        cm = CostModel.xeon_like()
+        rng = rng_from_seed(77)
+        inst, base = instance_from_topology(rng, topo, cm, n=12)
+        for trial in range(5):
+            assignment, T = random_feasible_pair(rng, inst)
+            schedule = schedule_hierarchical(inst, assignment, T)
+            trace = simulate(schedule, topo, cm)
+            reports = check_overhead_budgets(trace, inst, assignment, base, topo, cm)
+            for r in reports:
+                assert r.within_budget, (trial, r)
+
+    def test_budget_violation_detectable(self):
+        # A hand-built schedule with more migrations than the mask budgeted.
+        topo = Topology.flat(2)
+        cm = CostModel((Fraction(0), Fraction(10)))
+        inst = Instance.semi_partitioned(p_local=[[4, 4]], p_global=[4])
+        root = frozenset({0, 1})
+        assignment = Assignment({0: root})
+        s = Schedule([0, 1], 4)
+        for k in range(4):  # ping-pong: 3 migrations at cost 10 each
+            s.add_segment(k % 2, 0, k, k + 1)
+        trace = simulate(s, topo, cm)
+        reports = check_overhead_budgets(
+            trace, inst, assignment, {0: 4}, topo, cm
+        )
+        assert not reports[0].within_budget

@@ -1,0 +1,121 @@
+"""Unit tests for the schedule validator — each violation kind is detected."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Assignment, Instance, Schedule, validate_schedule
+from repro.exceptions import InvalidScheduleError
+
+
+@pytest.fixture
+def tiny():
+    """2 machines, 2 jobs, semi-partitioned; p_local = 2 everywhere."""
+    inst = Instance.semi_partitioned(p_local=[[2, 2], [2, 2]], p_global=[3, 3])
+    assign = Assignment({0: {0}, 1: {1}})
+    return inst, assign
+
+
+class TestValidSchedules:
+    def test_clean_schedule_passes(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 2)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 1, 0, 2)
+        report = validate_schedule(inst, assign, s)
+        assert report.valid
+        assert report.makespan == 2
+        report.raise_if_invalid()  # no-op
+
+    def test_migrating_global_job(self):
+        inst = Instance.semi_partitioned(p_local=[[3, 3]], p_global=[3])
+        assign = Assignment({0: frozenset({0, 1})})
+        s = Schedule([0, 1], 3)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 0, 2, 3)
+        assert validate_schedule(inst, assign, s).valid
+
+    def test_zero_length_job_needs_no_segments(self):
+        inst = Instance.semi_partitioned(p_local=[[0, 0]], p_global=[0])
+        assign = Assignment({0: {0}})
+        s = Schedule([0, 1], 1)
+        assert validate_schedule(inst, assign, s).valid
+
+
+class TestViolations:
+    def test_wrong_machine_mask(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 4)
+        s.add_segment(1, 0, 0, 2)  # job 0's mask is {0}
+        s.add_segment(1, 1, 2, 4)
+        report = validate_schedule(inst, assign, s)
+        assert not report.valid
+        assert any(v.kind == "mask" for v in report.violations)
+
+    def test_under_delivered_work(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 2)
+        s.add_segment(0, 0, 0, 1)  # needs 2 units
+        s.add_segment(1, 1, 0, 2)
+        report = validate_schedule(inst, assign, s)
+        assert any(v.kind == "work" for v in report.violations)
+
+    def test_over_delivered_work(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 3)
+        s.add_segment(0, 0, 0, 3)
+        s.add_segment(1, 1, 0, 2)
+        report = validate_schedule(inst, assign, s)
+        assert any(v.kind == "work" for v in report.violations)
+
+    def test_never_scheduled(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 2)
+        s.add_segment(0, 0, 0, 2)
+        report = validate_schedule(inst, assign, s)
+        assert any(v.kind == "work" and "job 1" in v.detail for v in report.violations)
+
+    def test_parallel_self_execution(self):
+        inst = Instance.semi_partitioned(p_local=[[4, 4]], p_global=[4])
+        assign = Assignment({0: frozenset({0, 1})})
+        s = Schedule([0, 1], 4)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 0, 1, 3)  # overlaps [1,2) with machine 0
+        report = validate_schedule(inst, assign, s)
+        assert any(v.kind == "self-parallel" for v in report.violations)
+
+    def test_horizon_violation(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 10)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 1, 0, 2)
+        report = validate_schedule(inst, assign, s, T=1)
+        assert any(v.kind == "horizon" for v in report.violations)
+
+    def test_forbidden_mask(self):
+        from repro import INF
+
+        inst = Instance.semi_partitioned(p_local=[[2, INF]], p_global=[INF])
+        assign = Assignment({0: {1}})
+        s = Schedule([0, 1], 2)
+        report = validate_schedule(inst, assign, s)
+        assert any(v.kind == "mask" for v in report.violations)
+
+    def test_raise_if_invalid(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 2)
+        report = validate_schedule(inst, assign, s)
+        with pytest.raises(InvalidScheduleError):
+            report.raise_if_invalid()
+
+
+class TestIntegralityOption:
+    def test_fractional_endpoints_flagged_when_required(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 3)
+        s.add_segment(0, 0, Fraction(1, 2), Fraction(5, 2))
+        s.add_segment(1, 1, 0, 2)
+        ok = validate_schedule(inst, assign, s)
+        assert ok.valid
+        strict = validate_schedule(inst, assign, s, require_integral_times=True)
+        assert any(v.kind == "integrality" for v in strict.violations)

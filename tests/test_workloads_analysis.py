@@ -1,0 +1,158 @@
+"""Tests for workload generators, adversarial families and analysis helpers."""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import Instance, solve_exact
+from repro.analysis import RatioStats, Table, fmt, geometric_mean
+from repro.exceptions import InvalidInstanceError
+from repro.workloads import (
+    example_ii1,
+    example_ii1_optimal_assignment,
+    example_v1,
+    example_v1_gap,
+    example_v1_optimal_assignment,
+    lp_gap_instance,
+    monotone_instance,
+    random_feasible_pair,
+    random_hierarchical,
+    random_laminar_family,
+    random_semi_partitioned,
+    rng_from_seed,
+)
+
+
+class TestGenerators:
+    def test_reproducible_from_seed(self):
+        a = random_hierarchical(rng_from_seed(5), n=5, m=4)
+        b = random_hierarchical(rng_from_seed(5), n=5, m=4)
+        assert a.family == b.family
+        for j in range(5):
+            for alpha in a.family.sets:
+                assert a.p(j, alpha) == b.p(j, alpha)
+
+    def test_random_laminar_family_valid(self):
+        rng = rng_from_seed(9)
+        for _ in range(20):
+            fam = random_laminar_family(rng, m=int(rng.integers(2, 10)))
+            assert fam.is_tree
+            assert fam.has_all_singletons
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10**6))
+    def test_monotonicity_by_construction(self, seed):
+        rng = rng_from_seed(seed)
+        # Instance() re-validates monotonicity; no exception = pass.
+        inst = random_hierarchical(rng, n=4, m=4)
+        assert inst.n == 4
+
+    def test_specialists_have_one_cheap_machine(self):
+        rng = rng_from_seed(31)
+        inst = random_semi_partitioned(
+            rng, n=30, m=4, specialist_fraction=1.0, flexible_fraction=0.0,
+            specialist_penalty=8,
+        )
+        for j in range(30):
+            locals_ = sorted(inst.p(j, frozenset([i])) for i in range(4))
+            assert locals_[1] >= 8 * locals_[0] or locals_[0] == locals_[1]
+
+    def test_random_feasible_pair_is_feasible(self):
+        from repro import verify_ip2
+
+        rng = rng_from_seed(13)
+        inst = random_hierarchical(rng, n=6, m=4)
+        assignment, T = random_feasible_pair(rng, inst)
+        assert verify_ip2(inst, assignment, T).feasible
+
+    def test_random_feasible_pair_slack(self):
+        rng = rng_from_seed(13)
+        inst = random_hierarchical(rng, n=6, m=4)
+        a1, T1 = random_feasible_pair(rng_from_seed(1), inst)
+        a2, T2 = random_feasible_pair(rng_from_seed(1), inst, slack_numerator=1)
+        assert T2 == T1 * Fraction(11, 10)
+
+
+class TestAdversarial:
+    def test_example_ii1_claims(self):
+        inst = example_ii1()
+        assignment, opt = example_ii1_optimal_assignment()
+        assert solve_exact(inst).optimum == opt == 2
+        assert solve_exact(inst.unrelated_collapse()).optimum == 3
+
+    def test_example_ii1_big_constant_variant(self):
+        inst = example_ii1(use_inf=False)
+        assert solve_exact(inst).optimum == 2
+
+    def test_example_v1_gap_series(self):
+        for n in (3, 4, 5, 7):
+            inst = example_v1(n)
+            opt_i = solve_exact(inst).optimum
+            opt_iu = solve_exact(inst.unrelated_collapse()).optimum
+            assert opt_i == n - 1
+            assert opt_iu == 2 * n - 3
+            assert Fraction(opt_iu, opt_i) == example_v1_gap(n)
+
+    def test_example_v1_optimal_assignment_is_feasible(self):
+        from repro import min_T_for_assignment
+
+        inst = example_v1(5)
+        assignment, opt = example_v1_optimal_assignment(5)
+        assert min_T_for_assignment(inst, assignment) == opt
+
+    def test_example_v1_requires_n3(self):
+        with pytest.raises(InvalidInstanceError):
+            example_v1(2)
+
+    def test_lp_gap_instance_shape(self):
+        inst = lp_gap_instance(3)
+        assert inst.n == 1 + 3 * 2
+        assert inst.m == 3
+        # The long job costs m everywhere; units are pinned.
+        assert inst.p(0, {0}) == 3
+
+    def test_lp_gap_instance_needs_m2(self):
+        with pytest.raises(InvalidInstanceError):
+            lp_gap_instance(1)
+
+
+class TestAnalysis:
+    def test_fmt(self):
+        assert fmt(None) == "-"
+        assert fmt("x") == "x"
+        assert fmt(True) == "yes"
+        assert fmt(3) == "3"
+        assert fmt(Fraction(1, 2)) == "0.500"
+        assert fmt(Fraction(4, 2)) == "2"
+        assert fmt(1.23456, digits=2) == "1.23"
+
+    def test_table_render(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, Fraction(3, 2))
+        out = t.render()
+        assert "demo" in out and "1.500" in out
+        assert out.count("+") >= 6
+
+    def test_table_wrong_arity(self):
+        t = Table("demo", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_ratio_stats(self):
+        stats = RatioStats.of([1, 2, 3])
+        assert stats.count == 3
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+
+    def test_ratio_stats_empty(self):
+        import math
+
+        assert math.isnan(RatioStats.of([]).mean)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        import math
+
+        assert math.isnan(geometric_mean([]))
