@@ -1,0 +1,128 @@
+"""LP backend benchmark: certified ``hybrid`` vs ``exact`` vs ``scipy``.
+
+Runs the full Theorem V.2 pipeline (the E14 scaling family: binary search
+for ``T*`` + LST rounding + scheduling) under each backend on identical
+instances, verifies that the certified backends agree on ``T*`` to *exact*
+equality, and records wall-clock times plus the hybrid-over-exact speedup.
+
+Results are written to ``BENCH_lp_backends.json`` at the repository root
+(the perf-trajectory artifact CI uploads) and mirrored under
+``benchmarks/results/``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lp_backends.py          # full run
+    PYTHONPATH=src python benchmarks/bench_lp_backends.py --quick  # CI smoke
+
+The full run asserts the ≥3× aggregate speedup of ``hybrid`` over ``exact``
+on the scaling family; the quick run only checks exact ``T*`` agreement
+(timing noise on small instances makes a speedup assertion meaningless
+there).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.approx import two_approximation  # noqa: E402
+from repro.workloads import random_hierarchical, rng_from_seed  # noqa: E402
+
+#: The E14 scaling family, extended upward to where backend choice matters.
+FULL_SHAPES: Tuple[Tuple[int, int], ...] = ((16, 6), (24, 8), (32, 10), (48, 12), (64, 16))
+QUICK_SHAPES: Tuple[Tuple[int, int], ...] = ((10, 4), (16, 6))
+
+#: Aggregate hybrid-over-exact speedup the full run must demonstrate.
+SPEEDUP_TARGET = 3.0
+
+
+def run(
+    shapes: Tuple[Tuple[int, int], ...] = FULL_SHAPES,
+    backends: Tuple[str, ...] = ("exact", "hybrid", "scipy"),
+    seed: int = 140,
+) -> Dict:
+    rows: List[Dict] = []
+    totals: Dict[str, float] = {b: 0.0 for b in backends}
+    for n, m in shapes:
+        # Same instance for every backend (fresh rng per shape).
+        inst = random_hierarchical(rng_from_seed(seed), n=n, m=m)
+        t_star: Dict[str, str] = {}
+        for backend in backends:
+            start = time.perf_counter()
+            result = two_approximation(inst, backend=backend)
+            elapsed = time.perf_counter() - start
+            totals[backend] += elapsed
+            t_star[backend] = str(result.T_lp)
+            rows.append(
+                {
+                    "n": n,
+                    "m": m,
+                    "backend": backend,
+                    "seconds": round(elapsed, 4),
+                    "T_star": str(result.T_lp),
+                    "makespan": str(result.makespan),
+                    "ratio_vs_lp": float(result.ratio_vs_lp),
+                }
+            )
+            print(
+                f"n={n:3d} m={m:3d} backend={backend:7s} "
+                f"{elapsed:8.3f}s  T*={result.T_lp}"
+            )
+        # Certification claim: every backend lands on the same exact T*.
+        assert len(set(t_star.values())) == 1, (
+            f"backends disagree on T* at (n={n}, m={m}): {t_star}"
+        )
+    speedup: Optional[float] = None
+    if "exact" in totals and "hybrid" in totals and totals["hybrid"] > 0:
+        speedup = totals["exact"] / totals["hybrid"]
+    return {
+        "family": "e14_scaling",
+        "seed": seed,
+        "shapes": [list(s) for s in shapes],
+        "rows": rows,
+        "totals_seconds": {b: round(t, 4) for b, t in totals.items()},
+        "speedup_hybrid_over_exact": round(speedup, 3) if speedup else None,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small shapes, no speedup assertion (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", default=os.path.join(REPO_ROOT, "BENCH_lp_backends.json"),
+        help="output JSON path (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    shapes = QUICK_SHAPES if args.quick else FULL_SHAPES
+    payload = run(shapes=shapes)
+    payload["mode"] = "quick" if args.quick else "full"
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    results_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "BENCH_lp_backends.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    speedup = payload["speedup_hybrid_over_exact"]
+    print(f"\ntotals: {payload['totals_seconds']}")
+    print(f"hybrid over exact: {speedup}x  (target ≥{SPEEDUP_TARGET}x, full mode)")
+    if not args.quick and speedup is not None and speedup < SPEEDUP_TARGET:
+        print("FAIL: speedup target not met")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

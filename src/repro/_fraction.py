@@ -51,6 +51,26 @@ def to_fraction(value: Number) -> Fraction:
     raise TypeError(f"cannot interpret {value!r} as an exact number")
 
 
+def to_fraction_finite(value: Number, what: str = "value") -> Fraction:
+    """Guarded coercion: domain error instead of ``ValueError`` on INF/NaN.
+
+    :func:`to_fraction` treats a non-finite float as a programming error
+    (``ValueError``).  Call sites where the INF sentinel can legitimately
+    appear in *input data* — job-length vectors, assignment loads — should
+    use this helper instead, so a forbidden pair surfaces as the library's
+    own :class:`~repro.exceptions.InvalidInstanceError` with a message
+    naming the offending quantity, not as a bare coercion crash.
+    """
+    if isinstance(value, float) and (math.isinf(value) or math.isnan(value)):
+        from .exceptions import InvalidInstanceError
+
+        kind = "infinite (the INF sentinel)" if math.isinf(value) else "NaN"
+        raise InvalidInstanceError(
+            f"{what} is {kind} where a finite number is required"
+        )
+    return to_fraction(value)
+
+
 def rationalize(value: float, max_denominator: int = 10**9) -> Fraction:
     """Convert a float produced by a numeric solver to a nearby rational.
 

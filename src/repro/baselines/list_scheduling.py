@@ -13,7 +13,7 @@ import heapq
 from fractions import Fraction
 from typing import Dict, List, Sequence, Tuple, Union
 
-from .._fraction import to_fraction
+from .._fraction import to_fraction_finite
 from ..exceptions import InvalidInstanceError
 from ..schedule.schedule import Schedule
 
@@ -32,7 +32,7 @@ def list_schedule(
     """
     if m <= 0:
         raise InvalidInstanceError("m must be positive")
-    values = [to_fraction(v) for v in lengths]
+    values = [to_fraction_finite(v, f"length of job {j}") for j, v in enumerate(lengths)]
     if any(v < 0 for v in values):
         raise InvalidInstanceError("negative job length")
     if order == "lpt":

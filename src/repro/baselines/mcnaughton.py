@@ -15,7 +15,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Sequence, Tuple, Union
 
-from .._fraction import to_fraction
+from .._fraction import to_fraction, to_fraction_finite
 from ..exceptions import InvalidInstanceError
 from ..schedule.schedule import Schedule
 
@@ -28,7 +28,7 @@ def mcnaughton_makespan(lengths: Sequence[Time], m: int) -> Fraction:
         raise InvalidInstanceError("m must be positive")
     if not lengths:
         return Fraction(0)
-    values = [to_fraction(v) for v in lengths]
+    values = [to_fraction_finite(v, f"length of job {j}") for j, v in enumerate(lengths)]
     if any(v < 0 for v in values):
         raise InvalidInstanceError("negative job length")
     return max(max(values), sum(values, Fraction(0)) / m)
@@ -49,7 +49,7 @@ def mcnaughton_schedule(lengths: Sequence[Time], m: int) -> Tuple[Fraction, Sche
     machine = 0
     cursor = Fraction(0)
     for job, raw in enumerate(lengths):
-        left = to_fraction(raw)
+        left = to_fraction_finite(raw, f"length of job {job}")
         while left > 0:
             available = T - cursor
             piece = min(left, available)

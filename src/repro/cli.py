@@ -2,15 +2,20 @@
 
 Commands
 --------
-``experiments [ids…]``
+``experiments [ids…] [--backend hybrid|exact|scipy]``
     Run (a subset of) the E01–E15 experiment suite at test scale and print
-    the tables.
-``solve --demo <name>``
+    the tables.  ``--backend`` overrides the LP backend for every experiment
+    whose runner accepts one.
+``solve --demo <name> [--backend hybrid|exact|scipy]``
     Solve one of the built-in demo instances (``ii1``, ``v1``, ``smp``) with
     the exact solver and the 2-approximation, printing schedules as Gantt
     charts.
 ``version``
     Print the package version.
+
+Backend guide: ``hybrid`` (default) = HiGHS speed with exact certification;
+``exact`` = pure rational simplex; ``scipy`` = uncertified floats (fast,
+re-checked at the call sites that need exactness).
 """
 
 from __future__ import annotations
@@ -41,8 +46,9 @@ _EXPERIMENTS = {
 }
 
 
-def _run_experiments(ids: List[str]) -> int:
+def _run_experiments(ids: List[str], backend: Optional[str] = None) -> int:
     import importlib
+    import inspect
 
     chosen = ids or sorted(_EXPERIMENTS)
     for exp_id in chosen:
@@ -51,13 +57,20 @@ def _run_experiments(ids: List[str]) -> int:
             return 2
         module_name, kwargs = _EXPERIMENTS[exp_id]
         module = importlib.import_module(f"repro.{module_name}")
+        kwargs = dict(kwargs)
+        if backend is not None:
+            parameters = inspect.signature(module.run).parameters
+            if "backend" in parameters:
+                kwargs["backend"] = backend
+            elif "backends" in parameters:
+                kwargs["backends"] = (backend,)
         result = module.run(**kwargs)
         print()
         print(result.table.render())
     return 0
 
 
-def _solve_demo(name: str) -> int:
+def _solve_demo(name: str, backend: str = "hybrid") -> int:
     from .analysis.gantt import render_gantt
     from .core.approx import two_approximation
     from .core.exact import solve_exact
@@ -90,9 +103,10 @@ def _solve_demo(name: str) -> int:
     schedule = schedule_hierarchical(instance, exact.assignment, exact.optimum)
     print(f"\nexact optimum: {exact.optimum}")
     print(render_gantt(schedule))
-    approx = two_approximation(instance)
+    approx = two_approximation(instance, backend=backend)
     print(f"\n2-approximation: makespan {approx.makespan} "
-          f"(T* = {approx.T_lp}, guarantee ≤ {approx.bound})")
+          f"(T* = {approx.T_lp}, guarantee ≤ {approx.bound}, "
+          f"backend = {backend})")
     print(render_gantt(approx.schedule))
     return 0
 
@@ -107,15 +121,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command")
     exp = sub.add_parser("experiments", help="run the E01–E15 suite (test scale)")
     exp.add_argument("ids", nargs="*", help="experiment ids, e.g. e01 e08")
+    exp.add_argument(
+        "--backend",
+        choices=("hybrid", "exact", "scipy"),
+        default=None,
+        help="LP backend override (default: each experiment's own)",
+    )
     solve = sub.add_parser("solve", help="solve a built-in demo instance")
     solve.add_argument("--demo", default="ii1", help="ii1 | v1 | smp")
+    solve.add_argument(
+        "--backend",
+        choices=("hybrid", "exact", "scipy"),
+        default="hybrid",
+        help="LP backend for the 2-approximation (default: hybrid)",
+    )
     sub.add_parser("version", help="print the package version")
 
     args = parser.parse_args(argv)
     if args.command == "experiments":
-        return _run_experiments(args.ids)
+        return _run_experiments(args.ids, backend=args.backend)
     if args.command == "solve":
-        return _solve_demo(args.demo)
+        return _solve_demo(args.demo, backend=args.backend)
     if args.command == "version":
         print(__version__)
         return 0

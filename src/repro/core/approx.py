@@ -89,7 +89,7 @@ class TwoApproxResult:
 
 def two_approximation(
     instance: Instance,
-    backend: str = "exact",
+    backend: str = "hybrid",
     verify: bool = True,
     use_pushdown_certificate: bool = False,
 ) -> TwoApproxResult:
@@ -98,8 +98,11 @@ def two_approximation(
     Parameters
     ----------
     backend:
-        LP backend: ``"exact"`` (rational simplex, guaranteed basic
-        solutions) or ``"scipy"`` (HiGHS, faster on large instances).
+        LP backend: ``"hybrid"`` (default — HiGHS candidates verified and
+        repaired by the exact simplex, so basicness and ``T*`` are still
+        exact), ``"exact"`` (pure rational simplex) or ``"scipy"``
+        (uncertified floats; every point is exactness-checked and repaired
+        before rounding).
     verify:
         Validate the final schedule and the ``≤ 2T*`` bound exactly; a
         failure raises :class:`RoundingError` (it would indicate a bug, not

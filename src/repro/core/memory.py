@@ -138,7 +138,7 @@ def solve_model1(
     space: Sequence[Sequence[Time]],
     budgets: Mapping[int, Time],
     T: Time,
-    backend: str = "exact",
+    backend: str = "hybrid",
 ) -> Model1Result:
     """Theorem VI.1: round (IP-3)+(7) at horizon *T* into a schedule.
 
@@ -182,11 +182,14 @@ def model1_lp_feasible(
     space: Sequence[Sequence[Time]],
     budgets: Mapping[int, Time],
     T: Time,
-    backend: str = "exact",
+    backend: str = "hybrid",
 ) -> bool:
-    """Whether the LP relaxation of (IP-3)+(7) is feasible at *T*."""
+    """Whether the LP relaxation of (IP-3)+(7) is feasible at *T*.
+
+    Certified for every backend via :func:`repro.lp.solve.is_feasible`.
+    """
     from ..lp.model import LinearProgram
-    from ..lp.solve import solve_lp
+    from ..lp.solve import is_feasible
 
     T = to_fraction(T)
     try:
@@ -196,11 +199,11 @@ def model1_lp_feasible(
     lp = LinearProgram()
     for j, keys in groups.items():
         for key in keys:
-            lp.add_variable(key, lb=0, ub=1)
+            lp.add_variable(key, lb=0)  # ub implied by the group equality
         lp.add_constraint({key: 1 for key in keys}, "==", 1)
     for row in rows:
         lp.add_constraint(row.coeffs, "<=", row.bound, name=row.name)
-    return solve_lp(lp, backend=backend).is_optimal
+    return is_feasible(lp, backend=backend)
 
 
 def _min_T_with_rows(
@@ -223,7 +226,7 @@ def _min_T_with_rows(
     lp.add_variable(t_key, lb=0)
     for j, keys in groups.items():
         for key in keys:
-            lp.add_variable(key, lb=0, ub=1)
+            lp.add_variable(key, lb=0)  # ub implied by the group equality
         lp.add_constraint({key: 1 for key in keys}, "==", 1)
     for row in rows:
         if row.name.startswith("load["):
@@ -296,7 +299,7 @@ def minimal_model1_T(
     instance: Instance,
     space: Sequence[Sequence[Time]],
     budgets: Mapping[int, Time],
-    backend: str = "exact",
+    backend: str = "hybrid",
 ) -> Fraction:
     """Smallest horizon at which (IP-3)+(7)'s LP relaxation is feasible."""
     return _minimal_memory_T(
@@ -311,7 +314,7 @@ def solve_model1_exact(
     instance: Instance,
     space: Sequence[Sequence[Time]],
     budgets: Mapping[int, Time],
-    backend: str = "exact",
+    backend: str = "hybrid",
 ) -> Tuple[Fraction, Assignment]:
     """Exact minimum makespan honoring the memory budgets *strictly*.
 
@@ -469,7 +472,7 @@ def solve_model2(
     sizes: Sequence[Time],
     mu: Time,
     T: Time,
-    backend: str = "exact",
+    backend: str = "hybrid",
 ) -> Model2Result:
     """Theorem VI.3: round (IP-4) at horizon *T* with Lemma VI.2.
 
@@ -512,11 +515,14 @@ def model2_lp_feasible(
     sizes: Sequence[Time],
     mu: Time,
     T: Time,
-    backend: str = "exact",
+    backend: str = "hybrid",
 ) -> bool:
-    """Whether the LP relaxation of (IP-4) is feasible at *T*."""
+    """Whether the LP relaxation of (IP-4) is feasible at *T*.
+
+    Certified for every backend via :func:`repro.lp.solve.is_feasible`.
+    """
     from ..lp.model import LinearProgram
-    from ..lp.solve import solve_lp
+    from ..lp.solve import is_feasible
 
     T = to_fraction(T)
     try:
@@ -526,18 +532,18 @@ def model2_lp_feasible(
     lp = LinearProgram()
     for j, keys in groups.items():
         for key in keys:
-            lp.add_variable(key, lb=0, ub=1)
+            lp.add_variable(key, lb=0)  # ub implied by the group equality
         lp.add_constraint({key: 1 for key in keys}, "==", 1)
     for row in rows:
         lp.add_constraint(row.coeffs, "<=", row.bound, name=row.name)
-    return solve_lp(lp, backend=backend).is_optimal
+    return is_feasible(lp, backend=backend)
 
 
 def minimal_model2_T(
     instance: Instance,
     sizes: Sequence[Time],
     mu: Time,
-    backend: str = "exact",
+    backend: str = "hybrid",
 ) -> Fraction:
     """Smallest horizon at which (IP-4)'s LP relaxation is feasible."""
     return _minimal_memory_T(

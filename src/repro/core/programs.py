@@ -12,6 +12,15 @@ pair set ``R(T)`` only changes at the distinct finite processing-time values,
 and between two consecutive breakpoints feasibility is a single LP with ``T``
 as an explicit variable.  :func:`minimal_fractional_T` implements that search
 exactly, returning the paper's lower bound ``T* ≤ opt(I)``.
+
+Probe cost: a naive implementation rebuilds the subset-closure scan
+(``O(|F|²·n)``) and cold-starts the simplex at every probe.  The search here
+shares one :class:`IP3Builder` across all probes (the closure is computed
+once and each probe's LP is materialized by filtering on ``p ≤ T``), runs
+the probes through the certified fast path of
+:func:`repro.lp.solve.feasible_point`, and warm-starts the final min-T LPs
+from the feasible point the bracketing probe already produced — with a warm
+basis the min-T solve needs no phase-1 work at all.
 """
 
 from __future__ import annotations
@@ -20,9 +29,9 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple, Union
 
 from .._fraction import is_inf, to_fraction
-from ..exceptions import InfeasibleError
-from ..lp.model import LinearProgram, LPSolution
-from ..lp.solve import solve_lp
+from ..exceptions import InfeasibleError, InvalidInstanceError
+from ..lp.model import LinearProgram
+from ..lp.solve import feasible_point, solve_lp
 from .assignment import FractionalAssignment
 from .instance import Instance
 from .laminar import MachineSet
@@ -45,6 +54,104 @@ def admissible_pairs(instance: Instance, T: Time) -> List[Tuple[MachineSet, int]
     return pairs
 
 
+class IP3Builder:
+    """Instance structure shared by every LP a ``T``-search builds.
+
+    Precomputes the finite pairs, the breakpoint list, and the per-set
+    subset-closure templates of the load rows, so each probe LP is a filter
+    pass instead of a fresh ``O(|F|²·n)`` scan.  Variable and row ordering
+    match :func:`build_ip3` exactly (the vertex a solver returns depends on
+    it).
+    """
+
+    def __init__(self, instance: Instance):
+        self.instance = instance
+        family = instance.family
+        n = instance.n
+        #: (j, α, p) for every finite pair, in build_ip3 variable order.
+        self.finite: List[Tuple[int, MachineSet, Fraction]] = []
+        has_finite = [False] * n
+        for j in range(n):
+            for alpha in family.sets:
+                p = instance.p(j, alpha)
+                if not is_inf(p):
+                    self.finite.append((j, alpha, to_fraction(p)))
+                    has_finite[j] = True
+        self.jobs_without_options: List[int] = [
+            j for j in range(n) if not has_finite[j]
+        ]
+        self.breakpoints: List[Fraction] = sorted({p for _j, _a, p in self.finite})
+        #: Per-set load-row template: (β, j, p_{βj}) over β ⊆ α, finite.
+        self.load_template: Dict[MachineSet, List[Tuple[MachineSet, int, Fraction]]] = {}
+        for alpha in family.sets:
+            entries: List[Tuple[MachineSet, int, Fraction]] = []
+            for beta in family.subsets_of(alpha):
+                for j in range(n):
+                    p = instance.p(j, beta)
+                    if not is_inf(p):
+                        entries.append((beta, j, to_fraction(p)))
+            self.load_template[alpha] = entries
+
+    def decision_lp(self, T: Fraction) -> LinearProgram:
+        """The LP relaxation of (IP-3) at horizon *T* (== :func:`build_ip3`)."""
+        lp = LinearProgram()
+        by_job: Dict[int, List[MachineSet]] = {}
+        # No explicit ub: x ≤ 1 is implied by the assignment equality rows
+        # (each variable has coefficient 1 in exactly one of them), and
+        # materializing the bound as a row would multiply the tableau size.
+        for j, alpha, p in self.finite:
+            if p <= T:
+                lp.add_variable(("x", alpha, j), lb=0)
+                by_job.setdefault(j, []).append(alpha)
+        for j in range(self.instance.n):
+            if j not in by_job:
+                lp.add_constraint({}, "==", 1, name=f"assign[{j}]")
+            else:
+                lp.add_constraint(
+                    {("x", alpha, j): 1 for alpha in by_job[j]},
+                    "==",
+                    1,
+                    name=f"assign[{j}]",
+                )
+        for alpha in self.instance.family.sets:
+            coeffs = {
+                ("x", beta, j): p
+                for beta, j, p in self.load_template[alpha]
+                if p <= T
+            }
+            lp.add_constraint(coeffs, "<=", len(alpha) * T, name=f"load[{sorted(alpha)}]")
+        return lp
+
+    def min_T_lp(self, r_anchor: Fraction, t_low: Fraction) -> Optional[LinearProgram]:
+        """Min-T LP with ``R`` frozen at *r_anchor* and ``T ≥ t_low``.
+
+        Returns ``None`` when some job has no admissible set at the anchor
+        (the frozen-R program is then trivially infeasible).
+        """
+        lp = LinearProgram()
+        lp.add_variable(T_KEY, lb=0)
+        by_job: Dict[int, List[MachineSet]] = {}
+        for j, alpha, p in self.finite:
+            if p <= r_anchor:
+                lp.add_variable(("x", alpha, j), lb=0)  # ub implied, see above
+                by_job.setdefault(j, []).append(alpha)
+        for j in range(self.instance.n):
+            if j not in by_job:
+                return None
+            lp.add_constraint(
+                {("x", alpha, j): 1 for alpha in by_job[j]}, "==", 1, name=f"assign[{j}]"
+            )
+        for alpha in self.instance.family.sets:
+            coeffs: Dict = {T_KEY: -len(alpha)}
+            for beta, j, p in self.load_template[alpha]:
+                if p <= r_anchor:
+                    coeffs[("x", beta, j)] = p
+            lp.add_constraint(coeffs, "<=", 0, name=f"load[{sorted(alpha)}]")
+        lp.add_constraint({T_KEY: 1}, ">=", t_low, name="bracket-low")
+        lp.set_objective({T_KEY: 1})
+        return lp
+
+
 def build_ip3(
     instance: Instance,
     T: Time,
@@ -60,7 +167,11 @@ def build_ip3(
     pairs = admissible_pairs(instance, T)
     by_job: Dict[int, List[MachineSet]] = {}
     for alpha, j in pairs:
-        lp.add_variable(("x", alpha, j), lb=0, ub=1, integral=integral)
+        # ub=1 is implied by the assignment rows; it is only declared for
+        # integral builds, where branch-and-bound requires explicit bounds.
+        lp.add_variable(
+            ("x", alpha, j), lb=0, ub=1 if integral else None, integral=integral
+        )
         by_job.setdefault(j, []).append(alpha)
     for j in range(instance.n):
         if j not in by_job:
@@ -89,17 +200,31 @@ def build_ip3(
 def feasible_lp_solution(
     instance: Instance,
     T: Time,
-    backend: str = "exact",
+    backend: str = "hybrid",
 ) -> Optional[FractionalAssignment]:
     """A feasible fractional solution of (IP-3)'s LP relaxation at *T*.
 
     Returns ``None`` when the relaxation is infeasible.  The solution is a
-    basic one (vertex) when the exact backend is used.
+    basic one (vertex) with the exact and hybrid backends.  With
+    ``backend="scipy"`` the rationalized point is re-checked exactly and
+    **repaired** (exact re-solve, warm-started from the candidate) when it
+    violates any constraint — an uncertified point never propagates into
+    ``push_down``/``lst_round``.
     """
     lp = build_ip3(instance, T)
     solution = solve_lp(lp, backend=backend)
+    if not solution.is_optimal and backend == "scipy":
+        # A float "infeasible" right at the certified T* boundary is noise
+        # territory; re-derive the verdict exactly before returning None.
+        solution = solve_lp(lp, backend="exact")
     if not solution.is_optimal:
         return None
+    if backend == "scipy" and lp.check_values(solution.values):
+        # Rationalization noise: certify by exact re-solve instead of
+        # handing a near-feasible point to the rounding arguments.
+        solution = solve_lp(lp, backend="exact", warm_values=solution.values)
+        if not solution.is_optimal:  # pragma: no cover - float false positive
+            return None
     values = {
         (alpha, j): value
         for (tag, alpha, j), value in solution.values.items()
@@ -108,20 +233,14 @@ def feasible_lp_solution(
     return FractionalAssignment(values)
 
 
-def lp_feasible(instance: Instance, T: Time, backend: str = "exact") -> bool:
-    """Whether the LP relaxation of (IP-3) is feasible at horizon *T*."""
-    return feasible_lp_solution(instance, T, backend=backend) is not None
+def lp_feasible(instance: Instance, T: Time, backend: str = "hybrid") -> bool:
+    """Whether the LP relaxation of (IP-3) is feasible at horizon *T*.
 
-
-def _breakpoints(instance: Instance) -> List[Fraction]:
-    """Sorted distinct finite processing times — where ``R(T)`` changes."""
-    values = set()
-    for j in range(instance.n):
-        for alpha in instance.family.sets:
-            p = instance.p(j, alpha)
-            if not is_inf(p):
-                values.add(to_fraction(p))
-    return sorted(values)
+    Certified for every backend: the verdict is always backed by either an
+    exactly re-checked point or an exact solve (see
+    :func:`repro.lp.solve.feasible_point`).
+    """
+    return feasible_point(build_ip3(instance, to_fraction(T)), backend=backend) is not None
 
 
 def _min_T_with_fixed_R(
@@ -129,58 +248,69 @@ def _min_T_with_fixed_R(
     r_anchor: Fraction,
     t_low: Fraction,
     backend: str,
+    builder: Optional[IP3Builder] = None,
+    warm_values: Optional[Dict] = None,
 ) -> Optional[Fraction]:
     """Minimize T over the LP with ``R = R(r_anchor)`` and ``T ≥ t_low``.
 
     Returns the optimal T or ``None`` when infeasible.  Caller must ensure
     the returned value stays inside the bracket where ``R`` is constant.
+    *warm_values* (a feasible point of the decision LP at *r_anchor*) lets
+    the exact/hybrid backends start from a feasible basis.
     """
-    lp = LinearProgram()
-    lp.add_variable(T_KEY, lb=0)
-    pairs = admissible_pairs(instance, r_anchor)
-    by_job: Dict[int, List[MachineSet]] = {}
-    for alpha, j in pairs:
-        lp.add_variable(("x", alpha, j), lb=0, ub=1)
-        by_job.setdefault(j, []).append(alpha)
-    for j in range(instance.n):
-        if j not in by_job:
-            return None
-        lp.add_constraint(
-            {("x", alpha, j): 1 for alpha in by_job[j]}, "==", 1, name=f"assign[{j}]"
-        )
-    for alpha in instance.family.sets:
-        coeffs: Dict = {T_KEY: -len(alpha)}
-        for beta in instance.family.subsets_of(alpha):
-            for j in range(instance.n):
-                key = ("x", beta, j)
-                if lp.has_variable(key):
-                    coeffs[key] = to_fraction(instance.p(j, beta))
-        lp.add_constraint(coeffs, "<=", 0, name=f"load[{sorted(alpha)}]")
-    lp.add_constraint({T_KEY: 1}, ">=", t_low, name="bracket-low")
-    lp.set_objective({T_KEY: 1})
-    solution = solve_lp(lp, backend=backend)
+    builder = builder or IP3Builder(instance)
+    lp = builder.min_T_lp(r_anchor, t_low)
+    if lp is None:
+        return None
+    warm = None
+    if warm_values:
+        warm = dict(warm_values)
+        warm.setdefault(T_KEY, max(t_low, r_anchor))
+    solution = solve_lp(lp, backend=backend, warm_values=warm)
     if not solution.is_optimal:
         return None
     return to_fraction(solution.value(T_KEY))
 
 
-def minimal_fractional_T(instance: Instance, backend: str = "exact") -> Fraction:
+def minimal_fractional_T(instance: Instance, backend: str = "hybrid") -> Fraction:
     """The minimum horizon ``T*`` at which (IP-3)'s LP relaxation is feasible.
 
     This is the paper's fractional lower bound: ``T* ≤ opt(I)``.  Exact
     procedure: binary search over the breakpoints of ``R(T)``, then a min-T
     LP inside the bracket where ``R`` is constant.
+
+    Degenerate inputs resolve exactly instead of entering a vacuous search:
+
+    * no jobs → ``0``;
+    * a job whose processing row is all-INF can never be placed at any
+      horizon → :class:`InvalidInstanceError` (structural, not a matter of
+      ``T``);
+    * all finite processing times zero (zero-volume instance) → ``0``.
     """
-    points = _breakpoints(instance)
-    if not points:
-        raise InfeasibleError("no job has any finite processing time")
-    # R(T) for T below the smallest breakpoint is empty unless p=0 pairs exist.
+    if instance.n == 0:
+        return Fraction(0)
+    builder = IP3Builder(instance)
+    if builder.jobs_without_options:
+        jobs = builder.jobs_without_options
+        raise InvalidInstanceError(
+            f"job(s) {jobs} have no finite processing time on any admissible "
+            f"set; no horizon T can make (IP-3) feasible"
+        )
+    points = builder.breakpoints
+    if points[-1] == 0:
+        # Every finite time is 0 and every job has one: T* = 0 exactly.
+        return Fraction(0)
+
+    def probe(T: Fraction) -> Optional[Dict]:
+        return feasible_point(builder.decision_lp(T), backend=backend)
+
     lo_idx, hi_idx = 0, len(points) - 1
-    if not lp_feasible(instance, points[hi_idx], backend=backend):
+    top_point = probe(points[hi_idx])
+    if top_point is None:
         # The optimum lies above every processing time (the load bound
         # dominates); R is maximal there, so one min-T LP settles it.
         top = points[hi_idx]
-        t_above = _min_T_with_fixed_R(instance, top, top, backend)
+        t_above = _min_T_with_fixed_R(instance, top, top, backend, builder=builder)
         if t_above is None:
             raise InfeasibleError(
                 "LP relaxation infeasible at every horizon; some job cannot "
@@ -188,23 +318,29 @@ def minimal_fractional_T(instance: Instance, backend: str = "exact") -> Fraction
             )
         return t_above
     # Find the smallest breakpoint index at which the LP becomes feasible.
+    feasible_points: Dict[Fraction, Dict] = {points[hi_idx]: top_point}
     while lo_idx < hi_idx:
         mid = (lo_idx + hi_idx) // 2
-        if lp_feasible(instance, points[mid], backend=backend):
+        mid_point = probe(points[mid])
+        if mid_point is not None:
+            feasible_points[points[mid]] = mid_point
             hi_idx = mid
         else:
             lo_idx = mid + 1
     anchor = points[lo_idx]
+    anchor_point = feasible_points.get(anchor)
     # Below `anchor`, R is strictly smaller.  The optimum lies either in the
     # previous bracket [prev, anchor) with R(prev), or at/above anchor with
     # R(anchor).
     candidates: List[Fraction] = []
     if lo_idx > 0:
         prev = points[lo_idx - 1]
-        t_prev = _min_T_with_fixed_R(instance, prev, prev, backend)
+        t_prev = _min_T_with_fixed_R(instance, prev, prev, backend, builder=builder)
         if t_prev is not None and t_prev < anchor:
             candidates.append(t_prev)
-    t_here = _min_T_with_fixed_R(instance, anchor, anchor, backend)
+    t_here = _min_T_with_fixed_R(
+        instance, anchor, anchor, backend, builder=builder, warm_values=anchor_point
+    )
     if t_here is not None:
         candidates.append(t_here)
     if not candidates:  # pragma: no cover - guarded by the binary search

@@ -21,7 +21,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple, Union
 
-from .._fraction import to_fraction
+from .._fraction import to_fraction, to_fraction_finite
 from ..exceptions import InfeasibleError
 from ..schedule.schedule import Schedule
 from ..schedule.segments import advance_mod, place_arc
@@ -35,7 +35,9 @@ def _job_line(instance: Instance, assignment: Assignment, alpha) -> List[Tuple[i
     """The jobs assigned to *alpha* as a line of (job, length) pieces."""
     line: List[Tuple[int, Fraction]] = []
     for j in assignment.jobs_on(alpha):
-        length = to_fraction(instance.p(j, alpha))
+        length = to_fraction_finite(
+            instance.p(j, alpha), f"processing time of job {j} on its mask"
+        )
         if length > 0:
             line.append((j, length))
     return line
@@ -123,7 +125,10 @@ def schedule_semi_partitioned(
     for i in machines:
         local_load[i] = sum(
             (
-                to_fraction(instance.p(j, frozenset([i])))
+                to_fraction_finite(
+                    instance.p(j, frozenset([i])),
+                    f"processing time of job {j} on machine {i}",
+                )
                 for j in assignment.jobs_on(frozenset([i]))
             ),
             Fraction(0),

@@ -35,7 +35,7 @@ class E14Result:
 
 def run(
     shapes=((6, 3), (10, 4), (16, 6), (24, 8)),
-    backends=("exact", "scipy"),
+    backends=("exact", "hybrid", "scipy"),
     seed: int = 140,
 ) -> E14Result:
     """Time the full 2-approximation across sizes and LP backends."""

@@ -1,20 +1,28 @@
-"""LP/ILP substrate: model builder, exact simplex, scipy backend, B&B."""
+"""LP/ILP substrate: model builder, exact simplex, scipy + hybrid backends, B&B."""
 
 from .branch_and_bound import BnBResult, solve_binary_ilp
+from .hybrid import HAVE_SCIPY, solve_standard_hybrid
 from .model import LinearProgram, LPSolution, Row
-from .scipy_backend import solve_standard_float
 from .simplex import SimplexResult, solve_standard
-from .solve import is_feasible, solve_lp
+from .solve import BACKENDS, feasible_point, is_feasible, solve_lp
+
+if HAVE_SCIPY:
+    from .scipy_backend import solve_standard_float
+else:  # pragma: no cover - scipy is present in CI images
+    solve_standard_float = None  # type: ignore[assignment]
 
 __all__ = [
+    "BACKENDS",
     "BnBResult",
     "LPSolution",
     "LinearProgram",
     "Row",
     "SimplexResult",
+    "feasible_point",
     "is_feasible",
     "solve_binary_ilp",
     "solve_lp",
     "solve_standard",
     "solve_standard_float",
+    "solve_standard_hybrid",
 ]

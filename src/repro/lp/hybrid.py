@@ -1,0 +1,193 @@
+"""Certified hybrid LP backend: HiGHS speed, exact-simplex guarantees.
+
+The ``scipy`` backend is fast but returns rationalized floats whose
+"feasibility" and "basicness" are only approximate — propagating them into
+the Section V/VI rounding arguments silently voids the pseudo-forest and
+fractionality properties those proofs rely on.  The ``exact`` backend is
+certified but pays rational-pivoting cost from a cold start.
+
+``hybrid`` composes the two so callers always get a guaranteed rational
+basic optimal solution at close to float speed:
+
+1. solve the LP with HiGHS (:func:`solve_standard_float`);
+2. rationalize the candidate and read off its support;
+3. re-solve with the **exact** fraction-free simplex, warm-started by
+   pushing the candidate's support columns into the basis first
+   (:func:`repro.lp.simplex.solve_standard` with ``warm_hints``).
+
+Step 3 is the certificate: every number the caller sees was produced by
+exact pivoting, so feasibility, optimality and basicness hold
+unconditionally.  When the float candidate was right — the common case —
+the warm-started exact solve needs no phase-1 work and terminates after the
+support pushes plus a handful of cleanup pivots.  When the candidate was
+wrong (rounding noise, wrong vertex, wrong verdict) the exact simplex
+transparently repairs it: bad hints cost only the pivots they take.  A
+claimed "infeasible"/"unbounded" is likewise never trusted — the exact
+solver re-derives the verdict from scratch.
+
+Small programs skip HiGHS entirely (below :data:`_FLOAT_SIZE_CUTOFF` the
+fixed ``linprog`` overhead exceeds a full exact solve).  When scipy is not
+installed the backend degrades to the exact solver, keeping every guarantee.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from .._fraction import rationalize
+from .simplex import SimplexResult, solve_standard, standard_form
+
+try:  # pragma: no cover - exercised implicitly on import
+    from .scipy_backend import solve_standard_float
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - scipy is present in CI images
+    solve_standard_float = None  # type: ignore[assignment]
+    HAVE_SCIPY = False
+
+#: Problems with (variables × rows) below this skip the float probe: the
+#: fixed cost of one ``linprog`` call exceeds a cold exact solve there.
+_FLOAT_SIZE_CUTOFF = 64
+
+
+def float_candidate(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    objective: Sequence[Fraction],
+) -> Optional[SimplexResult]:
+    """The HiGHS candidate, or ``None`` when scipy is missing or HiGHS fails.
+
+    The result is *uncertified*: statuses and values are hints only.
+    """
+    if not HAVE_SCIPY:
+        return None
+    try:
+        return solve_standard_float(coeff_rows, senses, rhs, objective)
+    except Exception:  # pragma: no cover - HiGHS internal failures
+        return None
+
+
+def certify_infeasible(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    num_vars: Optional[int] = None,
+) -> bool:
+    """Exact Farkas certificate of infeasibility from a float phase-1 dual.
+
+    ``True`` is a *proof* — never a float verdict.  The phase-1 program
+
+        min 1ᵀa   s.t.   A·x + S·s + I·a = b,   x, s, a ≥ 0
+
+    (rows sign-normalized to ``b ≥ 0``; ``S`` the slack columns) is always
+    feasible, so HiGHS returns an optimal dual ``y``.  Rationalizing ``y``
+    and re-checking **exactly** that
+
+        yᵀA ≤ 0 (structural cols),  yᵀS ≤ 0 (slack cols),  y ≤ 1,  yᵀb > 0
+
+    establishes, by weak duality, that the exact phase-1 optimum is at least
+    ``yᵀb > 0`` — i.e. the original program is infeasible — without a single
+    exact pivot.  Any check failing (dual noise too large, wrong verdict)
+    returns ``False`` and the caller falls back to the exact simplex.
+
+    This is what makes the binary search of ``minimal_fractional_T`` fast:
+    its infeasible probes are certified in ``O(nnz)`` rational work instead
+    of a cold exact phase-1 solve.
+    """
+    if not HAVE_SCIPY:
+        return False
+    import numpy as np
+    from scipy.optimize import linprog
+
+    if num_vars is None:
+        num_vars = _num_vars(coeff_rows)
+    std = standard_form(coeff_rows, senses, rhs, [Fraction(0)] * num_vars)
+    n, r = std.n, std.num_rows
+    if r == 0:
+        return False  # x = 0 is feasible
+    num_slack = sum(1 for s in std.slack_of_row if s is not None)
+    width = n + num_slack + r
+    a_eq = np.zeros((r, width))
+    for i in range(r):
+        for j, v in std.rows[i].items():
+            a_eq[i][j] = float(v)
+        if std.slack_of_row[i] is not None:
+            a_eq[i][std.slack_of_row[i]] = float(std.slack_sign[i])
+        a_eq[i][n + num_slack + i] = 1.0
+    b_eq = np.array([float(b) for b in std.rhs])
+    c = np.zeros(width)
+    c[n + num_slack:] = 1.0
+    try:
+        result = linprog(
+            c=c, A_eq=a_eq, b_eq=b_eq, bounds=[(0, None)] * width, method="highs"
+        )
+    except Exception:  # pragma: no cover - HiGHS internal failures
+        return False
+    if result.status != 0 or result.fun < 1e-9 or result.eqlin is None:
+        return False
+    raw = [float(v) for v in result.eqlin.marginals]
+    for sign in (1.0, -1.0):  # scipy's dual sign convention varies by path
+        try:
+            y = [rationalize(sign * v, 10**9) for v in raw]
+        except ValueError:  # pragma: no cover - non-finite marginals
+            continue
+        if _farkas_checks(std, y):
+            return True
+    return False
+
+
+def _num_vars(coeff_rows: Sequence[Dict[int, Fraction]]) -> int:
+    return 1 + max((max(row, default=-1) for row in coeff_rows), default=-1)
+
+
+def _farkas_checks(std, y: List[Fraction]) -> bool:
+    """The exact weak-duality conditions behind :func:`certify_infeasible`."""
+    if any(yi > 1 for yi in y):
+        return False
+    for i in range(std.num_rows):
+        if std.slack_of_row[i] is not None and std.slack_sign[i] * y[i] > 0:
+            return False
+    column_sums: Dict[int, Fraction] = {}
+    for i in range(std.num_rows):
+        yi = y[i]
+        if yi == 0:
+            continue
+        for j, v in std.rows[i].items():
+            column_sums[j] = column_sums.get(j, Fraction(0)) + yi * v
+    if any(total > 0 for total in column_sums.values()):
+        return False
+    gain = sum((y[i] * std.rhs[i] for i in range(std.num_rows)), Fraction(0))
+    return gain > 0
+
+
+def solve_standard_hybrid(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    objective: Sequence[Fraction],
+    warm_hints: Optional[Sequence[int]] = None,
+    warm_point: Optional[Sequence[Fraction]] = None,
+) -> SimplexResult:
+    """Certified solve: float candidate first, exact verification always.
+
+    The returned :class:`SimplexResult` is produced by the exact simplex in
+    every path, so it carries the same guarantees as ``backend="exact"``.
+    The rationalized HiGHS point (when HiGHS claims optimality) takes
+    precedence over the caller's *warm_point* as the crash-basis seed; a
+    claimed infeasibility is accepted only with an exact Farkas certificate.
+    """
+    n = len(objective)
+    size = n * max(len(coeff_rows), 1)
+    if size >= _FLOAT_SIZE_CUTOFF:
+        candidate = float_candidate(coeff_rows, senses, rhs, objective)
+        if candidate is not None and candidate.status == "optimal":
+            warm_point = candidate.x
+        elif candidate is not None and candidate.status == "infeasible":
+            if certify_infeasible(coeff_rows, senses, rhs, num_vars=n):
+                return SimplexResult("infeasible", [], None, None)
+    return solve_standard(
+        coeff_rows, senses, rhs, objective,
+        warm_hints=warm_hints, warm_point=warm_point,
+    )

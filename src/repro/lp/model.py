@@ -171,6 +171,46 @@ class LinearProgram:
     def values_by_key(self, x: Sequence[Union[Fraction, float]]) -> Dict[VarKey, Union[Fraction, float]]:
         return {key: x[i] for key, i in self._index.items()}
 
+    # ------------------------------------------------------------------
+    # Exact certification
+    # ------------------------------------------------------------------
+
+    def check_values(
+        self, values: Mapping[VarKey, Union[int, Fraction]]
+    ) -> List[str]:
+        """Exactly verify a candidate point; return the violations found.
+
+        Every variable bound and every constraint row is re-evaluated in
+        rational arithmetic — no tolerances.  An empty list certifies that
+        *values* (missing keys read as 0) is a feasible point of this
+        program.  This is the gate that keeps rationalized float-backend
+        output from entering the exact pipeline unchecked.
+        """
+        x = [Fraction(0)] * len(self._keys)
+        for key, value in values.items():
+            idx = self._index.get(key)
+            if idx is None:
+                continue
+            x[idx] = to_fraction(value)
+        violations: List[str] = []
+        for idx, key in enumerate(self._keys):
+            if x[idx] < self._lb[idx]:
+                violations.append(f"{key!r} = {x[idx]} < lb {self._lb[idx]}")
+            ub = self._ub[idx]
+            if ub is not None and x[idx] > ub:
+                violations.append(f"{key!r} = {x[idx]} > ub {ub}")
+        for pos, row in enumerate(self._rows):
+            lhs = sum((v * x[i] for i, v in row.coeffs.items()), Fraction(0))
+            ok = (
+                lhs <= row.rhs if row.sense == "<="
+                else lhs >= row.rhs if row.sense == ">="
+                else lhs == row.rhs
+            )
+            if not ok:
+                name = row.name or f"row[{pos}]"
+                violations.append(f"{name}: {lhs} {row.sense} {row.rhs} violated")
+        return violations
+
 
 @dataclass
 class LPSolution:

@@ -35,6 +35,15 @@ def solve_standard_float(
     exact checks can run; statuses map onto the exact solver's vocabulary.
     """
     n = len(objective)
+    if n == 0:
+        # linprog rejects empty programs; decide them exactly right here.
+        # (The IP-3 builders encode "job has no options" as a {} == 1 row.)
+        for sense, b in zip(senses, rhs):
+            b = Fraction(b)
+            ok = (b >= 0) if sense == "<=" else (b <= 0) if sense == ">=" else b == 0
+            if not ok:
+                return SimplexResult("infeasible", [], None, None)
+        return SimplexResult("optimal", [], Fraction(0), [])
     a_ub: List[List[float]] = []
     b_ub: List[float] = []
     a_eq: List[List[float]] = []

@@ -1,27 +1,48 @@
-"""Exact two-phase simplex over the rationals.
+"""Exact two-phase simplex over the rationals, with fraction-free pivoting.
 
 The rounding arguments of Sections V and VI need *basic* feasible solutions:
 Lenstra–Shmoys–Tardos relies on the pseudo-forest structure of a vertex's
 support, and Lemma VI.2's iterative relaxation counts fractional variables at
 a vertex.  Floating-point solvers return "almost" vertices; telling a
 fractional value from numeric noise then needs tolerances that can break the
-combinatorial arguments.  This implementation works on
-:class:`~fractions.Fraction` throughout, so support and fractionality are
-exact properties.
+combinatorial arguments.  This implementation is exact throughout, so support
+and fractionality are exact properties.
 
-Algorithm: classic dense-tableau two-phase simplex.  Pivoting uses Dantzig's
-rule for speed and switches to Bland's rule (which cannot cycle) once the
-iteration count exceeds a threshold, so termination is guaranteed.
+Arithmetic: instead of a dense :class:`~fractions.Fraction` tableau (whose
+per-cell gcd normalization dominated the old hot path), the tableau is kept
+as **integers with one common denominator** — Edmonds' integer pivoting, the
+arithmetic used by lrs.  Each row is pre-scaled to integers; a pivot on
+``(r, c)`` updates every other row as
+
+    T'[i][j] = (T[i][j]·T[r][c] − T[i][c]·T[r][j]) / d
+
+where ``d`` is the previous pivot value.  The division is exact (tableau
+entries are subdeterminants of the scaled input), so no rational
+normalization ever happens inside the pivot loop; the true tableau value of
+cell ``(i, j)`` is ``T[i][j] / d`` with ``d > 0`` maintained as an invariant.
+
+Pivot rule: Dantzig's for speed, switching to Bland's (which cannot cycle)
+once the iteration count exceeds a threshold, so termination is guaranteed.
+
+Warm starts: callers that already hold a (near-)feasible point — a prior
+solve of a neighbouring LP in a binary search, or a rationalized HiGHS
+candidate in the ``hybrid`` backend — can pass its support as
+``warm_hints``.  Hint columns are pushed into the basis by ordinary
+ratio-test pivots before the phase-1/phase-2 loops run, which preserves
+every invariant (each push is a legal simplex pivot) while typically letting
+phase 1 terminate immediately and phase 2 start at (or next to) the optimal
+vertex.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from math import gcd
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .._fraction import to_fraction
-from ..exceptions import SolverError, UnboundedError
+from ..exceptions import SolverError
 
 #: After this many pivots the pivot rule switches to Bland's (anti-cycling).
 _BLAND_THRESHOLD = 5000
@@ -35,111 +56,49 @@ class SimplexResult:
     x: List[Fraction]
     objective: Optional[Fraction]
     basis: Optional[List[int]]
+    pivots: int = 0
 
     @property
     def is_optimal(self) -> bool:
         return self.status == "optimal"
 
 
-def _pivot(tableau: List[List[Fraction]], basis: List[int], row: int, col: int) -> None:
-    """Pivot the tableau on (row, col); updates basis in place."""
-    pivot_row = tableau[row]
-    pivot_val = pivot_row[col]
-    if pivot_val == 0:
-        raise SolverError("zero pivot element")
-    inv = Fraction(1) / pivot_val
-    tableau[row] = [value * inv for value in pivot_row]
-    pivot_row = tableau[row]
-    for r, other in enumerate(tableau):
-        if r == row:
-            continue
-        factor = other[col]
-        if factor == 0:
-            continue
-        tableau[r] = [a - factor * b for a, b in zip(other, pivot_row)]
-    basis[row] = col
+def _lcm(a: int, b: int) -> int:
+    return a // gcd(a, b) * b
 
 
-def _choose_entering(cost_row: Sequence[Fraction], num_cols: int, bland: bool) -> Optional[int]:
-    """Index of an improving column (negative reduced cost), or None."""
-    if bland:
-        for j in range(num_cols):
-            if cost_row[j] < 0:
-                return j
-        return None
-    best_j: Optional[int] = None
-    best_val = Fraction(0)
-    for j in range(num_cols):
-        if cost_row[j] < best_val:
-            best_val = cost_row[j]
-            best_j = j
-    return best_j
+@dataclass
+class StandardForm:
+    """The normalized standard form shared by the exact and hybrid solvers.
+
+    Rows are sign-normalized to ``b ≥ 0``; slack and artificial variables are
+    assigned fixed column indices so a candidate basis can be described by
+    column index alone.
+    """
+
+    n: int  # structural variables
+    num_rows: int
+    rows: List[Dict[int, Fraction]]
+    senses: List[str]
+    rhs: List[Fraction]
+    slack_of_row: List[Optional[int]]
+    slack_sign: List[int]
+    needs_artificial: List[bool]
+    art_start: int  # first artificial column; == total non-artificial columns
+    total_cols: int  # including artificials, excluding the rhs column
 
 
-def _choose_leaving(
-    tableau: List[List[Fraction]], basis: List[int], col: int, num_rows: int
-) -> Optional[int]:
-    """Min-ratio test; ties broken by smallest basis index (Bland-safe)."""
-    best_row: Optional[int] = None
-    best_ratio: Optional[Fraction] = None
-    for r in range(num_rows):
-        a = tableau[r][col]
-        if a <= 0:
-            continue
-        ratio = tableau[r][-1] / a
-        if best_ratio is None or ratio < best_ratio or (
-            ratio == best_ratio and basis[r] < basis[best_row]  # type: ignore[index]
-        ):
-            best_ratio = ratio
-            best_row = r
-    return best_row
-
-
-def _run_phase(
-    tableau: List[List[Fraction]],
-    basis: List[int],
-    num_rows: int,
-    num_cols: int,
-    pivots_done: int,
-) -> Tuple[str, int]:
-    """Iterate until optimal/unbounded; cost row is tableau[num_rows]."""
-    cost_row = tableau[num_rows]
-    pivots = pivots_done
-    while True:
-        bland = pivots >= _BLAND_THRESHOLD
-        entering = _choose_entering(cost_row, num_cols, bland)
-        if entering is None:
-            return "optimal", pivots
-        leaving = _choose_leaving(tableau, basis, entering, num_rows)
-        if leaving is None:
-            return "unbounded", pivots
-        _pivot(tableau, basis, leaving, entering)
-        cost_row = tableau[num_rows]
-        pivots += 1
-        if pivots > _MAX_PIVOTS:
-            raise SolverError("simplex exceeded the pivot budget (cycling bug?)")
-
-
-def solve_standard(
+def standard_form(
     coeff_rows: Sequence[Dict[int, Fraction]],
     senses: Sequence[str],
     rhs: Sequence[Fraction],
     objective: Sequence[Fraction],
-) -> SimplexResult:
-    """Solve ``min c·x  s.t.  rows, x ≥ 0`` exactly.
-
-    *coeff_rows* are sparse ``{var_index: coefficient}`` mappings; *senses*
-    entries are ``"<="``, ``">="`` or ``"=="``.  The returned ``x`` is a
-    basic solution: at most ``len(coeff_rows)`` entries are non-zero.
-    """
+) -> StandardForm:
+    """Normalize ``min c·x s.t. rows, x ≥ 0`` for the tableau solvers."""
     n = len(objective)
     r = len(coeff_rows)
     if len(senses) != r or len(rhs) != r:
         raise SolverError("rows, senses and rhs must have equal length")
-
-    # Normalize to b ≥ 0 and attach slack / artificial columns.
-    slack_cols: List[Tuple[int, Fraction]] = []  # (row, sign)
-    artificial_rows: List[int] = []
     norm_rows: List[Dict[int, Fraction]] = []
     norm_rhs: List[Fraction] = []
     norm_senses: List[str] = []
@@ -147,6 +106,8 @@ def solve_standard(
         row = dict(coeff_rows[i])
         b = to_fraction(rhs[i])
         sense = senses[i]
+        if sense not in ("<=", ">=", "=="):
+            raise SolverError(f"unknown sense {sense!r}")
         if b < 0:
             row = {j: -v for j, v in row.items()}
             b = -b
@@ -155,103 +116,430 @@ def solve_standard(
         norm_rhs.append(b)
         norm_senses.append(sense)
 
-    num_slack = sum(1 for s in norm_senses if s in ("<=", ">="))
-    total_cols = n + num_slack  # artificials appended after
     slack_index = n
     slack_of_row: List[Optional[int]] = [None] * r
-    slack_sign: List[Fraction] = [Fraction(0)] * r
+    slack_sign: List[int] = [0] * r
     for i, sense in enumerate(norm_senses):
-        if sense == "<=":
+        if sense in ("<=", ">="):
             slack_of_row[i] = slack_index
-            slack_sign[i] = Fraction(1)
+            slack_sign[i] = 1 if sense == "<=" else -1
             slack_index += 1
-        elif sense == ">=":
-            slack_of_row[i] = slack_index
-            slack_sign[i] = Fraction(-1)
-            slack_index += 1
+    needs_artificial = [sense in (">=", "==") for sense in norm_senses]
+    art_start = slack_index
+    total_cols = art_start + sum(needs_artificial)
+    return StandardForm(
+        n=n,
+        num_rows=r,
+        rows=norm_rows,
+        senses=norm_senses,
+        rhs=norm_rhs,
+        slack_of_row=slack_of_row,
+        slack_sign=slack_sign,
+        needs_artificial=needs_artificial,
+        art_start=art_start,
+        total_cols=total_cols,
+    )
 
-    needs_artificial = [
-        sense in (">=", "==") for sense in norm_senses
-    ]
-    num_artificial = sum(needs_artificial)
-    art_start = total_cols
-    total_with_art = total_cols + num_artificial
 
-    # Build the tableau: r constraint rows + 1 cost row; last column is rhs.
-    tableau: List[List[Fraction]] = []
+class _Tableau:
+    """Integer tableau with one common denominator (``den > 0``).
+
+    ``rows`` holds the constraint rows followed by one or two cost rows; the
+    true rational value of any cell is ``cell / den``.  The rhs is the last
+    column of every row.
+    """
+
+    __slots__ = ("rows", "den", "basis", "num_rows", "art_start", "pivots")
+
+    def __init__(self, rows: List[List[int]], basis: List[int], num_rows: int, art_start: int):
+        self.rows = rows
+        self.den = 1
+        self.basis = basis
+        self.num_rows = num_rows
+        self.art_start = art_start
+        self.pivots = 0
+
+    def pivot(self, row: int, col: int) -> None:
+        rows = self.rows
+        den = self.den
+        piv_row = rows[row]
+        piv = piv_row[col]
+        if piv == 0:
+            raise SolverError("zero pivot element")
+        for i in range(len(rows)):
+            if i == row:
+                continue
+            cur = rows[i]
+            f = cur[col]
+            if f == 0:
+                if piv != den:
+                    rows[i] = [a * piv // den if a else 0 for a in cur]
+            else:
+                rows[i] = [
+                    (a * piv - f * b) // den for a, b in zip(cur, piv_row)
+                ]
+        self.basis[row] = col
+        if piv < 0:
+            # Keep den > 0 so sign tests read directly off the entries.
+            self.den = -piv
+            self.rows = [[-a for a in rw] for rw in rows]
+        else:
+            self.den = piv
+        self.pivots += 1
+        if self.pivots > _MAX_PIVOTS:
+            raise SolverError("simplex exceeded the pivot budget (cycling bug?)")
+
+    def entering(self, cost_index: int, bland: bool) -> Optional[int]:
+        """An improving non-artificial column (negative reduced cost)."""
+        cost = self.rows[cost_index]
+        limit = self.art_start
+        if bland:
+            for j in range(limit):
+                if cost[j] < 0:
+                    return j
+            return None
+        best_j: Optional[int] = None
+        best = 0
+        for j in range(limit):
+            v = cost[j]
+            if v < best:
+                best = v
+                best_j = j
+        return best_j
+
+    def leaving(self, col: int) -> Optional[int]:
+        """Min-ratio test; ties broken by smallest basis index (Bland-safe).
+
+        Ratios compare as ``b_r·a_s  vs  b_s·a_r`` — the common denominator
+        cancels, so no rationals are formed.
+        """
+        rows, basis = self.rows, self.basis
+        best_r: Optional[int] = None
+        best_b = best_a = 0
+        for r in range(self.num_rows):
+            a = rows[r][col]
+            if a <= 0:
+                continue
+            b = rows[r][-1]
+            if best_r is None:
+                best_r, best_b, best_a = r, b, a
+                continue
+            lhs = b * best_a
+            rhs = best_b * a
+            if lhs < rhs or (lhs == rhs and basis[r] < basis[best_r]):
+                best_r, best_b, best_a = r, b, a
+        return best_r
+
+    def push_hints(self, hints: Sequence[int]) -> None:
+        """Drive hint columns into the basis with legal ratio-test pivots.
+
+        A hint that is already basic, has no positive column entry, or lies
+        outside the column range is skipped; nothing here can violate
+        feasibility, so bad hints only cost the pivots they take.
+        """
+        in_basis = set(self.basis)
+        for col in hints:
+            if not 0 <= col < self.art_start or col in in_basis:
+                continue
+            row = self.leaving(col)
+            if row is None:
+                continue
+            old = self.basis[row]
+            self.pivot(row, col)
+            in_basis.discard(old)
+            in_basis.add(col)
+
+    def crash_basis(
+        self,
+        hints: Sequence[int],
+        std: "StandardForm",
+        eligible: Optional[Sequence[bool]] = None,
+    ) -> bool:
+        """Gaussian-eliminate hint columns straight into the basis.
+
+        Unlike :meth:`push_hints` this ignores the ratio test — each hint is
+        pivoted into one of its *structurally-owning* rows (rows where the
+        column has a non-zero coefficient in the original program, so
+        elimination fill-in cannot misroute a variable into an unrelated
+        row), artificial-basic rows first so phase 1 dissolves as a side
+        effect.  *eligible* marks the rows that are tight at the warm-start
+        point — claiming a slack row that is *not* tight would force its
+        positive slack out of the basis and land on a different (generally
+        infeasible) basic solution, so non-tight rows are never claimed.
+
+        The intermediate dictionaries may be primal infeasible, so the
+        result is accepted only if the final one is exactly feasible
+        (``b ≥ 0``) with every remaining artificial at level 0; returns
+        whether it was.  On success the caller skips phase 1 outright — this
+        is the certification step of the hybrid backend, where the hints are
+        a float solver's optimal support and one elimination pass replaces
+        both simplex phases.
+        """
+        hinted: set = set()
+        in_basis = set(self.basis)
+        skipped: List[int] = []
+        for col in hints:
+            if not 0 <= col < self.art_start or col in in_basis:
+                continue
+            best_row: Optional[int] = None
+            best_rank = 2
+            for r in range(self.num_rows):
+                if (
+                    (eligible is not None and not eligible[r])
+                    or self.basis[r] in hinted
+                    or col not in std.rows[r]
+                    or self.rows[r][col] == 0
+                ):
+                    continue
+                rank = 0 if self.basis[r] >= self.art_start else 1
+                if rank < best_rank:
+                    best_rank = rank
+                    best_row = r
+                    if rank == 0:
+                        break
+            if best_row is None:
+                skipped.append(col)
+                continue
+            in_basis.discard(self.basis[best_row])
+            self.pivot(best_row, col)
+            in_basis.add(col)
+            hinted.add(col)
+        # Mop-up pass: with the bulk of the structure placed, stragglers may
+        # pivot into eligible rows through elimination fill-in (no longer a
+        # misrouting risk — every structurally-owning row is already hinted).
+        for col in skipped:
+            best_row = None
+            for r in range(self.num_rows):
+                if (
+                    (eligible is not None and not eligible[r])
+                    or self.basis[r] in hinted
+                    or self.rows[r][col] == 0
+                ):
+                    continue
+                best_row = r
+                if self.basis[r] >= self.art_start:
+                    break
+            if best_row is None:
+                continue  # linearly dependent on the placed columns
+            in_basis.discard(self.basis[best_row])
+            self.pivot(best_row, col)
+            in_basis.add(col)
+            hinted.add(col)
+        # A "≥" row that is slack at the warm point starts artificial-basic
+        # (its slack has coefficient −1, not +1); reinstate the slack so the
+        # artificial doesn't sit at a negative level.
+        for r in range(self.num_rows):
+            if self.basis[r] >= self.art_start:
+                slack = std.slack_of_row[r]
+                if slack is not None and slack not in in_basis and self.rows[r][slack]:
+                    in_basis.discard(self.basis[r])
+                    self.pivot(r, slack)
+                    in_basis.add(slack)
+        for r in range(self.num_rows):
+            if self.rows[r][-1] < 0:
+                return False
+            if self.basis[r] >= self.art_start and self.rows[r][-1] != 0:
+                return False
+        return True
+
+    def drop_artificials(self) -> None:
+        """Compact artificial columns away once phase 1 is done.
+
+        Redundant rows can keep an artificial basic at level 0; their basis
+        markers stay ≥ ``art_start`` (skipped by extraction and never chosen
+        by the entering rule), while every row sheds the dead columns so
+        later pivots touch fewer cells.
+        """
+        art_start = self.art_start
+        self.rows = [row[:art_start] + [row[-1]] for row in self.rows]
+
+    def run_phase(self, cost_index: int) -> str:
+        while True:
+            bland = self.pivots >= _BLAND_THRESHOLD
+            col = self.entering(cost_index, bland)
+            if col is None:
+                return "optimal"
+            row = self.leaving(col)
+            if row is None:
+                return "unbounded"
+            self.pivot(row, col)
+
+    def value(self, row: int, col: int) -> Fraction:
+        return Fraction(self.rows[row][col], self.den)
+
+
+def _build_tableau(std: StandardForm, objective: Sequence[Fraction]) -> Tuple[_Tableau, bool]:
+    """Integer tableau for *std* with the slack/artificial starting basis.
+
+    Each constraint row is scaled by the lcm of its denominators; slack and
+    artificial variables are implicitly rescaled with their row, which keeps
+    their columns unit columns (required for the starting basis) without
+    changing the structural solution.  Returns ``(tableau, has_artificials)``
+    with the phase-2 cost row at index ``num_rows`` and, when artificials
+    exist, the reduced phase-1 cost row at index ``num_rows + 1``.
+    """
+    r, width = std.num_rows, std.total_cols + 1
+    rows: List[List[int]] = []
     basis: List[int] = []
-    art_index = art_start
-    zero = Fraction(0)
+    art_index = std.art_start
     for i in range(r):
-        row = [zero] * (total_with_art + 1)
-        for j, v in norm_rows[i].items():
-            row[j] = v
-        if slack_of_row[i] is not None:
-            row[slack_of_row[i]] = slack_sign[i]
-        if needs_artificial[i]:
-            row[art_index] = Fraction(1)
+        scale = 1
+        for v in std.rows[i].values():
+            scale = _lcm(scale, v.denominator)
+        scale = _lcm(scale, std.rhs[i].denominator)
+        row = [0] * width
+        for j, v in std.rows[i].items():
+            row[j] = int(v * scale)
+        if std.slack_of_row[i] is not None:
+            row[std.slack_of_row[i]] = std.slack_sign[i]
+        if std.needs_artificial[i]:
+            row[art_index] = 1
             basis.append(art_index)
             art_index += 1
         else:
-            basis.append(slack_of_row[i])  # type: ignore[arg-type]
-        row[-1] = norm_rhs[i]
-        tableau.append(row)
+            basis.append(std.slack_of_row[i])  # type: ignore[arg-type]
+        row[-1] = int(std.rhs[i] * scale)
+        rows.append(row)
+
+    # Phase-2 cost row (scaled to integers by its own lcm; the scale only
+    # stretches reduced costs by a positive factor, so sign tests and the
+    # argmin are unaffected).
+    obj_scale = 1
+    fr_obj = [to_fraction(c) for c in objective]
+    for c in fr_obj:
+        obj_scale = _lcm(obj_scale, c.denominator)
+    cost2 = [0] * width
+    for j, c in enumerate(fr_obj):
+        cost2[j] = int(c * obj_scale)
+    rows.append(cost2)
+
+    has_artificials = art_index > std.art_start
+    if has_artificials:
+        cost1 = [0] * width
+        for j in range(std.art_start, std.total_cols):
+            cost1[j] = 1
+        # Reduce w.r.t. the artificial part of the starting basis.
+        for i in range(r):
+            if basis[i] >= std.art_start:
+                cost1 = [a - b for a, b in zip(cost1, rows[i])]
+        rows.append(cost1)
+
+    return _Tableau(rows, basis, r, std.art_start), has_artificials
+
+
+def _point_hints(point: Sequence[Fraction]) -> List[int]:
+    """Support of a warm-start point, largest value first (deterministic)."""
+    support = [(v, j) for j, v in enumerate(point) if v > 0]
+    support.sort(key=lambda pair: (-pair[0], pair[1]))
+    return [j for _v, j in support]
+
+
+#: Relative slack below which a row counts as tight at a warm-start point.
+#: Only a *heuristic* (the crash result is verified exactly afterwards), so
+#: the tolerance exists to keep rationalization noise from hiding a row that
+#: is tight at the true vertex.
+_TIGHT_EPS = 1e-9
+
+
+def _tight_rows(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    point: Sequence[Fraction],
+) -> List[bool]:
+    """Which rows hold with (near-)equality at *point*.
+
+    Equality rows count as tight regardless of the (possibly noisy) point —
+    their artificial has to leave the basis either way.
+    """
+    flags: List[bool] = []
+    for row, sense, b in zip(coeff_rows, senses, rhs):
+        if sense == "==":
+            flags.append(True)
+            continue
+        activity = sum((v * point[j] for j, v in row.items()), Fraction(0))
+        gap = float(activity - to_fraction(b))
+        flags.append(abs(gap) <= _TIGHT_EPS * max(1.0, abs(float(b))))
+    return flags
+
+
+def solve_standard(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    objective: Sequence[Fraction],
+    warm_hints: Optional[Sequence[int]] = None,
+    warm_point: Optional[Sequence[Fraction]] = None,
+) -> SimplexResult:
+    """Solve ``min c·x  s.t.  rows, x ≥ 0`` exactly.
+
+    *coeff_rows* are sparse ``{var_index: coefficient}`` mappings; *senses*
+    entries are ``"<="``, ``">="`` or ``"=="``.  The returned ``x`` is a
+    basic solution: at most ``len(coeff_rows)`` entries are non-zero.
+
+    Warm starts (see the module docstring) can only speed the solve up,
+    never change its guarantees: *warm_point* is a candidate solution whose
+    support and tight rows seed a crash basis; *warm_hints* is the bare
+    column-index form used when no full point is available.
+    """
+    std = standard_form(coeff_rows, senses, rhs, objective)
+    tab, has_artificials = _build_tableau(std, objective)
+    r = std.num_rows
+
+    eligible: Optional[List[bool]] = None
+    if warm_point is not None and len(warm_point) == std.n:
+        point = [to_fraction(v) for v in warm_point]
+        warm_hints = _point_hints(point) + list(warm_hints or [])
+        eligible = _tight_rows(coeff_rows, senses, rhs, point)
+
+    crashed = False
+    if warm_hints:
+        crashed = tab.crash_basis(warm_hints, std, eligible)
+        if not crashed:
+            # The crash left an infeasible dictionary; rebuild and fall back
+            # to ratio-test pushes (always legal, merely less direct).
+            tab, has_artificials = _build_tableau(std, objective)
+            tab.push_hints(warm_hints)
 
     # ---------------- Phase 1: minimize the sum of artificials -------------
-    pivots = 0
-    if num_artificial:
-        cost = [zero] * (total_with_art + 1)
-        for j in range(art_start, total_with_art):
-            cost[j] = Fraction(1)
-        tableau.append(cost)
-        # Express the cost row in terms of the non-basic variables.
+    if has_artificials:
+        if not crashed:
+            status = tab.run_phase(r + 1)
+            if status == "unbounded":  # pragma: no cover - impossible: cost ≥ 0
+                raise SolverError("phase-1 objective unbounded")
+            if tab.rows[r + 1][-1] < 0:  # objective −rhs/den still positive
+                return SimplexResult("infeasible", [], None, None, tab.pivots)
+        # Drive any zero-level artificials out of the basis.  This is load-
+        # bearing, not cosmetic: a basic artificial at level 0 whose row has
+        # non-zero structural entries could be lifted off zero by a later
+        # phase-2 pivot, silently voiding an equality row.
         for i in range(r):
-            if basis[i] >= art_start:
-                tableau[r] = [a - b for a, b in zip(tableau[r], tableau[i])]
-        status, pivots = _run_phase(tableau, basis, r, total_with_art, 0)
-        if status == "unbounded":  # pragma: no cover - impossible: cost ≥ 0
-            raise SolverError("phase-1 objective unbounded")
-        phase1_obj = -tableau[r][-1]
-        if phase1_obj > 0:
-            return SimplexResult("infeasible", [], None, None)
-        # Drive any zero-level artificials out of the basis.
-        for i in range(r):
-            if basis[i] >= art_start:
+            if tab.basis[i] >= std.art_start:
                 pivot_col = None
-                for j in range(total_cols):
-                    if tableau[i][j] != 0:
+                row_i = tab.rows[i]
+                for j in range(std.art_start):
+                    if row_i[j] != 0:
                         pivot_col = j
                         break
                 if pivot_col is not None:
-                    _pivot(tableau, basis, i, pivot_col)
-                # else: redundant row; the artificial stays basic at 0, which
-                # is harmless as long as its column never re-enters.
-        tableau.pop()  # drop the phase-1 cost row
+                    tab.pivot(i, pivot_col)
+                # else: the row is all-zero outside its artificial column
+                # (redundant constraint); the artificial stays basic at 0
+                # and nothing can move it.
+        tab.rows.pop()  # drop the phase-1 cost row
+        tab.drop_artificials()
 
     # ---------------- Phase 2: original objective --------------------------
-    cost = [zero] * (total_with_art + 1)
-    for j in range(n):
-        cost[j] = to_fraction(objective[j])
-    # Forbid artificials from re-entering.
-    tableau.append(cost)
-    for i in range(r):
-        cb = cost[basis[i]] if basis[i] < n else zero
-        if cb != 0:
-            tableau[r] = [a - cb * b for a, b in zip(tableau[r], tableau[i])]
-    # Zero out reduced costs of artificial columns so they are never chosen;
-    # mark them unattractive by forcing non-negative reduced cost.
-    for j in range(art_start, total_with_art):
-        if tableau[r][j] < 0:
-            tableau[r][j] = zero
-    status, pivots = _run_phase(tableau, basis, r, total_cols, pivots)
+    status = tab.run_phase(r)
     if status == "unbounded":
-        return SimplexResult("unbounded", [], None, basis)
+        return SimplexResult("unbounded", [], None, list(tab.basis), tab.pivots)
 
-    x = [zero] * n
+    n = std.n
+    x = [Fraction(0)] * n
     for i in range(r):
-        if basis[i] < n:
-            x[basis[i]] = tableau[i][-1]
+        if tab.basis[i] < n:
+            x[tab.basis[i]] = tab.value(i, -1)
     objective_value = sum(
-        (to_fraction(objective[j]) * x[j] for j in range(n)), Fraction(0)
+        (to_fraction(objective[j]) * x[j] for j in range(n) if x[j]), Fraction(0)
     )
-    return SimplexResult("optimal", x, objective_value, list(basis))
+    return SimplexResult("optimal", x, objective_value, list(tab.basis), tab.pivots)

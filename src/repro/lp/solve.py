@@ -1,36 +1,103 @@
-"""Unified LP solving entry point with backend dispatch."""
+"""Unified LP solving entry point with backend dispatch.
+
+Backends
+--------
+``"exact"``
+    Fraction-free rational simplex.  Guaranteed exact optimal *basic*
+    solutions; the reference everything else is certified against.
+``"scipy"``
+    HiGHS floats, rationalized on the way out.  Fast but **uncertified**:
+    values may violate constraints by rounding hairs and need not be
+    vertices.  Callers must re-check (see
+    :meth:`~repro.lp.model.LinearProgram.check_values`) before feeding the
+    result to anything that needs exactness.
+``"hybrid"``
+    HiGHS candidate + exact verification/repair (see :mod:`repro.lp.hybrid`).
+    Same guarantees as ``"exact"``, close to ``"scipy"`` speed on anything
+    large enough for the float probe to pay off.  Degrades to ``"exact"``
+    when scipy is unavailable.
+``"auto"``
+    ``"exact"`` for small programs, ``"hybrid"`` beyond
+    :data:`_AUTO_SIZE_LIMIT`.
+
+Warm starts: pass ``warm_values`` (a previously feasible point keyed like
+the program's variables) and the exact/hybrid backends push its support into
+the starting basis, typically skipping phase 1 entirely.
+"""
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Optional
+from typing import Dict, List, Mapping, Optional
 
+from .._fraction import to_fraction
 from ..exceptions import SolverError
-from .model import LinearProgram, LPSolution
-from .scipy_backend import solve_standard_float
-from .simplex import SimplexResult, solve_standard
+from .hybrid import HAVE_SCIPY, solve_standard_hybrid
+from .model import LinearProgram, LPSolution, VarKey
+from .simplex import solve_standard
 
-BACKENDS = ("exact", "scipy")
+if HAVE_SCIPY:
+    from .scipy_backend import solve_standard_float
+else:  # pragma: no cover - scipy is present in CI images
+    solve_standard_float = None  # type: ignore[assignment]
 
-#: Problem size (variables × rows) above which "auto" prefers the float backend.
+BACKENDS = ("exact", "scipy", "hybrid")
+
+#: Problem size (variables × rows) above which "auto" prefers hybrid.
 _AUTO_SIZE_LIMIT = 20000
 
 
-def solve_lp(lp: LinearProgram, backend: str = "exact") -> LPSolution:
-    """Solve *lp* (minimization) and map values back to variable keys.
-
-    ``backend="exact"`` guarantees a rational basic solution;
-    ``backend="scipy"`` is faster on large programs and rationalizes its
-    output; ``backend="auto"`` picks by problem size.
-    """
+def _resolve_backend(backend: str, lp: LinearProgram) -> str:
     if backend == "auto":
         size = lp.num_variables * max(lp.num_constraints, 1)
-        backend = "exact" if size <= _AUTO_SIZE_LIMIT else "scipy"
+        backend = "exact" if size <= _AUTO_SIZE_LIMIT else "hybrid"
     if backend not in BACKENDS:
         raise SolverError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if backend in ("scipy", "hybrid") and not HAVE_SCIPY:
+        if backend == "scipy":
+            raise SolverError("backend 'scipy' requested but scipy is not installed")
+        backend = "exact"  # hybrid degrades gracefully, guarantees intact
+    return backend
+
+
+def _warm_point(
+    lp: LinearProgram, warm_values: Optional[Mapping[VarKey, Fraction]]
+) -> Optional[List[Fraction]]:
+    """A prior point as a dense structural vector (missing keys read as 0)."""
+    if not warm_values:
+        return None
+    point = [Fraction(0)] * lp.num_variables
+    found = False
+    for key, value in warm_values.items():
+        if lp.has_variable(key):
+            value = to_fraction(value)
+            if value != 0:
+                point[lp.index_of(key)] = value
+                found = True
+    return point if found else None
+
+
+def solve_lp(
+    lp: LinearProgram,
+    backend: str = "exact",
+    warm_values: Optional[Mapping[VarKey, Fraction]] = None,
+) -> LPSolution:
+    """Solve *lp* (minimization) and map values back to variable keys.
+
+    See the module docstring for the per-backend guarantees.  *warm_values*
+    is an optional previously-feasible point used to warm-start the
+    exact/hybrid backends; it never changes the result, only the pivot path.
+    """
+    backend = _resolve_backend(backend, lp)
     coeff_rows, senses, rhs, objective = lp.to_standard_rows()
     if backend == "exact":
-        result = solve_standard(coeff_rows, senses, rhs, objective)
+        result = solve_standard(
+            coeff_rows, senses, rhs, objective, warm_point=_warm_point(lp, warm_values)
+        )
+    elif backend == "hybrid":
+        result = solve_standard_hybrid(
+            coeff_rows, senses, rhs, objective, warm_point=_warm_point(lp, warm_values)
+        )
     else:
         result = solve_standard_float(coeff_rows, senses, rhs, objective)
     if result.status != "optimal":
@@ -41,7 +108,57 @@ def solve_lp(lp: LinearProgram, backend: str = "exact") -> LPSolution:
     return LPSolution(status="optimal", values=values, objective=result.objective)
 
 
+def feasible_point(
+    lp: LinearProgram,
+    backend: str = "exact",
+) -> Optional[Dict[VarKey, Fraction]]:
+    """An **exactly certified** feasible point of *lp*, or ``None``.
+
+    This is the cheap primitive behind feasibility probes (the binary search
+    of ``minimal_fractional_T`` fires hundreds of them).  With the hybrid
+    backend, a rationalized HiGHS point that passes the exact
+    :meth:`~repro.lp.model.LinearProgram.check_values` re-check is returned
+    directly — no exact pivoting at all; the point is feasible but not
+    necessarily basic, which is all a feasibility verdict needs.  Every
+    other path (check fails, float says infeasible, non-hybrid backend)
+    falls through to a certified solve.
+
+    With ``backend="scipy"`` the point is re-checked exactly as well, and
+    rejected (exact re-solve) instead of propagated when uncertified.
+    """
+    from .hybrid import _FLOAT_SIZE_CUTOFF
+
+    backend = _resolve_backend(backend, lp)
+    size = lp.num_variables * max(lp.num_constraints, 1)
+    if backend == "hybrid" and size < _FLOAT_SIZE_CUTOFF:
+        backend = "exact"  # linprog overhead exceeds a cold exact solve
+    coeff_rows, senses, rhs, objective = lp.to_standard_rows()
+    warm_point: Optional[List[Fraction]] = None
+    if backend in ("hybrid", "scipy"):
+        from .hybrid import certify_infeasible, float_candidate
+
+        # float_candidate absorbs HiGHS hard failures (iteration limits,
+        # numerical breakdown) — a None candidate simply means no shortcut.
+        candidate = float_candidate(coeff_rows, senses, rhs, objective)
+        if candidate is not None and candidate.status == "optimal":
+            values = {
+                key: candidate.x[lp.index_of(key)] for key in lp.variable_keys
+            }
+            if not lp.check_values(values):
+                return values  # certified by the exact re-check
+            warm_point = candidate.x  # uncertified: warm-start the repair
+        elif candidate is not None and candidate.status == "infeasible" and certify_infeasible(
+            coeff_rows, senses, rhs, num_vars=lp.num_variables
+        ):
+            return None  # certified by the exact Farkas re-check
+        # Claimed unbounded or failed certification: the exact solver
+        # re-derives the verdict (reusing the standard rows built above).
+    result = solve_standard(coeff_rows, senses, rhs, objective, warm_point=warm_point)
+    if result.status != "optimal":
+        return None
+    return {key: result.x[lp.index_of(key)] for key in lp.variable_keys}
+
+
 def is_feasible(lp: LinearProgram, backend: str = "exact") -> bool:
-    """Feasibility check: solve with a zero objective."""
-    solution = solve_lp(lp, backend=backend)
-    return solution.is_optimal
+    """Certified feasibility check (see :func:`feasible_point`)."""
+    return feasible_point(lp, backend=backend) is not None

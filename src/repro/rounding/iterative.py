@@ -16,8 +16,10 @@ We implement the natural iterative-relaxation realization:
 1. solve the LP to a vertex (exact simplex — fractionality must be exact);
 2. fix every integral variable (0 drops it, 1 assigns the job);
 3. if fractional variables remain, *drop* a packing row whose **remaining
-   fractional weight** ``W_l = Σ_{q fractional} a_lq`` is at most ``ρ·b_l``
-   (so rounding its survivors up can overshoot by at most ``ρ·b_l``), or —
+   fractional weight** ``F_l = Σ_{q fractional} a_lq`` satisfies
+   ``F_l ≤ ρ·b_l + (b_l − W_l)`` with ``W_l`` the weight already fixed to 1
+   (final usage ≤ ``W_l + F_l ≤ (1 + ρ)·b_l``; the textbook rule
+   ``F_l ≤ ρ·b_l`` is the conservative special case ``W_l = b_l``), or —
    for Theorem VI.1's variant — a row with at most ``max_drop_vars``
    fractional variables (overshoot ≤ that many × the row's max coefficient);
 4. repeat on the reduced LP.
@@ -100,6 +102,19 @@ def column_rho(
     return max(totals.values(), default=Fraction(0))
 
 
+def _residual(row: PackingRow, fixed: Mapping[VarKey, int]) -> Fraction:
+    """``b − W``: the row bound minus the weight already fixed to 1.
+
+    Evaluated twice per iteration *on purpose* — once before the LP solve
+    (the constraint rhs) and once after this iteration's fixes (the drop
+    rule's ``W``); conflating the two would overestimate the residual and
+    make the drop rule unsound.
+    """
+    return row.bound - sum(
+        (a for q, a in row.coeffs.items() if fixed.get(q) == 1), Fraction(0)
+    )
+
+
 def iterative_round(
     groups: Mapping[Hashable, Sequence[VarKey]],
     packing: Sequence[PackingRow],
@@ -156,6 +171,9 @@ def iterative_round(
 
         lp = LinearProgram()
         for q in free_keys:
+            # The explicit ub matters here even though the group rows imply
+            # it: Lemma VI.2's drop rules are calibrated against vertices of
+            # the box-constrained formulation.
             lp.add_variable(q, lb=0, ub=1)
         for job in open_jobs:
             candidates = [q for q in groups[job] if q not in fixed]
@@ -165,12 +183,8 @@ def iterative_round(
                 )  # pragma: no cover - impossible: zeros only set by the LP
             lp.add_constraint({q: 1 for q in candidates}, "==", 1)
         for row in active_rows:
-            residual = row.bound - sum(
-                (a for q, a in row.coeffs.items() if fixed.get(q) == 1),
-                Fraction(0),
-            )
             coeffs = {q: a for q, a in row.coeffs.items() if q not in fixed and lp.has_variable(q)}
-            lp.add_constraint(coeffs, "<=", residual, name=row.name)
+            lp.add_constraint(coeffs, "<=", _residual(row, fixed), name=row.name)
         if cost_map:
             lp.set_objective({q: cost_map.get(q, Fraction(0)) for q in free_keys})
         solution = solve_lp(lp, backend=backend)
@@ -208,7 +222,11 @@ def iterative_round(
         if not fractional:
             continue  # all remaining either fixed now or done next loop
 
-        # Try to drop a packing row.
+        # Try to drop a packing row.  Sound rule: with F the remaining
+        # fractional weight and W the weight already fixed to 1, the final
+        # usage is at most W + F, so requiring F ≤ ρ·b + (b − W) keeps the
+        # row within (1 + ρ)·b.  (The textbook rule F ≤ ρ·b is the special
+        # case W = b; using the residual covers strictly more rows.)
         frac_set = set(fractional)
         best_row: Optional[PackingRow] = None
         for row in active_rows:
@@ -218,7 +236,7 @@ def iterative_round(
             frac_count = sum(1 for q in row.coeffs if q in frac_set)
             if frac_count == 0:
                 continue
-            if frac_weight <= rho * row.bound or (
+            if frac_weight <= rho * row.bound + _residual(row, fixed) or (
                 max_drop_vars is not None and frac_count <= max_drop_vars
             ):
                 best_row = row

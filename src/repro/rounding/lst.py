@@ -21,7 +21,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
-from .._fraction import INF, is_inf, to_fraction
+from .._fraction import INF, is_inf, to_fraction, to_fraction_finite
 from ..exceptions import InfeasibleError, RoundingError
 from ..lp.model import LinearProgram
 from ..lp.solve import solve_lp
@@ -46,7 +46,9 @@ def build_unrelated_lp(p: PMatrix, T: Time) -> LinearProgram:
         for i in sorted(p[j]):
             value = p[j][i]
             if not is_inf(value) and to_fraction(value) <= T:
-                lp.add_variable(("x", i, j), lb=0, ub=1)
+                # ub implied by the assignment row; a bound row would only
+                # bloat the tableau.
+                lp.add_variable(("x", i, j), lb=0)
                 allowed.append(i)
                 machines.setdefault(i, []).append(j)
         if not allowed:
@@ -127,24 +129,52 @@ def round_fractional_solution(
 def lst_round(
     p: PMatrix,
     T: Time,
-    backend: str = "exact",
+    backend: str = "hybrid",
 ) -> Dict[int, int]:
     """Full LST step: solve the assignment LP at *T*, then round.
 
     Returns ``job -> machine``.  The resulting per-machine load is at most
     ``2T`` (LP load ≤ T plus at most one extra job of size ≤ T).  Raises
     :class:`InfeasibleError` when the LP itself is infeasible at *T*.
+
+    The rounding needs a *basic* solution; the exact and hybrid backends
+    guarantee one.  With ``backend="scipy"`` the rationalized point is
+    re-checked exactly first, and any uncertified or non-vertex point is
+    repaired by an exact re-solve (warm-started from the candidate) instead
+    of being propagated into the pseudo-forest argument.
     """
     lp = build_unrelated_lp(p, T)
     solution = solve_lp(lp, backend=backend)
+    if not solution.is_optimal and backend == "scipy":
+        # Callers sit exactly on the feasibility knife-edge (T = certified
+        # T*); never let a float solver's "infeasible" be the last word.
+        solution = solve_lp(lp, backend="exact")
     if not solution.is_optimal:
         raise InfeasibleError(f"assignment LP infeasible at T={T}")
+    if backend == "scipy":
+        if lp.check_values(solution.values):
+            solution = solve_lp(lp, backend="exact", warm_values=solution.values)
+            if not solution.is_optimal:  # pragma: no cover - float false positive
+                raise InfeasibleError(f"assignment LP infeasible at T={T}")
+        else:
+            try:
+                return round_fractional_solution(solution.values)
+            except RoundingError:
+                # Feasible but not vertex-shaped (HiGHS interior/crossover
+                # artifact): repair with an exact basic re-solve.
+                solution = solve_lp(lp, backend="exact", warm_values=solution.values)
     return round_fractional_solution(solution.values)
 
 
 def assignment_loads(p: PMatrix, assignment: Mapping[int, int]) -> Dict[int, Fraction]:
-    """Per-machine load of an integral assignment."""
+    """Per-machine load of an integral assignment.
+
+    Assigning a job to a machine with ``p = INF`` is a domain error
+    (:class:`~repro.exceptions.InvalidInstanceError`), not a coercion crash.
+    """
     loads: Dict[int, Fraction] = {}
     for j, i in assignment.items():
-        loads[i] = loads.get(i, Fraction(0)) + to_fraction(p[j][i])
+        loads[i] = loads.get(i, Fraction(0)) + to_fraction_finite(
+            p[j][i], f"processing time of job {j} on machine {i}"
+        )
     return loads
