@@ -8,18 +8,37 @@ capture (EXPERIMENTS.md is assembled from those files).
 from __future__ import annotations
 
 import os
+import tempfile
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def emit(name: str, table) -> None:
-    """Print a table and persist it under benchmarks/results/."""
+    """Print a table and persist it under benchmarks/results/.
+
+    The write is atomic (temp file in the same directory + ``os.replace``):
+    concurrent bench/sweep runs may race on the same result name, and a
+    reader — or a crashed writer — must never observe a truncated file.
+    """
     rendered = table.render()
     print()
     print(rendered)
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
-        fh.write(rendered + "\n")
+    fd, tmp_path = tempfile.mkstemp(
+        dir=RESULTS_DIR, prefix=f".{name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(rendered + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, os.path.join(RESULTS_DIR, f"{name}.txt"))
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def run_once(benchmark, fn):

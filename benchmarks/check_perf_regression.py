@@ -1,0 +1,135 @@
+"""Perf-regression gate: fresh ``BENCH_lp_backends.json`` vs the committed one.
+
+CI regenerates the benchmark (``bench_lp_backends.py --quick``) and calls
+this script with the committed artifact as baseline.  For every (n, m)
+shape present in **both** files it computes the hybrid backend's slowdown
+and fails when the *median* slowdown exceeds the threshold (default 1.5×).
+
+By default the slowdown is **normalized**: each file's hybrid seconds are
+divided by the *same run's* ``exact``-backend seconds before comparing, so
+raw machine speed cancels out — the committed artifact comes from a
+developer workstation while CI runs on shared runners, and an absolute
+wall-clock gate across machines would trip on hardware, not regressions.
+What the normalized gate catches is the thing the hybrid backend exists
+for: its advantage over the exact core eroding.  ``--absolute`` switches to
+raw hybrid seconds for same-machine comparisons (e.g. artifact hand-off
+between CI runs).
+
+It also re-checks the certification invariant: where both files share a
+shape, they must agree on the exact ``T*`` string — a perf artifact from a
+solver that changed its answers is worse than useless.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BASELINE.json FRESH.json \
+        [--max-slowdown 1.5] [--backend hybrid] [--absolute]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict, List, Optional, Tuple
+
+Shape = Tuple[int, int]
+
+
+def _seconds_by_shape(payload: Dict, backend: str) -> Dict[Shape, float]:
+    out: Dict[Shape, float] = {}
+    for row in payload.get("rows", []):
+        if row.get("backend") == backend:
+            out[(int(row["n"]), int(row["m"]))] = float(row["seconds"])
+    return out
+
+
+def _t_star_by_shape(payload: Dict, backend: str) -> Dict[Shape, str]:
+    return {
+        (int(r["n"]), int(r["m"])): str(r["T_star"])
+        for r in payload.get("rows", [])
+        if r.get("backend") == backend
+    }
+
+
+def _metric(
+    payload: Dict, backend: str, normalize_by: Optional[str]
+) -> Dict[Shape, float]:
+    secs = _seconds_by_shape(payload, backend)
+    if normalize_by is None:
+        return secs
+    ref = _seconds_by_shape(payload, normalize_by)
+    return {
+        shape: secs[shape] / ref[shape]
+        for shape in secs
+        if shape in ref and ref[shape] > 0
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_lp_backends.json")
+    parser.add_argument("fresh", help="freshly generated BENCH_lp_backends.json")
+    parser.add_argument("--backend", default="hybrid")
+    parser.add_argument("--normalize-by", default="exact")
+    parser.add_argument("--max-slowdown", type=float, default=1.5)
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="compare raw seconds (only meaningful when baseline and fresh "
+        "ran on the same machine)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+
+    normalize_by = None if args.absolute else args.normalize_by
+    base_vals = _metric(baseline, args.backend, normalize_by)
+    fresh_vals = _metric(fresh, args.backend, normalize_by)
+    common = sorted(set(base_vals) & set(fresh_vals))
+    if not common:
+        print(
+            f"FAIL: no common (n, m) shapes between baseline {sorted(base_vals)} "
+            f"and fresh {sorted(fresh_vals)} — regenerate the committed artifact"
+        )
+        return 2
+
+    # Drift is checked on every shape both files measured — including any a
+    # zero-rounded reference timing excluded from the slowdown metric.
+    base_t = _t_star_by_shape(baseline, args.backend)
+    fresh_t = _t_star_by_shape(fresh, args.backend)
+    for shape in sorted(set(base_t) & set(fresh_t)):
+        if base_t.get(shape) != fresh_t.get(shape):
+            print(
+                f"FAIL: exact T* drifted at (n={shape[0]}, m={shape[1]}): "
+                f"baseline {base_t.get(shape)} vs fresh {fresh_t.get(shape)}"
+            )
+            return 1
+
+    unit = "s" if args.absolute else f"x {args.normalize_by}"
+    slowdowns = []
+    for shape in common:
+        ratio = fresh_vals[shape] / base_vals[shape] if base_vals[shape] > 0 else 1.0
+        slowdowns.append(ratio)
+        print(
+            f"n={shape[0]:3d} m={shape[1]:3d} {args.backend}: "
+            f"baseline {base_vals[shape]:.4f}{unit}  "
+            f"fresh {fresh_vals[shape]:.4f}{unit}  slowdown {ratio:.2f}x"
+        )
+    median = statistics.median(slowdowns)
+    print(
+        f"median {args.backend} slowdown over {len(common)} shape(s): "
+        f"{median:.2f}x (gate: {args.max_slowdown}x, "
+        f"{'absolute seconds' if args.absolute else 'normalized by ' + args.normalize_by})"
+    )
+    if median > args.max_slowdown:
+        print("FAIL: perf regression gate tripped")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

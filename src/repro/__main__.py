@@ -4,4 +4,9 @@ import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe — the Unix-polite exit.
+    sys.stderr.close()
+    sys.exit(0)

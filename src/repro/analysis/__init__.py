@@ -1,6 +1,13 @@
 """Experiment analysis helpers: tables and ratio statistics."""
 
 from .ratios import RatioStats, geometric_mean
-from .tables import Table, fmt
+from .tables import Table, decode_cell, encode_cell, fmt
 
-__all__ = ["RatioStats", "Table", "fmt", "geometric_mean"]
+__all__ = [
+    "RatioStats",
+    "Table",
+    "decode_cell",
+    "encode_cell",
+    "fmt",
+    "geometric_mean",
+]

@@ -1,15 +1,24 @@
-"""ASCII table rendering for the experiment harness.
+"""ASCII table rendering + exact JSON serialization for the experiment harness.
 
 Every benchmark prints the table it reproduces; this keeps formatting in one
 place so EXPERIMENTS.md and the bench output stay visually identical.
+
+Tables hold their cells **raw** (``Fraction`` stays ``Fraction``) and only
+format at :meth:`Table.render` time.  That is what lets the sweep runner
+(:mod:`repro.runner`) persist tables to its results store and reassemble
+them later without losing exactness: :meth:`Table.to_json` /
+:meth:`Table.from_json` round-trip every cell bit-for-bit (Fractions are
+tagged, not floated), and :meth:`Table.from_records` rebuilds an accumulated
+table from store records.
 """
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-Cell = Union[str, int, float, Fraction, None]
+Cell = Union[str, int, float, Fraction, bool, None]
 
 
 def fmt(value: Cell, digits: int = 3) -> str:
@@ -31,25 +40,59 @@ def fmt(value: Cell, digits: int = 3) -> str:
     return str(value)
 
 
+def encode_cell(value: Cell) -> Any:
+    """A strict-JSON-safe encoding of one cell, exactness preserved.
+
+    ``Fraction`` cells become ``{"$frac": [num, den]}`` (arbitrary-precision
+    ints survive JSON), non-finite floats become ``{"$float": "inf"|...}``;
+    everything JSON-native passes through.  Unknown cell types fall back to
+    their ``str`` form — they render identically, which is all ``fmt`` ever
+    guaranteed for them.
+    """
+    if isinstance(value, Fraction):
+        return {"$frac": [value.numerator, value.denominator]}
+    if isinstance(value, float) and not math.isfinite(value):
+        return {"$float": repr(value)}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def decode_cell(value: Any) -> Cell:
+    """Inverse of :func:`encode_cell`."""
+    if isinstance(value, dict):
+        if "$frac" in value:
+            num, den = value["$frac"]
+            return Fraction(int(num), int(den))
+        if "$float" in value:
+            return float(value["$float"])
+    return value
+
+
 class Table:
-    """A fixed-header ASCII table with right-aligned numeric columns."""
+    """A fixed-header ASCII table with right-aligned numeric columns.
+
+    ``rows`` holds the raw cells (exact values); formatting happens in
+    :meth:`render`.
+    """
 
     def __init__(self, title: str, headers: Sequence[str], digits: int = 3):
         self.title = title
         self.headers = list(headers)
         self.digits = digits
-        self.rows: List[List[str]] = []
+        self.rows: List[List[Cell]] = []
 
     def add_row(self, *cells: Cell) -> None:
         if len(cells) != len(self.headers):
             raise ValueError(
                 f"expected {len(self.headers)} cells, got {len(cells)}"
             )
-        self.rows.append([fmt(c, self.digits) for c in cells])
+        self.rows.append(list(cells))
 
     def render(self) -> str:
+        formatted = [[fmt(c, self.digits) for c in row] for row in self.rows]
         widths = [len(h) for h in self.headers]
-        for row in self.rows:
+        for row in formatted:
             for k, cell in enumerate(row):
                 widths[k] = max(widths[k], len(cell))
         sep = "+".join("-" * (w + 2) for w in widths)
@@ -58,11 +101,54 @@ class Table:
         header = "|".join(f" {h.ljust(widths[k])} " for k, h in enumerate(self.headers))
         out.append(f"|{header}|")
         out.append(sep)
-        for row in self.rows:
+        for row in formatted:
             line = "|".join(f" {cell.rjust(widths[k])} " for k, cell in enumerate(row))
             out.append(f"|{line}|")
         out.append(sep)
         return "\n".join(out)
+
+    def to_json(self) -> Dict[str, Any]:
+        """A strict-JSON-safe dict; :meth:`from_json` inverts it exactly."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "digits": self.digits,
+            "rows": [[encode_cell(c) for c in row] for row in self.rows],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "Table":
+        """Rebuild a table from :meth:`to_json` output (exact round trip)."""
+        table = cls(payload["title"], payload["headers"], payload.get("digits", 3))
+        for row in payload["rows"]:
+            table.add_row(*(decode_cell(c) for c in row))
+        return table
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Mapping[str, Cell]],
+        title: str = "",
+        headers: Optional[Sequence[str]] = None,
+        digits: int = 3,
+    ) -> "Table":
+        """Assemble a table from row mappings (header → cell).
+
+        Headers default to first-seen order across the records; missing keys
+        render as ``-``.  This is how ``repro report`` turns accumulated
+        store records back into one E07/E14/E15-style table.
+        """
+        materialized = [dict(rec) for rec in records]
+        if headers is None:
+            headers = []
+            for rec in materialized:
+                for key in rec:
+                    if key not in headers:
+                        headers.append(key)
+        table = cls(title, headers, digits)
+        for rec in materialized:
+            table.add_row(*(rec.get(h) for h in headers))
+        return table
 
     def print(self) -> None:  # pragma: no cover - passthrough
         print()

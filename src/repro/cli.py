@@ -2,10 +2,18 @@
 
 Commands
 --------
-``experiments [ids…] [--backend hybrid|exact|scipy]``
+``experiments [ids…|list] [--backend hybrid|exact|scipy]``
     Run (a subset of) the E01–E15 experiment suite at test scale and print
-    the tables.  ``--backend`` overrides the LP backend for every experiment
-    whose runner accepts one.
+    the tables; ``experiments list`` prints every registered experiment id
+    with its one-line summary.  ``--backend`` overrides the LP backend for
+    every experiment whose runner accepts one.
+``sweep <ids…> [--jobs N] [--store PATH] [--seeds K] [--seed0 S] [--params k=v …]``
+    Shard the selected experiments' parameter spaces across a process pool
+    and persist results in a resumable store (SQLite index + JSONL
+    payloads).  Completed tasks are skipped on re-runs; ``--jobs N`` output
+    is bit-identical to ``--jobs 1``.
+``report <store> [ids…] [--timings]``
+    Reassemble accumulated sweep tables from a results store.
 ``solve --demo <name> [--backend hybrid|exact|scipy]``
     Solve one of the built-in demo instances (``ii1``, ``v1``, ``smp``) with
     the exact solver and the 2-approximation, printing schedules as Gantt
@@ -21,52 +29,137 @@ re-checked at the call sites that need exactness).
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from . import __version__
 
 
-_EXPERIMENTS = {
-    "e01": ("experiments.e01_example_ii1", {}),
-    "e02": ("experiments.e02_example_iii1", {}),
-    "e03": ("experiments.e03_migration_bounds", dict(machine_counts=(2, 3, 4), trials=10, n_jobs=8)),
-    "e04": ("experiments.e04_semi_partitioned_validity", dict(shapes=((6, 2), (10, 4)), trials=8)),
-    "e05": ("experiments.e05_hierarchical_validity", dict(machine_counts=(3, 5, 8), trials=8, n_jobs=10)),
-    "e06": ("experiments.e06_pushdown", dict(machine_counts=(3, 4, 6), n_jobs=6)),
-    "e07": ("experiments.e07_two_approx_ratio", dict(shapes=((4, 3), (6, 3), (8, 4)), trials=4)),
-    "e08": ("experiments.e08_gap_family", dict(sizes=(3, 4, 5, 6, 8))),
-    "e09": ("experiments.e09_general_masks", dict(shapes=((4, 3), (6, 4)), trials=5)),
-    "e10": ("experiments.e10_memory_model1", dict(shapes=(("semi", 6, 2), ("clustered", 6, 4)), trials=3)),
-    "e11": ("experiments.e11_memory_model2", dict(configs=((2, 2, 4), (4, 2, 6)), trials=3)),
-    "e12": ("experiments.e12_scheduler_comparison", dict(n_jobs=5, trials=2)),
-    "e13": ("experiments.e13_integrality", dict(trials=8, gap_ms=(2, 3, 4))),
-    "e14": ("experiments.e14_scaling", dict(shapes=((6, 3), (10, 4)))),
-    "e15": ("experiments.e15_schedulability", dict(utilizations=(0.6, 0.9), m=4, T_ref=20, trials=3)),
-}
+def _parse_params(pairs: List[str]) -> Dict[str, Any]:
+    """``k=v`` pairs with Python-literal values (``trials=2``,
+    ``shapes="((4,3),(6,3))"``); non-literals stay strings."""
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--params expects key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            overrides[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            overrides[key] = raw
+    return overrides
+
+
+def _list_experiments() -> int:
+    from .runner import all_specs
+
+    for spec in all_specs():
+        print(f"{spec.id}  {spec.summary}")
+    return 0
 
 
 def _run_experiments(ids: List[str], backend: Optional[str] = None) -> int:
-    import importlib
-    import inspect
+    from .runner import experiment_ids, get_spec
 
-    chosen = ids or sorted(_EXPERIMENTS)
+    if ids and ids[0] == "list":
+        return _list_experiments()
+    chosen = ids or experiment_ids()
     for exp_id in chosen:
-        if exp_id not in _EXPERIMENTS:
-            print(f"unknown experiment {exp_id!r}; choose from {sorted(_EXPERIMENTS)}")
+        try:
+            spec = get_spec(exp_id)
+        except KeyError:
+            print(f"unknown experiment {exp_id!r}; choose from {experiment_ids()}")
             return 2
-        module_name, kwargs = _EXPERIMENTS[exp_id]
-        module = importlib.import_module(f"repro.{module_name}")
-        kwargs = dict(kwargs)
+        kwargs = dict(spec.cli_params)
         if backend is not None:
-            parameters = inspect.signature(module.run).parameters
-            if "backend" in parameters:
+            if spec.accepts("backend"):
                 kwargs["backend"] = backend
-            elif "backends" in parameters:
+            elif spec.accepts("backends"):
                 kwargs["backends"] = (backend,)
-        result = module.run(**kwargs)
+        result = spec.run(**kwargs)
         print()
         print(result.table.render())
+    return 0
+
+
+def _run_sweep(
+    ids: List[str],
+    jobs: int,
+    store_path: str,
+    seeds: int,
+    seed0: Optional[int],
+    params: List[str],
+) -> int:
+    from .runner import ResultsStore, experiment_ids, get_spec, run_sweep
+
+    chosen = ids or experiment_ids()
+    known = set(experiment_ids())
+    unknown = [i for i in chosen if i not in known]
+    if unknown:
+        print(f"unknown experiment(s) {unknown}; choose from {sorted(known)}")
+        return 2
+    overrides = _parse_params(params)
+    # A key no selected experiment accepts is almost certainly a typo; a
+    # silently-dropped override would cache default-parameter results the
+    # user believes were overridden.
+    for key in overrides:
+        takers = [i for i in chosen if get_spec(i).accepts(key)]
+        if not takers:
+            print(
+                f"--params key {key!r} is not accepted by any of {chosen}; "
+                "check `repro experiments list` and the run() signatures"
+            )
+            return 2
+    if seeds > 1 or seed0 is not None:
+        seedable = [i for i in chosen if get_spec(i).seedable]
+        if not seedable:
+            print(
+                f"--seeds/--seed0 have no effect: none of {chosen} takes a "
+                "seed (deterministic worked examples run once per point)"
+            )
+            return 2
+        unseedable = sorted(set(chosen) - set(seedable))
+        if unseedable:
+            print(f"note: {unseedable} take no seed; replicates apply to {seedable}")
+    with ResultsStore(store_path) as store:
+        stats = run_sweep(
+            chosen,
+            store,
+            jobs=jobs,
+            overrides=overrides,
+            seeds=seeds,
+            seed0=seed0,
+            echo=print,
+        )
+    print(
+        f"\nsweep: {stats.total} tasks — {stats.executed} executed, "
+        f"{stats.skipped} skipped (cached), {stats.failed} failed  "
+        f"[store: {store_path}]"
+    )
+    return 1 if stats.failed else 0
+
+
+def _run_report(store_path: str, ids: List[str], timings: bool) -> int:
+    import os
+
+    from .runner import ResultsStore, assemble_table
+
+    if not os.path.isdir(store_path):
+        print(f"no results store at {store_path!r}")
+        return 2
+    with ResultsStore(store_path) as store:
+        chosen = ids or store.experiments()
+        if not chosen:
+            print(f"store {store_path!r} holds no completed tasks yet")
+            return 0
+        for exp_id in chosen:
+            table = assemble_table(store, exp_id, timings=timings)
+            if table is None:
+                print(f"\n{exp_id}: no completed tasks in store")
+                continue
+            print()
+            print(table.render())
     return 0
 
 
@@ -119,13 +212,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         "semi-partitioned parallel scheduling' (IPDPS 2017)",
     )
     sub = parser.add_subparsers(dest="command")
-    exp = sub.add_parser("experiments", help="run the E01–E15 suite (test scale)")
-    exp.add_argument("ids", nargs="*", help="experiment ids, e.g. e01 e08")
+    exp = sub.add_parser(
+        "experiments", help="run the E01–E15 suite (test scale), or list ids"
+    )
+    exp.add_argument("ids", nargs="*", help="experiment ids (e.g. e01 e08), or 'list'")
     exp.add_argument(
         "--backend",
         choices=("hybrid", "exact", "scipy"),
         default=None,
         help="LP backend override (default: each experiment's own)",
+    )
+    sweep = sub.add_parser(
+        "sweep", help="shard experiment sweeps across a process pool"
+    )
+    sweep.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument(
+        "--store", default="results", help="results store directory (default: results)"
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=1,
+        help="replicates per sweep point with derived seeds (default: 1 = "
+        "each experiment's built-in seed)",
+    )
+    sweep.add_argument(
+        "--seed0", type=int, default=None,
+        help="root seed for per-task seed derivation",
+    )
+    sweep.add_argument(
+        "--params", nargs="*", default=[], metavar="K=V",
+        help="axis overrides applied to every experiment accepting them",
+    )
+    report = sub.add_parser(
+        "report", help="reassemble accumulated sweep tables from a store"
+    )
+    report.add_argument("store", help="results store directory")
+    report.add_argument("ids", nargs="*", help="experiment ids (default: all stored)")
+    report.add_argument(
+        "--timings", action="store_true",
+        help="append per-task wall-clock from the store index",
     )
     solve = sub.add_parser("solve", help="solve a built-in demo instance")
     solve.add_argument("--demo", default="ii1", help="ii1 | v1 | smp")
@@ -140,6 +265,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "experiments":
         return _run_experiments(args.ids, backend=args.backend)
+    if args.command == "sweep":
+        return _run_sweep(
+            args.ids, args.jobs, args.store, args.seeds, args.seed0, args.params
+        )
+    if args.command == "report":
+        return _run_report(args.store, args.ids, args.timings)
     if args.command == "solve":
         return _solve_demo(args.demo, backend=args.backend)
     if args.command == "version":

@@ -4,43 +4,31 @@ The paper is pure theory — no tables or figures — so "reproducing the
 evaluation" means turning every quantitative claim (worked examples, bound
 statements, approximation guarantees) into a measurable experiment.  Each
 module exposes a ``run(...)`` function returning a structured result with a
-``table`` attribute; ``benchmarks/bench_e*.py`` times the core solve and
-prints the table, and the integration tests assert the paper-predicted
-values on small scales.  EXPERIMENTS.md records expected-vs-measured.
+``table`` attribute, and registers an
+:class:`~repro.runner.registry.ExperimentSpec` (its id, CLI-scale
+parameters, and sweep parameter space) with the experiment registry —
+there is no hand-maintained experiment list anywhere; dropping a new
+``eNN_*.py`` module into this package is all it takes.
+
+``benchmarks/bench_e*.py`` times the core solve of each experiment and
+prints its table, and the integration tests assert the paper-predicted
+values at small scale.  EXPERIMENTS.md records expected-vs-measured; its
+accumulated tables (E07/E14/E15-style sweeps) are assembled with
+``repro report <store>`` from the persistent results store that
+``repro sweep`` maintains under ``results/`` — each sweep task is stored
+once, keyed by (experiment id, canonical params, code fingerprint), so
+tables grow across invocations instead of being re-rendered from scratch.
 """
 
-from . import (
-    e01_example_ii1,
-    e02_example_iii1,
-    e03_migration_bounds,
-    e04_semi_partitioned_validity,
-    e05_hierarchical_validity,
-    e06_pushdown,
-    e07_two_approx_ratio,
-    e08_gap_family,
-    e09_general_masks,
-    e10_memory_model1,
-    e11_memory_model2,
-    e12_scheduler_comparison,
-    e13_integrality,
-    e14_scaling,
-    e15_schedulability,
+import importlib as _importlib
+import pkgutil as _pkgutil
+
+#: Discovered experiment modules, in id order (e01, e02, …).
+__all__ = sorted(
+    info.name
+    for info in _pkgutil.iter_modules(__path__)
+    if info.name[:1] == "e" and info.name[1:3].isdigit()
 )
 
-__all__ = [
-    "e01_example_ii1",
-    "e02_example_iii1",
-    "e03_migration_bounds",
-    "e04_semi_partitioned_validity",
-    "e05_hierarchical_validity",
-    "e06_pushdown",
-    "e07_two_approx_ratio",
-    "e08_gap_family",
-    "e09_general_masks",
-    "e10_memory_model1",
-    "e11_memory_model2",
-    "e12_scheduler_comparison",
-    "e13_integrality",
-    "e14_scaling",
-    "e15_schedulability",
-]
+for _name in __all__:
+    _importlib.import_module(f"{__name__}.{_name}")

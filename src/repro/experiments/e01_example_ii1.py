@@ -38,3 +38,10 @@ def run() -> E01Result:
     table.add_row("opt(Iu) (unrelated collapse)", 3, opt_collapse)
     table.add_row("LP lower bound T*", "≤ 2", T_lp)
     return E01Result(opt_semi, opt_collapse, T_lp, table)
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e01",
+    run=run,
+))

@@ -56,3 +56,10 @@ def run() -> E02Result:
         schedule=schedule,
         table=table,
     )
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e02",
+    run=run,
+))

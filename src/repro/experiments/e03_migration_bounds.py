@@ -101,3 +101,13 @@ def run(
             row.bound_total,
         )
     return E03Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+#: Sweep surface: one task per machine count so the pool shards that axis.
+SPEC = register(ExperimentSpec(
+    id="e03",
+    run=run,
+    cli_params=dict(machine_counts=(2, 3, 4), trials=10, n_jobs=8),
+    space=dict(machine_counts=((2,), (3,), (4,), (6,)), trials=(10,), n_jobs=(8,)),
+))

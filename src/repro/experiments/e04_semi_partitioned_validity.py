@@ -87,3 +87,12 @@ def run(
             row.greedy_vs_assignment_ratio,
         )
     return E04Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e04",
+    run=run,
+    cli_params=dict(shapes=((6, 2), (10, 4)), trials=8),
+    space=dict(shapes=(((6, 2),), ((10, 4),), ((16, 4),)), trials=(8,)),
+))

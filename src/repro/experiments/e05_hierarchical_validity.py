@@ -90,3 +90,12 @@ def run(
             row.max_shared_machines,
         )
     return E05Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e05",
+    run=run,
+    cli_params=dict(machine_counts=(3, 5, 8), trials=8, n_jobs=10),
+    space=dict(machine_counts=((3,), (5,), (8,)), trials=(8,), n_jobs=(10,)),
+))

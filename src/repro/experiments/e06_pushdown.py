@@ -101,3 +101,12 @@ def run(
             row.final_on_singletons,
         )
     return E06Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e06",
+    run=run,
+    cli_params=dict(machine_counts=(3, 4, 6), n_jobs=6),
+    space=dict(machine_counts=((3,), (4,), (6,)), n_jobs=(6,)),
+))

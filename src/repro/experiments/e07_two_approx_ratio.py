@@ -84,3 +84,13 @@ def run(
             row.vs_opt.maximum if row.vs_opt else None,
         )
     return E07Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+#: Sweep surface: one task per shape so the pool shards the shape axis.
+SPEC = register(ExperimentSpec(
+    id="e07",
+    run=run,
+    cli_params=dict(shapes=((4, 3), (6, 3), (8, 4)), trials=4),
+    space=dict(shapes=(((4, 3),), ((6, 3),), ((8, 4),)), trials=(4,)),
+))

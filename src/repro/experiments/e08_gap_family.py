@@ -70,3 +70,12 @@ def run(sizes=(3, 4, 5, 6, 8, 10, 12)) -> E08Result:
             r.approx_makespan,
         )
     return E08Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e08",
+    run=run,
+    cli_params=dict(sizes=(3, 4, 5, 6, 8)),
+    space=dict(sizes=((3, 4, 5), (6, 8))),
+))

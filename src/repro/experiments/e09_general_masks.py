@@ -90,3 +90,12 @@ def run(
     for r in rows:
         table.add_row(r.n, r.m, r.trials, r.laminar_fraction, r.ratio.mean, r.ratio.maximum)
     return E09Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e09",
+    run=run,
+    cli_params=dict(shapes=((4, 3), (6, 4)), trials=5),
+    space=dict(shapes=(((4, 3),), ((6, 4),)), trials=(5,)),
+))

@@ -124,3 +124,12 @@ def run(
             r.fallback_drops,
         )
     return E10Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e10",
+    run=run,
+    cli_params=dict(shapes=(("semi", 6, 2), ("clustered", 6, 4)), trials=3),
+    space=dict(shapes=((("semi", 6, 2),), (("clustered", 6, 4),)), trials=(3,)),
+))

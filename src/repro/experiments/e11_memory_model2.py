@@ -127,3 +127,12 @@ def run(
             r.fallback_drops,
         )
     return E11Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e11",
+    run=run,
+    cli_params=dict(configs=((2, 2, 4), (4, 2, 6)), trials=3),
+    space=dict(configs=(((2, 2, 4),), ((4, 2, 6),)), trials=(3,)),
+))

@@ -140,3 +140,12 @@ def run(
         cells.append(row.migrations)
         table.add_row(*cells)
     return E12Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e12",
+    run=run,
+    cli_params=dict(n_jobs=5, trials=2),
+    space=dict(n_jobs=(5,), trials=(2,)),
+))

@@ -68,3 +68,12 @@ def run(
     for gm, T_star, opt, gap in family_rows:
         table.add_row(f"gap family m={gm}", T_star, opt, gap)
     return E13Result(random_gap=stats, gap_family_rows=family_rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+SPEC = register(ExperimentSpec(
+    id="e13",
+    run=run,
+    cli_params=dict(trials=8, gap_ms=(2, 3, 4)),
+    space=dict(trials=(8,), gap_ms=((2, 3, 4),)),
+))

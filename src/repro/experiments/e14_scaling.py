@@ -63,3 +63,16 @@ def run(
     for r in rows:
         table.add_row(r.n, r.m, r.backend, r.seconds, r.ratio_vs_lp)
     return E14Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+#: ``seconds`` is wall-clock — masked in the sweep store (the executor
+#: records its own per-task timing in the index), keeping payloads
+#: bit-reproducible across ``--jobs`` settings and machines.
+SPEC = register(ExperimentSpec(
+    id="e14",
+    run=run,
+    cli_params=dict(shapes=((6, 3), (10, 4))),
+    space=dict(shapes=(((6, 3),), ((10, 4),))),
+    volatile_columns=("seconds",),
+))

@@ -100,3 +100,14 @@ def run(
             row.utilization, *(row.acceptance[c] for c in SCHEDULER_CLASSES)
         )
     return E15Result(rows=rows, table=table)
+
+from ..runner.registry import ExperimentSpec, register
+
+#: Sweep surface: one task per utilization level — the acceptance-ratio
+#: curve accumulates across invocations in the results store.
+SPEC = register(ExperimentSpec(
+    id="e15",
+    run=run,
+    cli_params=dict(utilizations=(0.6, 0.9), m=4, T_ref=20, trials=3),
+    space=dict(utilizations=((0.6,), (0.9,)), m=(4,), T_ref=(20,), trials=(3,)),
+))

@@ -1,0 +1,37 @@
+"""Parallel sweep runner: experiment registry, executor, persistent store.
+
+The scale-out layer of the harness.  ``repro sweep`` / ``repro report`` on
+the CLI are thin wrappers over:
+
+* :mod:`repro.runner.registry` — each experiment module registers an
+  :class:`ExperimentSpec` (id, parameter space, ``run``);
+* :mod:`repro.runner.executor` — process-pool sharding of (experiment,
+  params, seed) tasks with order-independent, bit-reproducible results;
+* :mod:`repro.runner.store` — SQLite-indexed JSONL results store keyed by
+  content hash, so finished tasks are never recomputed;
+* :mod:`repro.runner.sweep` — orchestration plus table reassembly.
+"""
+
+from .executor import SweepStats, Task, execute_task, run_tasks
+from .registry import ExperimentSpec, all_specs, experiment_ids, get_spec, register
+from .store import ResultsStore, canonical_json, code_fingerprint, task_key
+from .sweep import assemble_table, build_tasks, run_sweep
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultsStore",
+    "SweepStats",
+    "Task",
+    "all_specs",
+    "assemble_table",
+    "build_tasks",
+    "canonical_json",
+    "code_fingerprint",
+    "execute_task",
+    "experiment_ids",
+    "get_spec",
+    "register",
+    "run_sweep",
+    "run_tasks",
+    "task_key",
+]

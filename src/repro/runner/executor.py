@@ -1,0 +1,168 @@
+"""Process-pool task executor with deterministic, resumable output.
+
+A sweep is a list of :class:`Task` objects — ``(experiment id, run()
+kwargs, content key)``.  :func:`run_tasks` executes the ones missing from
+the store, either inline (``jobs=1``) or across a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Two properties make ``--jobs N`` indistinguishable from a serial run:
+
+* every task is a self-contained ``spec.run(**params)`` call whose seed (if
+  any) is already inside ``params`` — nothing about a worker or its
+  schedule can leak into the result;
+* completed records are flushed to the store in **task order**, buffering
+  out-of-order completions, so even the payload files come out
+  byte-identical.
+
+Wall-clock is measured per task and stored in the index only; table columns
+an :class:`~repro.runner.registry.ExperimentSpec` declares volatile (e.g.
+E14's ``seconds``) are masked to ``None`` in the persistent payload so the
+payload stays a pure function of (code, params).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .registry import get_spec
+from .store import ResultsStore, _canonical
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of sweep work: run ``experiment`` with ``params``."""
+
+    experiment: str
+    params: Dict[str, Any]
+    key: str
+
+    def label(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.experiment}({inner})"
+
+
+@dataclass
+class SweepStats:
+    """What a sweep did; ``executed + skipped + failed == total``."""
+
+    total: int = 0
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+def execute_task(
+    experiment: str, params: Dict[str, Any], key: str, fingerprint: str
+) -> Tuple[Dict[str, Any], float]:
+    """Run one task and return ``(store record, elapsed seconds)``.
+
+    Module-level so it pickles for the process pool; workers re-resolve the
+    spec through the registry, which re-imports the experiment module under
+    spawn-style start methods.
+    """
+    spec = get_spec(experiment)
+    start = time.perf_counter()
+    result = spec.run(**params)
+    elapsed = time.perf_counter() - start
+    payload = result.table.to_json()
+    volatile = set(spec.volatile_columns) & set(payload["headers"])
+    if volatile:
+        masked = [payload["headers"].index(c) for c in volatile]
+        for row in payload["rows"]:
+            for idx in masked:
+                row[idx] = None
+    record = {
+        "key": key,
+        "experiment": experiment,
+        "params": _canonical(params),
+        "seed": params.get("seed"),
+        "fingerprint": fingerprint,
+        "table": payload,
+    }
+    return record, elapsed
+
+
+def _execute_tuple(args: Tuple[str, Dict[str, Any], str, str]):
+    return execute_task(*args)
+
+
+def run_tasks(
+    tasks: List[Task],
+    store: ResultsStore,
+    fingerprint: str,
+    jobs: int = 1,
+    echo: Optional[Callable[[str], None]] = None,
+) -> SweepStats:
+    """Execute every task not already in *store*; flush in task order."""
+    say = echo or (lambda _msg: None)
+    stats = SweepStats(total=len(tasks))
+    pending: List[Tuple[int, Task]] = []
+    for idx, task in enumerate(tasks):
+        if store.has(task.key):
+            stats.skipped += 1
+            say(f"skip {task.label()}  [cached {task.key[:12]}]")
+        else:
+            pending.append((idx, task))
+    if not pending:
+        return stats
+
+    if jobs <= 1:
+        for _idx, task in pending:
+            try:
+                record, elapsed = execute_task(
+                    task.experiment, task.params, task.key, fingerprint
+                )
+            except Exception as exc:  # noqa: BLE001 - reported per task
+                stats.failed += 1
+                stats.errors.append(f"{task.label()}: {exc!r}")
+                say(f"FAIL {task.label()}: {exc!r}")
+                continue
+            store.add(record, elapsed)
+            stats.executed += 1
+            say(f"done {task.label()}  ({elapsed:.2f}s)")
+        return stats
+
+    # Parallel path: submit everything, but commit results to the store in
+    # submission order so payload files match the serial run byte-for-byte.
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {}
+        order: List[int] = []
+        for idx, task in pending:
+            fut = pool.submit(
+                _execute_tuple, (task.experiment, task.params, task.key, fingerprint)
+            )
+            futures[fut] = idx
+            order.append(idx)
+        by_index = {idx: task for idx, task in pending}
+        ready: Dict[int, Tuple[Dict[str, Any], float]] = {}
+        errors: Dict[int, BaseException] = {}
+        cursor = 0  # next position in `order` eligible to flush
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for fut in done:
+                idx = futures[fut]
+                try:
+                    ready[idx] = fut.result()
+                except BaseException as exc:  # noqa: BLE001 - reported per task
+                    errors[idx] = exc
+            while cursor < len(order) and (
+                order[cursor] in ready or order[cursor] in errors
+            ):
+                idx = order[cursor]
+                task = by_index[idx]
+                if idx in errors:
+                    stats.failed += 1
+                    stats.errors.append(f"{task.label()}: {errors[idx]!r}")
+                    say(f"FAIL {task.label()}: {errors[idx]!r}")
+                else:
+                    record, elapsed = ready.pop(idx)
+                    store.add(record, elapsed)
+                    stats.executed += 1
+                    say(f"done {task.label()}  ({elapsed:.2f}s)")
+                cursor += 1
+    return stats

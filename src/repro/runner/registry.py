@@ -1,0 +1,117 @@
+"""Declarative experiment registry.
+
+Every ``repro.experiments.e*`` module registers an :class:`ExperimentSpec`
+at import time (see the ``SPEC = register(...)`` line at the bottom of each
+module).  The spec is the single source of truth the rest of the harness
+reads:
+
+* ``cli_params`` — the test-scale kwargs ``repro experiments`` uses
+  (formerly a hand-maintained dict inside ``cli.py``);
+* ``space`` — the sweep parameter space: a mapping from ``run()`` kwarg to
+  the tuple of values it takes, whose cartesian product is the sweep grid.
+  Axes with several values are what the process-pool executor shards across
+  workers;
+* ``volatile_columns`` — table columns whose values are environment
+  measurements (wall-clock), masked out of the persistent store so sweep
+  payloads stay bit-reproducible (the executor records its own per-task
+  timing in the store index instead).
+
+The registry is intentionally import-light: looking up a spec lazily
+imports :mod:`repro.experiments`, which triggers every module's
+registration, so callers never see a half-populated registry.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment's declarative surface for the CLI and sweep runner."""
+
+    id: str
+    run: Callable[..., Any]
+    cli_params: Mapping[str, Any] = field(default_factory=dict)
+    space: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    volatile_columns: Tuple[str, ...] = ()
+
+    @property
+    def summary(self) -> str:
+        """First line of the experiment module's docstring."""
+        doc = sys.modules[self.run.__module__].__doc__ or ""
+        return doc.strip().splitlines()[0] if doc.strip() else self.id
+
+    @property
+    def parameters(self) -> Mapping[str, inspect.Parameter]:
+        return inspect.signature(self.run).parameters
+
+    def accepts(self, name: str) -> bool:
+        return name in self.parameters
+
+    @property
+    def seedable(self) -> bool:
+        return self.accepts("seed")
+
+    def points(
+        self, overrides: Mapping[str, Any] | None = None
+    ) -> List[Dict[str, Any]]:
+        """The sweep grid: cartesian product of the space's axes.
+
+        *overrides* replace whole axes with a single value (``--params`` on
+        the CLI); override keys the experiment's ``run()`` does not accept
+        are silently dropped so one ``--params trials=2`` can apply across a
+        multi-experiment sweep.
+        """
+        axes: Dict[str, Sequence[Any]] = {k: tuple(v) for k, v in self.space.items()}
+        for key, value in (overrides or {}).items():
+            if self.accepts(key):
+                axes[key] = (value,)
+        if not axes:
+            return [{}]
+        names = list(axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(axes[n] for n in names))
+        ]
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register *spec* (idempotent per id; re-registration must agree)."""
+    existing = _REGISTRY.get(spec.id)
+    if existing is not None and existing.run is not spec.run:
+        raise ValueError(f"experiment id {spec.id!r} registered twice")
+    _REGISTRY[spec.id] = spec
+    return spec
+
+
+def _ensure_loaded() -> None:
+    # Importing the experiments package runs every module's register() call.
+    import repro.experiments  # noqa: F401
+
+
+def get_spec(exp_id: str) -> ExperimentSpec:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_specs() -> List[ExperimentSpec]:
+    _ensure_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def experiment_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)

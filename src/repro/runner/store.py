@@ -1,0 +1,238 @@
+"""Persistent, resumable results store: SQLite index + JSONL payloads.
+
+Layout under the store root (default ``results/``)::
+
+    results/
+      index.sqlite          # task index: key -> status + run metadata
+      payloads/
+        <experiment>.jsonl  # one deterministic JSON record per finished task
+
+Each task is keyed by a **content hash** of ``(experiment id, canonicalized
+params, code fingerprint)``.  The fingerprint hashes every ``*.py`` file in
+the installed ``repro`` package, so editing the code invalidates old results
+instead of silently mixing incompatible runs; re-running an identical sweep
+finds every key already present and executes nothing.
+
+The split between the two halves is deliberate:
+
+* the JSONL payload holds only *reproducible* content (params, seed, the
+  table with volatile columns masked) — two sweeps with the same code and
+  params produce byte-identical payload files, whatever ``--jobs`` was;
+* the SQLite index holds the *measured* side (wall-clock per task,
+  timestamps) plus the fast key lookup that makes resume O(1) per task.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from functools import lru_cache
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..analysis.tables import encode_cell
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tasks (
+    key         TEXT PRIMARY KEY,
+    experiment  TEXT NOT NULL,
+    params_json TEXT NOT NULL,
+    seed        INTEGER,
+    fingerprint TEXT NOT NULL,
+    status      TEXT NOT NULL,
+    elapsed_s   REAL,
+    created_at  TEXT NOT NULL DEFAULT (datetime('now')),
+    payload_path TEXT
+);
+CREATE INDEX IF NOT EXISTS tasks_by_experiment ON tasks (experiment);
+"""
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce *obj* to a canonical strict-JSON-safe form for hashing/storage.
+
+    Tuples flatten to lists, dicts are emitted sorted; scalars delegate to
+    :func:`repro.analysis.tables.encode_cell` — the one place that knows how
+    to tag Fractions and non-finite floats exactly and to stringify anything
+    else (e.g. a Topology passed programmatically) deterministically.
+    """
+    if isinstance(obj, dict):
+        return {str(k): _canonical(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return encode_cell(obj)
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON string of *obj* (stable across processes/runs)."""
+    return json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``*.py`` source file of the ``repro`` package."""
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    sources: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                sources.append(os.path.join(dirpath, name))
+    for path in sorted(sources):
+        digest.update(os.path.relpath(path, root).encode("utf-8"))
+        digest.update(b"\0")
+        with open(path, "rb") as fh:
+            digest.update(fh.read())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def task_key(experiment: str, params: Dict[str, Any], fingerprint: str) -> str:
+    """Content hash identifying one (experiment, params, code) task."""
+    blob = "\n".join([experiment, canonical_json(params), fingerprint])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultsStore:
+    """The on-disk store; one writer (the sweep orchestrator) at a time."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.payload_dir = os.path.join(self.root, "payloads")
+        os.makedirs(self.payload_dir, exist_ok=True)
+        self.index_path = os.path.join(self.root, "index.sqlite")
+        self._db = sqlite3.connect(self.index_path)
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+
+    # -- lookup ----------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        row = self._db.execute(
+            "SELECT 1 FROM tasks WHERE key = ? AND status = 'done'", (key,)
+        ).fetchone()
+        return row is not None
+
+    def task_meta(self, key: str) -> Optional[Dict[str, Any]]:
+        row = self._db.execute(
+            "SELECT key, experiment, params_json, seed, fingerprint, status,"
+            " elapsed_s, created_at, payload_path FROM tasks WHERE key = ?",
+            (key,),
+        ).fetchone()
+        if row is None:
+            return None
+        names = (
+            "key", "experiment", "params_json", "seed", "fingerprint",
+            "status", "elapsed_s", "created_at", "payload_path",
+        )
+        return dict(zip(names, row))
+
+    def experiments(self) -> List[str]:
+        rows = self._db.execute(
+            "SELECT DISTINCT experiment FROM tasks WHERE status = 'done'"
+            " ORDER BY experiment"
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def latest_fingerprint(self, experiment: str) -> Optional[str]:
+        """Fingerprint of the most recently completed task of *experiment*."""
+        row = self._db.execute(
+            "SELECT fingerprint FROM tasks WHERE experiment = ? AND"
+            " status = 'done' ORDER BY created_at DESC, rowid DESC LIMIT 1",
+            (experiment,),
+        ).fetchone()
+        return row[0] if row else None
+
+    def _done_keys(self, experiment: str) -> Dict[str, str]:
+        """Completed keys of *experiment* mapped to their fingerprint."""
+        rows = self._db.execute(
+            "SELECT key, fingerprint FROM tasks WHERE experiment = ? AND"
+            " status = 'done'",
+            (experiment,),
+        ).fetchall()
+        return dict(rows)
+
+    # -- write -----------------------------------------------------------
+
+    def add(self, record: Dict[str, Any], elapsed_s: float) -> None:
+        """Persist one finished task: JSONL payload + index row."""
+        experiment = record["experiment"]
+        payload_rel = os.path.join("payloads", f"{experiment}.jsonl")
+        payload_path = os.path.join(self.root, payload_rel)
+        line = json.dumps(_canonical(record), sort_keys=True,
+                          separators=(",", ":"))
+        with open(payload_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._db.execute(
+            "INSERT OR REPLACE INTO tasks"
+            " (key, experiment, params_json, seed, fingerprint, status,"
+            "  elapsed_s, payload_path)"
+            " VALUES (?, ?, ?, ?, ?, 'done', ?, ?)",
+            (
+                record["key"],
+                experiment,
+                canonical_json(record["params"]),
+                record.get("seed"),
+                record["fingerprint"],
+                float(elapsed_s),
+                payload_rel,
+            ),
+        )
+        self._db.commit()
+
+    # -- read back -------------------------------------------------------
+
+    def records(
+        self,
+        experiment: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield stored payload records, restricted to keys in the index.
+
+        A JSONL line whose key is absent from the index (e.g. a crashed run
+        that appended the payload but died before committing the index row)
+        is skipped — the index is the source of truth for completion.
+
+        *fingerprint* selects one code generation; the default is each
+        experiment's **latest** completed generation, so results produced
+        before a code edit never mix into the same report as results
+        produced after it.  Pass ``fingerprint="*"`` to see everything.
+        """
+        experiments = [experiment] if experiment else self.experiments()
+        for exp in experiments:
+            path = os.path.join(self.payload_dir, f"{exp}.jsonl")
+            if not os.path.exists(path):
+                continue
+            done = self._done_keys(exp)
+            wanted = (
+                self.latest_fingerprint(exp) if fingerprint is None else fingerprint
+            )
+            seen: set = set()
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    key = record.get("key", "")
+                    if key in seen or key not in done:
+                        continue
+                    if wanted != "*" and done[key] != wanted:
+                        continue
+                    seen.add(key)
+                    yield record
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -10,6 +10,7 @@ from .adversarial import (
     lp_gap_instance,
 )
 from .generators import (
+    derive_seed,
     instance_from_topology,
     monotone_instance,
     random_feasible_pair,
@@ -26,6 +27,7 @@ __all__ = [
     "example_ii1_optimal_assignment",
     "example_v1",
     "example_v1_gap",
+    "derive_seed",
     "example_v1_optimal_assignment",
     "instance_from_topology",
     "lp_gap_instance",

@@ -21,6 +21,7 @@ machine, expensive elsewhere — Example II.1's jobs 1 and 2).
 
 from __future__ import annotations
 
+import hashlib
 import math
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -39,6 +40,24 @@ from ..simulation.topology import Topology
 def rng_from_seed(seed: int) -> np.random.Generator:
     """The package-standard way to get a reproducible generator."""
     return np.random.default_rng(seed)
+
+
+def derive_seed(root_seed: int, *components: Union[int, str]) -> int:
+    """A stable per-task seed from a root seed and a path of components.
+
+    The sweep runner (:mod:`repro.runner`) shards one sweep into many
+    ``(experiment, params, replicate)`` tasks; each task's seed is derived
+    here so that results are a pure function of *what* the task is — never
+    of which worker ran it or in what order.  That is the property that
+    makes ``--jobs N`` output bit-identical to serial runs.
+
+    Implementation: SHA-256 over the root seed and the stringified
+    components, folded to a non-negative 63-bit integer (valid NumPy
+    ``default_rng`` seed).  Changing any component decorrelates the stream.
+    """
+    parts = [str(int(root_seed))] + [str(c) for c in components]
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 
 def random_laminar_family(
