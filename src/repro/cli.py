@@ -7,11 +7,14 @@ Commands
     the tables; ``experiments list`` prints every registered experiment id
     with its one-line summary.  ``--backend`` overrides the LP backend for
     every experiment whose runner accepts one.
-``sweep <ids…> [--jobs N] [--store PATH] [--seeds K] [--seed0 S] [--params k=v …]``
+``sweep <ids…> [--jobs N] [--store PATH] [--seeds K] [--seed0 S] [--shard K/N] [--params k=v …]``
     Shard the selected experiments' parameter spaces across a process pool
     and persist results in a resumable store (SQLite index + JSONL
     payloads).  Completed tasks are skipped on re-runs; ``--jobs N`` output
-    is bit-identical to ``--jobs 1``.
+    is bit-identical to ``--jobs 1``.  ``--shard K/N`` runs only the K-th
+    of N deterministic round-robin slices of the task list, so independent
+    CI machines can split one sweep and a final un-sharded run resumes
+    with nothing left to execute.
 ``report <store> [ids…] [--timings]``
     Reassemble accumulated sweep tables from a results store.
 ``solve --demo <name> [--backend hybrid|exact|scipy]``
@@ -83,6 +86,20 @@ def _run_experiments(ids: List[str], backend: Optional[str] = None) -> int:
     return 0
 
 
+def _parse_shard(raw: Optional[str]):
+    """``K/N`` → ``(K, N)`` with 1 ≤ K ≤ N (SystemExit on malformed input)."""
+    if raw is None:
+        return None
+    try:
+        k_str, _, n_str = raw.partition("/")
+        k, n = int(k_str), int(n_str)
+    except ValueError:
+        raise SystemExit(f"--shard expects K/N (e.g. 1/3), got {raw!r}")
+    if n < 1 or not 1 <= k <= n:
+        raise SystemExit(f"--shard requires 1 ≤ K ≤ N, got {raw!r}")
+    return (k, n)
+
+
 def _run_sweep(
     ids: List[str],
     jobs: int,
@@ -90,6 +107,7 @@ def _run_sweep(
     seeds: int,
     seed0: Optional[int],
     params: List[str],
+    shard: Optional[str] = None,
 ) -> int:
     from .runner import ResultsStore, experiment_ids, get_spec, run_sweep
 
@@ -122,6 +140,7 @@ def _run_sweep(
         unseedable = sorted(set(chosen) - set(seedable))
         if unseedable:
             print(f"note: {unseedable} take no seed; replicates apply to {seedable}")
+    shard_kn = _parse_shard(shard)
     with ResultsStore(store_path) as store:
         stats = run_sweep(
             chosen,
@@ -130,10 +149,12 @@ def _run_sweep(
             overrides=overrides,
             seeds=seeds,
             seed0=seed0,
+            shard=shard_kn,
             echo=print,
         )
+    shard_note = f", shard {shard}" if shard_kn else ""
     print(
-        f"\nsweep: {stats.total} tasks — {stats.executed} executed, "
+        f"\nsweep: {stats.total} tasks{shard_note} — {stats.executed} executed, "
         f"{stats.skipped} skipped (cached), {stats.failed} failed  "
         f"[store: {store_path}]"
     )
@@ -240,6 +261,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="root seed for per-task seed derivation",
     )
     sweep.add_argument(
+        "--shard", default=None, metavar="K/N",
+        help="run only the K-th of N deterministic round-robin slices of "
+        "the task list (split one sweep across CI machines)",
+    )
+    sweep.add_argument(
         "--params", nargs="*", default=[], metavar="K=V",
         help="axis overrides applied to every experiment accepting them",
     )
@@ -267,7 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_experiments(args.ids, backend=args.backend)
     if args.command == "sweep":
         return _run_sweep(
-            args.ids, args.jobs, args.store, args.seeds, args.seed0, args.params
+            args.ids, args.jobs, args.store, args.seeds, args.seed0,
+            args.params, shard=args.shard,
         )
     if args.command == "report":
         return _run_report(args.store, args.ids, args.timings)

@@ -50,3 +50,34 @@ class UnboundedError(SolverError):
 
 class RoundingError(ReproError):
     """A rounding procedure could not establish its guarantee."""
+
+
+class RoundingCertificationError(RoundingError):
+    """An integral rounding violated its certified per-row usage limits.
+
+    Raised by :func:`repro.rounding.iterative.iterative_round` when the
+    achieved usage of some packing row exceeds the limit the drop rules
+    certified for it (``(1+ρ)·b`` for weight-rule and fallback drops).
+    ``violations`` maps each offending row name to
+    ``(achieved usage, certified limit, original bound)``; ``result`` holds
+    the uncertified :class:`~repro.rounding.iterative.IterativeRoundingResult`
+    for inspection.
+    """
+
+    def __init__(self, violations, result=None):
+        self.violations = dict(violations)
+        self.result = result
+        listed = ", ".join(
+            f"{name}: usage {usage} > limit {limit} (b={bound})"
+            for name, (usage, limit, bound) in sorted(self.violations.items())
+        )
+        super().__init__(
+            f"rounding violated certified row limits — {listed}"
+        )
+
+    def __reduce__(self):
+        # args holds the rendered message, so the default reduce would
+        # re-call __init__(message) on unpickle and lose the structure —
+        # and a sweep worker raising this across the process pool would
+        # surface a bogus ValueError instead of the violations.
+        return (self.__class__, (self.violations, self.result))

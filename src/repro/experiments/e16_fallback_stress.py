@@ -1,0 +1,141 @@
+"""E16 — phase diagram of the hardened Lemma VI.2 fallback.
+
+The residual-aware drop rule is *complete* when the declared ρ is at least
+the column-sum bound (see :mod:`repro.rounding.iterative`), so the fallback
+drop — the one step the paper defers to its unavailable full version — is
+reachable only when ρ is declared below the column bound, e.g. by applying
+a theorem's ρ formula outside its hypotheses.  This experiment sweeps that
+mis-declaration on the adversarial odd-cycle programs of
+:func:`repro.workloads.families.fallback_stress_program` and records the
+three phases the self-certification separates:
+
+* ``rho_scale ≥ 3/4`` (default geometry): certified rules fire, no
+  fallback, violation ≤ 1 + ρ trivially;
+* ``1/4 ≤ rho_scale < 3/4``: the fallback fires (``fallback_drops > 0``)
+  yet the achieved usage still passes the (1+ρ) certification — the
+  lemma's bound survives off the happy path;
+* ``rho_scale < 1/4``: the rounding genuinely breaks the declared bound
+  and :class:`~repro.exceptions.RoundingCertificationError` reports the
+  per-row violations instead of silently returning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional
+
+from ..analysis import Table
+from ..exceptions import RoundingCertificationError
+from ..rounding.iterative import iterative_round
+from ..workloads.families import fallback_stress_program
+
+
+@dataclass
+class E16Row:
+    cycle: int
+    rho_percent: int
+    true_rho: Fraction
+    declared_rho: Fraction
+    fallback_drops: Optional[int]
+    dropped_rows: Optional[int]
+    max_violation: Optional[Fraction]
+    limit: Fraction
+    """The certification threshold ``1 + declared ρ`` (as a ratio)."""
+
+    certified: bool
+    violations: int
+    """Rows whose usage exceeded their certified limit (0 when certified)."""
+
+
+@dataclass
+class E16Result:
+    rows: List[E16Row]
+    table: Table
+
+    @property
+    def fallback_exercised(self) -> bool:
+        """Some sweep point drove the fallback with a certified outcome."""
+        return any(r.certified and (r.fallback_drops or 0) > 0 for r in self.rows)
+
+    @property
+    def certified_rows_within_limit(self) -> bool:
+        return all(
+            r.max_violation is not None and r.max_violation <= r.limit
+            for r in self.rows
+            if r.certified
+        )
+
+
+def run(
+    cycles=(3, 5),
+    rho_percents=(100, 50, 20),
+    jitter_denom: int = 16,
+    backend: str = "exact",
+    seed: int = 160,
+) -> E16Result:
+    """Round the stress programs at each declared-ρ scale and certify."""
+    rows: List[E16Row] = []
+    for cycle in cycles:
+        for percent in rho_percents:
+            program = fallback_stress_program(
+                cycle=cycle,
+                rho_scale=Fraction(percent, 100),
+                bound_jitter_denom=jitter_denom,
+                seed=seed + cycle,
+            )
+            try:
+                result = iterative_round(
+                    program.groups,
+                    program.rows,
+                    costs=program.costs,
+                    rho=program.rho,
+                    backend=backend,
+                )
+                certified, violations = True, 0
+            except RoundingCertificationError as exc:
+                result, certified, violations = exc.result, False, len(exc.violations)
+            rows.append(
+                E16Row(
+                    cycle=cycle,
+                    rho_percent=percent,
+                    true_rho=program.true_rho,
+                    declared_rho=program.rho,
+                    fallback_drops=result.fallback_drops if result else None,
+                    dropped_rows=len(result.dropped_rows) if result else None,
+                    max_violation=result.max_violation_ratio if result else None,
+                    limit=1 + program.rho,
+                    certified=certified,
+                    violations=violations,
+                )
+            )
+    table = Table(
+        "E16 — Lemma VI.2 fallback stress: declared ρ vs certification",
+        [
+            "cycle", "ρ %", "true ρ", "declared ρ", "fallback", "dropped",
+            "max usage/b", "limit 1+ρ", "certified", "violations",
+        ],
+    )
+    for r in rows:
+        table.add_row(
+            r.cycle, r.rho_percent, r.true_rho, r.declared_rho,
+            r.fallback_drops, r.dropped_rows, r.max_violation, r.limit,
+            r.certified, r.violations,
+        )
+    return E16Result(rows=rows, table=table)
+
+
+from ..runner.registry import ExperimentSpec, register
+
+#: One sweep task per cycle length; the ρ-scale phase diagram accumulates
+#: in the results store and `repro report` reassembles it.
+SPEC = register(ExperimentSpec(
+    id="e16",
+    run=run,
+    cli_params=dict(cycles=(3,), rho_percents=(100, 50, 20)),
+    space=dict(
+        cycles=((3,), (5,)),
+        rho_percents=((100, 50, 20),),
+        jitter_denom=(16,),
+    ),
+))

@@ -1,0 +1,177 @@
+"""E17 — topology sensitivity: scheduler classes across the platform zoo.
+
+The paper's SMP-CMP motivation (and the semi-partitioned literature it
+builds on) says conclusions flip with platform shape: a family that is
+friendly on a flat machine bank can be hostile on a NUMA pair of nodes.
+This experiment crosses the workload families of
+:mod:`repro.workloads.families` with the topology zoo (flat, clustered,
+SMP-CMP, NUMA-annotated, heterogeneous speeds, asymmetric trees) and runs
+each scheduler class of Section II on the same instances via family
+restriction — ``hierarchical`` uses the full Theorem V.2 pipeline, i.e.
+the push-down + LST rounding path.
+
+Reported per (topology, family, class): the mean makespan normalized by
+the LP lower bound T* of the *full* hierarchy (≤ 2 is the Theorem V.2
+guarantee for the hierarchical row), the count of instances the class
+cannot schedule at all (restriction starves a job), and — for the
+hierarchical schedule — the migration overhead priced by tier *and* NUMA
+distance (:func:`repro.schedule.metrics.priced_migration_cost` with
+:meth:`repro.simulation.costs.CostModel.numa_like`), the scalar that makes
+"same tree, different distances" topologies distinguishable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from ..analysis import Table
+from ..baselines.restrictions import solve_restricted
+from ..core.programs import minimal_fractional_T
+from ..schedule.metrics import priced_migration_cost
+from ..simulation.costs import CostModel
+from ..workloads import rng_from_seed
+from ..workloads.families import make_instance, make_topology
+from ..exceptions import InfeasibleError, SolverError
+
+#: The classes compared (clustered is added automatically when the
+#: topology has an intermediate tier).
+DEFAULT_CLASSES = ("partitioned", "global", "semi", "hierarchical")
+
+
+@dataclass
+class E17Row:
+    topology: str
+    family: str
+    ratio_vs_lp: Dict[str, Optional[Fraction]]
+    """Mean makespan / T* per scheduler class (None = never feasible)."""
+
+    infeasible: Dict[str, int]
+    priced_migrations: Optional[Fraction]
+    """Mean distance-priced migration overhead of the hierarchical runs."""
+
+
+@dataclass
+class E17Result:
+    rows: List[E17Row]
+    table: Table
+
+    @property
+    def hierarchical_within_guarantee(self) -> bool:
+        """Every hierarchical mean stays within Theorem V.2's 2×T*."""
+        return all(
+            row.ratio_vs_lp.get("hierarchical") is None
+            or row.ratio_vs_lp["hierarchical"] <= 2
+            for row in self.rows
+        )
+
+    def ratio(self, topology: str, family: str, scheduler: str) -> Optional[Fraction]:
+        for row in self.rows:
+            if row.topology == topology and row.family == family:
+                return row.ratio_vs_lp.get(scheduler)
+        return None
+
+
+def run(
+    topologies=("flat4", "clustered4x2", "numa2x2", "hetero2x2"),
+    families=("aligned", "misaligned"),
+    n: int = 6,
+    trials: int = 2,
+    classes=DEFAULT_CLASSES,
+    backend: str = "hybrid",
+    method: str = "exact",
+    seed: int = 170,
+) -> E17Result:
+    """Cross the topology zoo with the workload families and compare.
+
+    ``method="exact"`` (default) solves each class optimally over its
+    restricted masks — required to exhibit the migration advantage, since
+    the 2-approximation's LST step always returns singleton masks;
+    ``method="approx"`` runs the scalable push-down pipeline instead.
+    """
+    cost_model = CostModel.numa_like()
+    rows: List[E17Row] = []
+    for topo_name in topologies:
+        topology = make_topology(topo_name)
+        class_list = list(classes)
+        if "clustered" not in class_list and any(
+            1 < len(a) < topology.m for a in topology.family.sets
+        ):
+            class_list.append("clustered")
+        for family_name in families:
+            rng = rng_from_seed(seed)
+            sums: Dict[str, Fraction] = {c: Fraction(0) for c in class_list}
+            feasible: Dict[str, int] = {c: 0 for c in class_list}
+            infeasible: Dict[str, int] = {c: 0 for c in class_list}
+            priced_sum, priced_count = Fraction(0), 0
+            for _trial in range(trials):
+                instance = make_instance(family_name, rng, topology, n)
+                try:
+                    t_lp = minimal_fractional_T(
+                        instance.with_singletons(), backend=backend
+                    )
+                except (InfeasibleError, SolverError):
+                    continue
+                for cls in class_list:
+                    outcome = solve_restricted(
+                        instance, cls, backend=backend, method=method
+                    )
+                    if not outcome.feasible or outcome.makespan is None:
+                        infeasible[cls] += 1
+                        continue
+                    feasible[cls] += 1
+                    if t_lp > 0:
+                        sums[cls] += outcome.makespan / t_lp
+                    if cls == "hierarchical" and outcome.schedule is not None:
+                        priced_sum += priced_migration_cost(
+                            outcome.schedule, topology, cost_model
+                        )
+                        priced_count += 1
+            rows.append(
+                E17Row(
+                    topology=topo_name,
+                    family=family_name,
+                    ratio_vs_lp={
+                        c: (sums[c] / feasible[c]) if feasible[c] else None
+                        for c in class_list
+                    },
+                    infeasible=infeasible,
+                    priced_migrations=(
+                        priced_sum / priced_count if priced_count else None
+                    ),
+                )
+            )
+    headers = ["topology", "family"]
+    all_classes = sorted({c for row in rows for c in row.ratio_vs_lp})
+    headers += [f"{c}/T*" for c in all_classes]
+    headers += ["infeasible", "priced migr"]
+    table = Table("E17 — scheduler classes across the topology zoo", headers)
+    for row in rows:
+        table.add_row(
+            row.topology,
+            row.family,
+            *(row.ratio_vs_lp.get(c) for c in all_classes),
+            sum(row.infeasible.values()),
+            row.priced_migrations,
+        )
+    return E17Result(rows=rows, table=table)
+
+
+from ..runner.registry import ExperimentSpec, register
+
+#: One sweep task per topology; families accumulate columns per task so a
+#: full zoo sweep is `repro sweep e17 --params "families=('aligned','misaligned','heavy_tailed','density')"`.
+SPEC = register(ExperimentSpec(
+    id="e17",
+    run=run,
+    cli_params=dict(
+        topologies=("flat4", "numa2x2"), families=("aligned",), trials=1
+    ),
+    space=dict(
+        topologies=(("flat4",), ("clustered4x2",), ("numa2x2",), ("hetero2x2",)),
+        families=(("aligned", "misaligned", "heterogeneous"),),
+        n=(6,),
+        trials=(2,),
+    ),
+))

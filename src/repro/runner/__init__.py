@@ -15,7 +15,7 @@ the CLI are thin wrappers over:
 from .executor import SweepStats, Task, execute_task, run_tasks
 from .registry import ExperimentSpec, all_specs, experiment_ids, get_spec, register
 from .store import ResultsStore, canonical_json, code_fingerprint, task_key
-from .sweep import assemble_table, build_tasks, run_sweep
+from .sweep import assemble_table, build_tasks, run_sweep, shard_tasks
 
 __all__ = [
     "ExperimentSpec",
@@ -33,5 +33,6 @@ __all__ = [
     "register",
     "run_sweep",
     "run_tasks",
+    "shard_tasks",
     "task_key",
 ]

@@ -10,7 +10,7 @@ single :class:`~repro.analysis.tables.Table`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.tables import Table, decode_cell
 from ..workloads.generators import derive_seed
@@ -65,6 +65,23 @@ def build_tasks(
     return tasks
 
 
+def shard_tasks(tasks: Sequence[Task], shard: Tuple[int, int]) -> List[Task]:
+    """Deterministic round-robin slice ``K/N`` of the ordered task list.
+
+    Shard *K* (1-based) of *N* takes every N-th task starting at position
+    ``K−1``: the shards partition the list exactly, are stable across
+    machines (the task list itself is deterministic), and interleave heavy
+    experiments instead of handing one machine a contiguous block of them.
+    Because task keys are content hashes, independent CI machines can run
+    disjoint shards into separate stores — or sequentially into one — and
+    a final un-sharded resume executes nothing.
+    """
+    k, n = shard
+    if n < 1 or not 1 <= k <= n:
+        raise ValueError(f"shard must satisfy 1 ≤ K ≤ N, got {k}/{n}")
+    return [task for idx, task in enumerate(tasks) if idx % n == k - 1]
+
+
 def run_sweep(
     experiment_ids: Sequence[str],
     store: ResultsStore,
@@ -72,14 +89,22 @@ def run_sweep(
     overrides: Optional[Mapping[str, Any]] = None,
     seeds: int = 1,
     seed0: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
     echo: Optional[Callable[[str], None]] = None,
 ) -> SweepStats:
-    """Run (the missing part of) a sweep against *store*; returns stats."""
+    """Run (the missing part of) a sweep against *store*; returns stats.
+
+    *shard* restricts execution to slice ``(K, N)`` of the deterministic
+    task list (see :func:`shard_tasks`) so independent machines can split
+    one sweep.
+    """
     fingerprint = code_fingerprint()
     tasks = build_tasks(
         experiment_ids, overrides=overrides, seeds=seeds, seed0=seed0,
         fingerprint=fingerprint,
     )
+    if shard is not None:
+        tasks = shard_tasks(tasks, shard)
     return run_tasks(tasks, store, fingerprint, jobs=jobs, echo=echo)
 
 

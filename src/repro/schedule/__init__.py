@@ -7,6 +7,8 @@ from .metrics import (
     distinct_machine_migrations,
     job_transitions,
     machine_utilization,
+    migration_tier_histogram,
+    priced_migration_cost,
     summarize,
     total_migrations,
     total_migrations_processing_order,
@@ -46,7 +48,9 @@ __all__ = [
     "schedule_to_json",
     "steady_state_migrations_per_period",
     "machine_utilization",
+    "migration_tier_histogram",
     "place_arc",
+    "priced_migration_cost",
     "summarize",
     "total_migrations",
     "total_migrations_processing_order",

@@ -100,6 +100,44 @@ def total_preemptions_and_migrations(schedule: Schedule) -> int:
     return sum(job_transitions(schedule, j).total for j in schedule.jobs())
 
 
+def migration_tier_histogram(schedule, topology) -> Dict[int, int]:
+    """Wall-clock migrations bucketed by the topology tier they cross.
+
+    Keys are tier heights (1 = same chip, 2 = same node, …); use
+    ``topology.tier_name`` to label them.
+    """
+    histogram: Dict[int, int] = {}
+    for job in schedule.jobs():
+        merged = _merged_job_segments(schedule, job)
+        for (m1, _s1, _e1), (m2, _s2, _e2) in zip(merged, merged[1:]):
+            if m1 != m2:
+                tier = topology.migration_tier(m1, m2)
+                histogram[tier] = histogram.get(tier, 0) + 1
+    return histogram
+
+
+def priced_migration_cost(schedule, topology, cost_model) -> Fraction:
+    """Total migration overhead priced by tier *and* NUMA distance.
+
+    Each wall-clock machine change is charged
+    ``cost_model.migration_cost(topology, a, b)`` (tier cost plus the
+    distance-proportional term when the model has a ``distance_rate``);
+    same-machine gaps are charged the tier-0 resume cost.  This is the
+    scalar E17 compares across topologies — on a topology without a
+    distance matrix and a rate-0 model it reduces to counting migrations
+    weighted by the tier cost profile.
+    """
+    total = Fraction(0)
+    for job in schedule.jobs():
+        merged = _merged_job_segments(schedule, job)
+        for (m1, _s1, e1), (m2, s2, _e2) in zip(merged, merged[1:]):
+            if m1 != m2:
+                total += cost_model.migration_cost(topology, m1, m2)
+            elif s2 > e1:
+                total += cost_model.cost_of_tier(0)
+    return total
+
+
 def machine_utilization(schedule: Schedule) -> Dict[int, Fraction]:
     """Busy fraction of each machine over the horizon ``[0, T]``."""
     if schedule.T == 0:

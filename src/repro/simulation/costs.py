@@ -31,19 +31,29 @@ class CostModel:
     index 0 is the cost of resuming on the *same* core (a pure preemption).
     Costs must be non-decreasing in the tier — the paper's premise that
     intra-CMP beats inter-CMP beats inter-node.
+
+    ``distance_rate`` additionally prices each migration proportionally to
+    the topology's NUMA distance between the two cores (see
+    :meth:`repro.simulation.topology.Topology.distance`): the charged cost
+    of a migration is ``tier_costs[tier] + distance_rate · d(a, b)``.  The
+    default rate 0 reproduces the pure tier model.
     """
 
     tier_costs: Tuple[Fraction, ...]
+    distance_rate: Fraction = Fraction(0)
 
     def __post_init__(self):
         costs = tuple(to_fraction(c) for c in self.tier_costs)
         object.__setattr__(self, "tier_costs", costs)
+        object.__setattr__(self, "distance_rate", to_fraction(self.distance_rate))
         if any(c < 0 for c in costs):
             raise InvalidInstanceError("costs must be non-negative")
         if any(a > b for a, b in zip(costs, costs[1:])):
             raise InvalidInstanceError(
                 "tier costs must be non-decreasing (intra beats inter)"
             )
+        if self.distance_rate < 0:
+            raise InvalidInstanceError("distance_rate must be non-negative")
 
     def cost_of_tier(self, tier: int) -> Fraction:
         if tier < len(self.tier_costs):
@@ -51,8 +61,15 @@ class CostModel:
         return self.tier_costs[-1]
 
     def migration_cost(self, topology: Topology, a: int, b: int) -> Fraction:
-        """Cost of moving a job from core *a* to core *b*."""
-        return self.cost_of_tier(topology.migration_tier(a, b))
+        """Cost of moving a job from core *a* to core *b*.
+
+        The tier cost plus the distance-proportional term; on a topology
+        without a distance matrix the tier index itself is the distance.
+        """
+        cost = self.cost_of_tier(topology.migration_tier(a, b))
+        if self.distance_rate and a != b:
+            cost += self.distance_rate * topology.distance(a, b)
+        return cost
 
     @classmethod
     def xeon_like(cls) -> "CostModel":
@@ -63,6 +80,16 @@ class CostModel:
         quanta, chosen so overheads stay small next to unit-scale jobs.
         """
         return cls((Fraction(0), Fraction(1, 10), Fraction(1, 2), Fraction(2)))
+
+    @classmethod
+    def numa_like(cls, rate: Union[int, Fraction] = Fraction(1, 4)) -> "CostModel":
+        """A distance-dominated model for NUMA topologies.
+
+        A small flat resume cost per tier plus ``rate`` per unit of SLIT
+        distance — migrations between far nodes cost proportionally more
+        than between near ones even at the same tree tier.
+        """
+        return cls((Fraction(0), Fraction(1, 10)), distance_rate=to_fraction(rate))
 
 
 def mask_overhead_budget(
@@ -89,4 +116,10 @@ def mask_overhead_budget(
     if size <= 1:
         return cost_model.cost_of_tier(0)
     tier = topology.mask_tier(alpha)
-    return size * cost_model.cost_of_tier(tier) + cost_model.cost_of_tier(0)
+    per_transition = cost_model.cost_of_tier(tier)
+    if cost_model.distance_rate:
+        # Distance-priced migrations: a transition inside the mask costs at
+        # most the tier cost plus the rate times the mask's diameter, and
+        # wider masks have at least the diameter — monotone as before.
+        per_transition += cost_model.distance_rate * topology.mask_diameter(alpha)
+    return size * per_transition + cost_model.cost_of_tier(0)

@@ -54,7 +54,7 @@ def simulate(
         for (m1, _s1, e1), (m2, s2, _e2) in zip(merged, merged[1:]):
             if m1 != m2:
                 tier = topology.migration_tier(m1, m2)
-                cost = cost_model.cost_of_tier(tier)
+                cost = cost_model.migration_cost(topology, m1, m2)
                 trace.add(Event(e1, EventKind.PREEMPT, job, m1))
                 trace.add(
                     Event(

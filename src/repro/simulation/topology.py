@@ -6,15 +6,31 @@ across chips in a node (inter-CMP), and priciest across nodes (inter-node).
 A :class:`Topology` is a laminar *tree* over the cores whose internal levels
 are those domains; the cost of migrating a job between two cores is decided
 by the smallest set containing both (their lowest common ancestor).
+
+Beyond the tree itself a topology can carry two optional platform vectors:
+
+* a **NUMA distance matrix** (``distances``) giving the per-pair migration
+  distance the cost model prices — validated against the metric axioms
+  (zero diagonal, symmetry, non-negativity, triangle inequality).  The
+  :meth:`Topology.with_tier_distances` builder derives one from per-tier
+  distances; because the migration tier is an ultrametric (it is the LCA
+  height), any non-decreasing per-tier profile yields a valid metric.
+* a **per-core speed vector** (``speeds``) for heterogeneous clusters
+  (big.LITTLE-style): workload generators divide base work by the speed of
+  the core, so slow cores run jobs longer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .._fraction import to_fraction
 from ..core.laminar import LaminarFamily, MachineSet
-from ..exceptions import InvalidFamilyError
+from ..exceptions import InvalidFamilyError, InvalidInstanceError
+
+Num = Union[int, Fraction]
 
 
 @dataclass(frozen=True)
@@ -23,16 +39,81 @@ class Topology:
 
     ``level_names[d]`` names the migration domain at height ``d`` of the
     tree: index 0 is a single core, the last index the whole system.
+    ``distances``/``speeds`` are optional platform annotations (see the
+    module docstring); both are indexed by position in ``sorted(machines)``.
     """
 
     family: LaminarFamily
     level_names: Tuple[str, ...]
+    distances: Optional[Tuple[Tuple[Fraction, ...], ...]] = None
+    speeds: Optional[Tuple[Fraction, ...]] = None
 
     def __post_init__(self):
         if not self.family.is_tree:
             raise InvalidFamilyError("a topology must be a single tree")
         if not self.family.has_all_singletons:
             raise InvalidFamilyError("a topology must contain every core as a leaf")
+        # Migration tiers use the LONGEST distance to a leaf, not
+        # LaminarFamily.height (shortest — Model 2's convention): on
+        # asymmetric trees the shortest-path height is not monotone under
+        # inclusion, which would price a system-wide migration below a
+        # strictly more local one.  The longest-path tier is monotone along
+        # every chain (identical on uniform trees), which also makes every
+        # non-decreasing per-tier distance profile an ultrametric.
+        tiers: Dict[MachineSet, int] = {}
+        for alpha in self.family.bottom_up():
+            kids = self.family.children(alpha)
+            tiers[alpha] = 1 + max((tiers[k] for k in kids), default=-1)
+        object.__setattr__(self, "_tiers", tiers)
+        object.__setattr__(
+            self, "_core_index", {c: k for k, c in enumerate(sorted(self.machines))}
+        )
+        if self.distances is not None:
+            object.__setattr__(
+                self, "distances", self._validated_distances(self.distances)
+            )
+        if self.speeds is not None:
+            speeds = tuple(to_fraction(s) for s in self.speeds)
+            if len(speeds) != self.m:
+                raise InvalidInstanceError(
+                    f"speed vector has {len(speeds)} entries for {self.m} cores"
+                )
+            if any(s <= 0 for s in speeds):
+                raise InvalidInstanceError("core speeds must be positive")
+            object.__setattr__(self, "speeds", speeds)
+
+    def _validated_distances(
+        self, matrix: Sequence[Sequence[Num]]
+    ) -> Tuple[Tuple[Fraction, ...], ...]:
+        m = self.m
+        rows = tuple(tuple(to_fraction(v) for v in row) for row in matrix)
+        if len(rows) != m or any(len(row) != m for row in rows):
+            raise InvalidInstanceError(
+                f"distance matrix must be {m}×{m} over the cores"
+            )
+        for a in range(m):
+            if rows[a][a] != 0:
+                raise InvalidInstanceError(
+                    f"distance matrix diagonal must be zero (d[{a}][{a}] = "
+                    f"{rows[a][a]})"
+                )
+            for b in range(m):
+                if rows[a][b] < 0:
+                    raise InvalidInstanceError("distances must be non-negative")
+                if rows[a][b] != rows[b][a]:
+                    raise InvalidInstanceError(
+                        f"distance matrix must be symmetric "
+                        f"(d[{a}][{b}] ≠ d[{b}][{a}])"
+                    )
+        for a in range(m):
+            for b in range(m):
+                for c in range(m):
+                    if rows[a][b] > rows[a][c] + rows[c][b]:
+                        raise InvalidInstanceError(
+                            f"triangle inequality violated: d[{a}][{b}] > "
+                            f"d[{a}][{c}] + d[{c}][{b}]"
+                        )
+        return rows
 
     @property
     def m(self) -> int:
@@ -46,6 +127,17 @@ class Topology:
     def num_levels(self) -> int:
         return self.family.num_levels
 
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether cores differ in speed."""
+        return self.speeds is not None and len(set(self.speeds)) > 1
+
+    def _index(self, core: int) -> int:
+        try:
+            return self._core_index[core]
+        except KeyError:
+            raise InvalidFamilyError(f"unknown core {core}") from None
+
     def lca(self, a: int, b: int) -> MachineSet:
         """The smallest admissible set containing both cores."""
         containing = self.family.minimal_containing([a, b])
@@ -53,10 +145,31 @@ class Topology:
         return containing
 
     def migration_tier(self, a: int, b: int) -> int:
-        """0 for a = b, else the height of the LCA domain (1 = same chip…)."""
+        """0 for a = b, else the tier of the LCA domain (1 = same chip…).
+
+        The tier is the longest distance from the domain to a leaf of the
+        tree — monotone under inclusion even on asymmetric trees (see
+        ``__post_init__``); on uniform trees it equals the family height.
+        """
         if a == b:
             return 0
-        return self.family.height(self.lca(a, b))
+        return self._tiers[self.lca(a, b)]
+
+    def distance(self, a: int, b: int) -> Fraction:
+        """NUMA distance between two cores.
+
+        The annotated matrix when present, else the migration tier itself
+        (an ultrametric, hence a valid default distance).
+        """
+        if self.distances is not None:
+            return self.distances[self._index(a)][self._index(b)]
+        return Fraction(self.migration_tier(a, b))
+
+    def speed(self, core: int) -> Fraction:
+        """Relative speed of a core (1 on homogeneous platforms)."""
+        if self.speeds is None:
+            return Fraction(1)
+        return self.speeds[self._index(core)]
 
     def tier_name(self, tier: int) -> str:
         if tier < len(self.level_names):
@@ -64,11 +177,57 @@ class Topology:
         return f"level-{tier}"
 
     def mask_tier(self, alpha: Iterable[int]) -> int:
-        """The height of a mask — the widest migration domain it spans."""
+        """The tier of a mask — the widest migration domain it spans."""
         alpha = frozenset(alpha)
         if alpha not in self.family:
             raise InvalidFamilyError(f"{sorted(alpha)} is not a topology domain")
-        return self.family.height(alpha)
+        return self._tiers[alpha]
+
+    def mask_diameter(self, alpha: Iterable[int]) -> Fraction:
+        """Largest pairwise distance inside a mask (0 for singletons)."""
+        members = sorted(frozenset(alpha))
+        return max(
+            (self.distance(a, b) for a in members for b in members),
+            default=Fraction(0),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived topologies
+    # ------------------------------------------------------------------
+
+    def with_tier_distances(self, tier_distances: Sequence[Num]) -> "Topology":
+        """Annotate with a NUMA matrix derived from per-tier distances.
+
+        ``tier_distances[t]`` is the distance of a tier-``t`` migration
+        (index 0 is same-core and must be 0); tiers beyond the profile reuse
+        its last entry.  The profile must be non-decreasing, which makes the
+        derived matrix an ultrametric and hence a metric.
+        """
+        profile = [to_fraction(d) for d in tier_distances]
+        if not profile or profile[0] != 0:
+            raise InvalidInstanceError("tier_distances[0] must exist and be 0")
+        if any(x > y for x, y in zip(profile, profile[1:])):
+            raise InvalidInstanceError(
+                "tier distances must be non-decreasing (intra beats inter)"
+            )
+        cores = sorted(self.machines)
+        matrix = tuple(
+            tuple(
+                profile[min(self.migration_tier(a, b), len(profile) - 1)]
+                for b in cores
+            )
+            for a in cores
+        )
+        return Topology(self.family, self.level_names, matrix, self.speeds)
+
+    def with_speeds(self, speeds: Union[Sequence[Num], Mapping[int, Num]]) -> "Topology":
+        """Annotate with a per-core speed vector (heterogeneous platform)."""
+        cores = sorted(self.machines)
+        if isinstance(speeds, Mapping):
+            vector = tuple(to_fraction(speeds[i]) for i in cores)
+        else:
+            vector = tuple(to_fraction(s) for s in speeds)
+        return Topology(self.family, self.level_names, self.distances, vector)
 
     # ------------------------------------------------------------------
     # Builders
@@ -78,13 +237,19 @@ class Topology:
     def flat(cls, m: int) -> "Topology":
         """A single shared domain of *m* symmetric cores."""
         family = LaminarFamily.semi_partitioned(m)
-        return cls(family, ("core", "system"))
+        names = ("core",) if m == 1 else ("core", "system")
+        return cls(family, names)
 
     @classmethod
     def clustered(cls, m: int, cluster_size: int) -> "Topology":
         """Cores grouped into equal clusters (chips) under one system."""
         family = LaminarFamily.clustered(m, cluster_size)
-        return cls(family, ("core", "chip", "system"))
+        names: List[str] = ["core"]
+        if 1 < cluster_size < m:
+            names.append("chip")
+        if m > 1:
+            names.append("system")
+        return cls(family, tuple(names))
 
     @classmethod
     def smp_cmp(
@@ -95,37 +260,45 @@ class Topology:
     ) -> "Topology":
         """The paper's SMP-CMP cluster: nodes × chips × cores.
 
-        Yields a 4-level family: cores ⊂ chips ⊂ nodes ⊂ system (degenerate
-        levels collapse automatically when a count is 1).
+        Yields a 4-level family: cores ⊂ chips ⊂ nodes ⊂ system.  Degenerate
+        dimensions collapse automatically (a count of 1 merges adjacent
+        levels), and ``level_names`` is derived from the *deduplicated*
+        family heights so ``tier_name`` always matches the surviving level:
+        a collapsed level keeps the singleton name ``core`` at the bottom,
+        the name ``system`` at the top, and the innermost of ``chip``/
+        ``node`` in between.
         """
         if min(nodes, chips_per_node, cores_per_chip) < 1:
             raise InvalidFamilyError("all topology dimensions must be ≥ 1")
         m = nodes * chips_per_node * cores_per_chip
-        sets: List[FrozenSet[int]] = [frozenset(range(m))]
-        names: List[str] = ["core"]
+        all_sets = {frozenset(range(m))}
         core = 0
-        node_sets: List[FrozenSet[int]] = []
-        chip_sets: List[FrozenSet[int]] = []
         for _node in range(nodes):
             node_members: List[int] = []
             for _chip in range(chips_per_node):
                 chip_members = list(range(core, core + cores_per_chip))
                 core += cores_per_chip
                 node_members.extend(chip_members)
-                chip_sets.append(frozenset(chip_members))
-            node_sets.append(frozenset(node_members))
-        if cores_per_chip > 1:
-            names.append("chip")
-        if chips_per_node > 1:
-            names.append("node")
-        names.append("system")
-        all_sets = set(sets)
-        for s in chip_sets + node_sets:
-            all_sets.add(s)
+                all_sets.add(frozenset(chip_members))
+            all_sets.add(frozenset(node_members))
         for i in range(m):
             all_sets.add(frozenset([i]))
+        # One name per *distinct* level size = per surviving tree height.
+        # Later entries win a size collision: a chip that coincides with its
+        # node keeps the innermost name "chip", the full system always keeps
+        # "system", and a single core is always "core".
+        size_names: Dict[int, str] = {}
+        size_names[cores_per_chip * chips_per_node] = "node"
+        size_names[cores_per_chip] = "chip"
+        size_names[m] = "system"
+        size_names[1] = "core"
+        names = tuple(
+            size_names[size]
+            for size in sorted({1, cores_per_chip,
+                               cores_per_chip * chips_per_node, m})
+        )
         family = LaminarFamily(range(m), all_sets)
-        return cls(family, tuple(names))
+        return cls(family, names)
 
     @classmethod
     def binary(cls, depth: int) -> "Topology":
@@ -142,3 +315,63 @@ class Topology:
         family = LaminarFamily(range(m), set(sets))
         names = tuple(["core"] + [f"l{d}" for d in range(1, depth)] + ["system"])
         return cls(family, names)
+
+    @classmethod
+    def numa(
+        cls,
+        nodes: int,
+        cores_per_node: int,
+        near: Num = 1,
+        far: Num = 4,
+    ) -> "Topology":
+        """A NUMA platform: node-local migrations at distance *near*,
+        cross-node at *far* (the SLIT-table shape, e.g. 10/21 scaled)."""
+        if nodes < 1 or cores_per_node < 1:
+            raise InvalidFamilyError("nodes and cores_per_node must be ≥ 1")
+        topo = cls.clustered(nodes * cores_per_node, cores_per_node)
+        profile: List[Num] = [0, near]
+        if nodes > 1 and cores_per_node > 1:
+            profile.append(far)
+        elif nodes > 1:
+            profile = [0, far]
+        return topo.with_tier_distances(profile)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        cluster_speeds: Sequence[Num],
+        cores_per_cluster: int,
+    ) -> "Topology":
+        """A big.LITTLE-style platform: equal clusters, per-cluster speeds.
+
+        ``cluster_speeds[c]`` is the speed of every core in cluster *c*
+        (e.g. ``(2, 1)`` = one fast chip, one slow chip).
+        """
+        if cores_per_cluster < 1 or not cluster_speeds:
+            raise InvalidFamilyError("need ≥ 1 cluster and ≥ 1 core each")
+        m = len(cluster_speeds) * cores_per_cluster
+        topo = cls.clustered(m, cores_per_cluster)
+        speeds = [s for s in cluster_speeds for _ in range(cores_per_cluster)]
+        return topo.with_speeds(speeds)
+
+    @classmethod
+    def asymmetric(cls, nested) -> "Topology":
+        """An asymmetric tree from nested core lists.
+
+        ``Topology.asymmetric([[0, 1], [[2, 3], [4, 5]]])`` builds a system
+        whose left node is a bare chip and whose right node holds two chips
+        — heights differ per branch.  Level names are generic (``core``,
+        ``l1``, …, ``system``) because asymmetric levels have no uniform
+        architectural reading.
+        """
+        family = LaminarFamily.from_nested(nested)
+        # The root's longest distance to a leaf = the topmost tier index.
+        tiers: Dict[MachineSet, int] = {}
+        for alpha in family.bottom_up():
+            kids = family.children(alpha)
+            tiers[alpha] = 1 + max((tiers[k] for k in kids), default=-1)
+        top = tiers[frozenset(family.machines)]
+        names = ["core"] + [f"l{d}" for d in range(1, top)] + (
+            ["system"] if top >= 1 else []
+        )
+        return cls(family, tuple(names))

@@ -1,0 +1,386 @@
+"""Parametric workload families and the topology zoo (scenario diversity).
+
+Every family is a generator ``f(rng, topology, n) -> Instance`` registered
+in :data:`FAMILIES`; :data:`TOPOLOGIES` is the matching zoo of platform
+shapes (flat, clustered, SMP-CMP, NUMA-annotated, heterogeneous,
+asymmetric).  Experiment E17 sweeps the cartesian product; the table in
+EXPERIMENTS.md records which family stresses which code path.
+
+The families deliberately leave the happy path of the random generators in
+:mod:`repro.workloads.generators`:
+
+* ``density``/``near_critical`` control total volume relative to capacity —
+  bin-packing fragmentation appears as density → 1;
+* ``aligned``/``misaligned`` place each job's cheap cores either inside one
+  topology domain or on a transversal across sibling domains, so the same
+  platform looks friendly or hostile to clustered/semi-partitioned masks;
+* ``heavy_tailed`` draws Pareto job sizes — a few giants dominating the
+  makespan, the regime where McNaughton wrap-around placement matters;
+* ``heterogeneous`` divides base work by per-core speeds (big.LITTLE),
+  turning even identical jobs into unrelated-machine instances.
+
+:func:`fallback_stress_program` is different in kind: it builds raw
+assignment + packing programs (not scheduling instances) whose unique LP
+vertex is locked on an odd cycle of tight rows, engineered so Lemma VI.2's
+*certified* drop rules fail to fire once the declared ρ is scaled below the
+true column bound — the only regime in which the fallback drop in
+:mod:`repro.rounding.iterative` is reachable at all (see the completeness
+argument in that module's docstring).  Experiment E16 sweeps ``rho_scale``
+to map the resulting phase diagram: certified drops only → fallback drops
+with the (1+ρ) bound still met → structured certification failure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.laminar import LaminarFamily, MachineSet
+from ..exceptions import InvalidInstanceError
+from ..rounding.iterative import PackingRow, column_rho
+from ..simulation.costs import CostModel, mask_overhead_budget
+from ..simulation.topology import Topology
+from .generators import utilization_workload
+
+FamilyFn = Callable[[np.random.Generator, Topology, int], Instance]
+
+
+# ---------------------------------------------------------------------------
+# The topology zoo
+# ---------------------------------------------------------------------------
+
+#: Named platform shapes for E17 (small enough for exact restricted solves).
+TOPOLOGIES: Dict[str, Callable[[], Topology]] = {
+    "flat4": lambda: Topology.flat(4),
+    "clustered4x2": lambda: Topology.clustered(4, 2),
+    "smp2x2x2": lambda: Topology.smp_cmp(2, 2, 2),
+    "numa2x2": lambda: Topology.numa(2, 2, near=1, far=4),
+    "hetero2x2": lambda: Topology.heterogeneous((2, 1), 2),
+    "asym6": lambda: Topology.asymmetric([[0, 1], [[2, 3], [4, 5]]]),
+}
+
+
+def make_topology(name: str) -> Topology:
+    try:
+        return TOPOLOGIES[name]()
+    except KeyError:
+        raise InvalidInstanceError(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Instance families
+# ---------------------------------------------------------------------------
+
+
+def _bottom_up_instance(
+    family: LaminarFamily,
+    singleton_times: Sequence[Sequence[int]],
+    increments: Sequence[Sequence[int]] = (),
+) -> Instance:
+    """Monotone instance from singleton rows (+ optional per-level bumps).
+
+    ``increments[j][h]`` (when given) is added to job *j*'s time on every
+    set of height ``h`` relative to the max of its children — the standard
+    bottom-up construction every generator in this package uses.
+    """
+    machine_pos = {i: k for k, i in enumerate(sorted(family.machines))}
+    n = len(singleton_times)
+    processing: Dict[int, Dict[MachineSet, int]] = {j: {} for j in range(n)}
+    for alpha in family.bottom_up():
+        h = family.height(alpha)
+        for j in range(n):
+            if len(alpha) == 1:
+                (i,) = tuple(alpha)
+                processing[j][alpha] = singleton_times[j][machine_pos[i]]
+            else:
+                below = max(processing[j][beta] for beta in family.children(alpha))
+                bump = 0
+                if increments and h < len(increments[j]):
+                    bump = increments[j][h]
+                processing[j][alpha] = below + bump
+    return Instance(family, processing, validate=False)
+
+
+def density_instance(
+    rng: np.random.Generator,
+    topology: Topology,
+    n: int,
+    density: float = 0.8,
+    T_ref: int = 24,
+) -> Instance:
+    """Volume-controlled random workload: total cheapest work ≈ density·m·T.
+
+    *n* only scales the reference horizon (jobs are drawn until the volume
+    target is met); densities near 1 drive every scheduler class toward its
+    fragmentation cliff (the E15 phenomenon, now sweepable per topology).
+    """
+    return utilization_workload(rng, topology.family, density, T_ref)
+
+
+def aligned_instance(
+    rng: np.random.Generator,
+    topology: Topology,
+    n: int,
+    base_range: Tuple[int, int] = (4, 12),
+    penalty: int = 6,
+) -> Instance:
+    """Mask-structured jobs whose cheap cores fill one topology domain.
+
+    Each job draws a non-singleton domain α of the topology and is cheap
+    exactly on α's cores: clustered and hierarchical masks capture the
+    whole cheap set at tier cost ≈ 0, so this is the friendly regime.
+    """
+    domains = [a for a in topology.family.sets if len(a) > 1]
+    if not domains:
+        domains = [frozenset(topology.machines)]
+    machines = sorted(topology.machines)
+    rows: List[List[int]] = []
+    for _j in range(n):
+        alpha = domains[int(rng.integers(0, len(domains)))]
+        base = int(rng.integers(base_range[0], base_range[1] + 1))
+        rows.append([base if i in alpha else base * penalty for i in machines])
+    return _bottom_up_instance(topology.family, rows)
+
+
+def misaligned_instance(
+    rng: np.random.Generator,
+    topology: Topology,
+    n: int,
+    base_range: Tuple[int, int] = (4, 12),
+    penalty: int = 6,
+) -> Instance:
+    """Mask-structured jobs whose cheap cores straddle sibling domains.
+
+    Each job's cheap set is a transversal — one core from every child of
+    the root — so no narrow mask contains two cheap cores: migrating among
+    them forces the widest tier, while partitioned placement can still pin
+    each job to a single cheap core.  Hostile to clustered masks.
+    """
+    root = frozenset(topology.machines)
+    children = topology.family.children(root)
+    blocks = [sorted(c) for c in children] or [sorted(root)]
+    machines = sorted(topology.machines)
+    rows: List[List[int]] = []
+    for _j in range(n):
+        cheap = {block[int(rng.integers(0, len(block)))] for block in blocks}
+        base = int(rng.integers(base_range[0], base_range[1] + 1))
+        rows.append([base if i in cheap else base * penalty for i in machines])
+    return _bottom_up_instance(topology.family, rows)
+
+
+def heavy_tailed_instance(
+    rng: np.random.Generator,
+    topology: Topology,
+    n: int,
+    shape: float = 1.2,
+    scale: int = 4,
+    cap: int = 64,
+) -> Instance:
+    """Pareto-sized migration-tolerant jobs: a few giants, many dwarfs.
+
+    Flat profiles (no migration overhead) isolate the load-balancing
+    question: the giants decide whether wrap-around splitting pays off.
+    """
+    machines = sorted(topology.machines)
+    rows: List[List[int]] = []
+    for _j in range(n):
+        size = 1 + min(cap, int(rng.pareto(shape) * scale))
+        rows.append([size] * len(machines))
+    return _bottom_up_instance(topology.family, rows)
+
+
+def near_critical_instance(
+    rng: np.random.Generator,
+    topology: Topology,
+    n: int,
+    slack_percent: int = 5,
+    T_ref: int = 24,
+) -> Instance:
+    """The gap regime: volume within ``slack_percent`` of full capacity."""
+    density = max(0.05, 1.0 - slack_percent / 100.0)
+    return utilization_workload(rng, topology.family, density, T_ref)
+
+
+def heterogeneous_instance(
+    rng: np.random.Generator,
+    topology: Topology,
+    n: int,
+    base_range: Tuple[int, int] = (4, 12),
+) -> Instance:
+    """Speed-scaled jobs: core *i* runs base work at ``base / speed(i)``.
+
+    On a homogeneous topology this degenerates to identical machines; on a
+    heterogeneous one it yields the unrelated-style asymmetry the paper's
+    model absorbs through the singleton times.
+    """
+    machines = sorted(topology.machines)
+    rows: List[List[int]] = []
+    for _j in range(n):
+        base = int(rng.integers(base_range[0], base_range[1] + 1))
+        rows.append(
+            [max(1, math.ceil(base / topology.speed(i))) for i in machines]
+        )
+    return _bottom_up_instance(topology.family, rows)
+
+
+def budgeted_instance(
+    rng: np.random.Generator,
+    topology: Topology,
+    n: int,
+    cost_model: CostModel = None,
+    base_range: Tuple[int, int] = (4, 12),
+) -> Instance:
+    """Migration-averse jobs paying exactly the topology's overhead budget.
+
+    The per-level increment of mask α is ``⌈mask_overhead_budget(α)⌉`` with
+    the (distance-aware) cost model — the workload whose masks price NUMA
+    distance, closing the loop with :func:`repro.simulation.costs`.
+    """
+    cm = cost_model or CostModel.numa_like()
+    family = topology.family
+    machines = sorted(topology.machines)
+    rows: List[List[int]] = []
+    for _j in range(n):
+        base = int(rng.integers(base_range[0], base_range[1] + 1))
+        jitter = rng.integers(0, max(1, base // 4) + 1, size=len(machines))
+        rows.append([base + int(v) for v in jitter])
+    machine_pos = {i: k for k, i in enumerate(machines)}
+    processing: Dict[int, Dict[MachineSet, int]] = {j: {} for j in range(n)}
+    for alpha in family.bottom_up():
+        if len(alpha) == 1:
+            (i,) = tuple(alpha)
+            for j in range(n):
+                processing[j][alpha] = rows[j][machine_pos[i]]
+        else:
+            bump = math.ceil(mask_overhead_budget(topology, cm, alpha))
+            for j in range(n):
+                below = max(processing[j][beta] for beta in family.children(alpha))
+                processing[j][alpha] = below + bump
+    return Instance(family, processing, validate=False)
+
+
+#: The family registry E17 sweeps (name → generator).
+FAMILIES: Dict[str, FamilyFn] = {
+    "density": density_instance,
+    "aligned": aligned_instance,
+    "misaligned": misaligned_instance,
+    "heavy_tailed": heavy_tailed_instance,
+    "near_critical": near_critical_instance,
+    "heterogeneous": heterogeneous_instance,
+    "budgeted": budgeted_instance,
+}
+
+
+def make_instance(
+    family_name: str,
+    rng: np.random.Generator,
+    topology: Topology,
+    n: int,
+    **params,
+) -> Instance:
+    try:
+        fn = FAMILIES[family_name]
+    except KeyError:
+        raise InvalidInstanceError(
+            f"unknown workload family {family_name!r}; known: {sorted(FAMILIES)}"
+        ) from None
+    return fn(rng, topology, n, **params)
+
+
+# ---------------------------------------------------------------------------
+# Fallback-stress packing programs (Lemma VI.2 off the happy path)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StressProgram:
+    """An assignment+packing program for :func:`repro.rounding.iterative_round`.
+
+    ``rho`` is the *declared* drop threshold (``rho_scale × true_rho``);
+    passing it to ``iterative_round`` reproduces the stress regime, while
+    passing ``None`` (→ ``true_rho``) exercises the certified-only path.
+    """
+
+    groups: Dict[Hashable, List]
+    rows: List[PackingRow]
+    costs: Dict[Hashable, Fraction]
+    rho: Fraction
+    true_rho: Fraction
+    cycle: int = 0
+
+
+def fallback_stress_program(
+    cycle: int = 3,
+    rho_scale: Fraction = Fraction(1, 2),
+    alpha: Fraction = Fraction(1),
+    beta: Fraction = Fraction(1, 2),
+    bound: Fraction = Fraction(3, 4),
+    bound_jitter_denom: int = 0,
+    seed: int = 0,
+) -> StressProgram:
+    """A packing program whose LP vertex is locked on a cycle of tight rows.
+
+    Construction: ``cycle`` groups ``G_i = {x_i, y_i}`` and rows ``R_i``
+    with ``x_i`` weighing ``alpha`` on ``R_i`` and ``y_i`` weighing ``beta``
+    on ``R_{i+1 mod cycle}``; costs 0 on the ``x`` side and 1 on the ``y``
+    side.  Minimizing cost maximizes ``Σ x_i``, whose unique optimum makes
+    *every* row tight (summing the per-row bounds shows the slack telescopes
+    when ``alpha ≠ beta``), so the LP lands on the fully fractional locked
+    vertex — nothing rounds to 0/1 and every row keeps two fractional
+    variables.
+
+    At that vertex each row has fractional weight ``F = alpha + beta``
+    against threshold ``ρ·b + (b − W)``; with the default numbers the
+    certified rules fire iff the declared ``ρ = rho_scale × column_rho``
+    satisfies ``rho_scale ≥ 3/4``.  Below that the fallback fires; below
+    ``1/4`` the achieved usage exceeds ``(1+ρ)·b`` and the self-
+    certification raises.  ``bound_jitter_denom`` perturbs the row bounds
+    (``b_i = bound ± k/denom`` drawn from *seed*) to de-symmetrize the
+    instance without unlocking the vertex.
+    """
+    if cycle < 2:
+        raise InvalidInstanceError("need a cycle of ≥ 2 rows")
+    alpha, beta = Fraction(alpha), Fraction(beta)
+    if alpha == beta:
+        raise InvalidInstanceError(
+            "alpha must differ from beta (equal coefficients make the cycle "
+            "rows linearly dependent on the group equalities)"
+        )
+    rng = np.random.default_rng(seed)
+    bounds: List[Fraction] = []
+    for _i in range(cycle):
+        b = Fraction(bound)
+        if bound_jitter_denom:
+            b += Fraction(int(rng.integers(0, 2)), bound_jitter_denom)
+        if not beta < b < alpha + beta:
+            raise InvalidInstanceError(
+                f"row bound {b} must lie strictly between beta and "
+                f"alpha + beta for an interior locked vertex"
+            )
+        bounds.append(b)
+    groups: Dict[Hashable, List] = {}
+    costs: Dict[Hashable, Fraction] = {}
+    coeffs: List[Dict] = [dict() for _ in range(cycle)]
+    for i in range(cycle):
+        x, y = ("x", i), ("y", i)
+        groups[i] = [x, y]
+        coeffs[i][x] = alpha
+        coeffs[(i + 1) % cycle][y] = beta
+        costs[x], costs[y] = Fraction(0), Fraction(1)
+    rows = [PackingRow(f"R{i}", coeffs[i], bounds[i]) for i in range(cycle)]
+    true_rho = column_rho(groups, rows)
+    return StressProgram(
+        groups=groups,
+        rows=rows,
+        costs=costs,
+        rho=Fraction(rho_scale) * true_rho,
+        true_rho=true_rho,
+        cycle=cycle,
+    )

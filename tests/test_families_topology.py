@@ -1,0 +1,421 @@
+"""Tests for the scenario-diversity engine: workload families, the topology
+zoo (NUMA distances, speeds, asymmetric trees), and experiments E16/E17."""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import Instance, schedule_hierarchical
+from repro.exceptions import (
+    InvalidFamilyError,
+    InvalidInstanceError,
+    RoundingCertificationError,
+)
+from repro.rounding.iterative import iterative_round
+from repro.schedule.metrics import (
+    distinct_machine_migrations,
+    migration_tier_histogram,
+    priced_migration_cost,
+)
+from repro.schedule.periodic import interior_instance_migrations, unroll
+from repro.simulation import CostModel, Topology
+from repro.workloads import (
+    FAMILIES,
+    TOPOLOGIES,
+    fallback_stress_program,
+    make_instance,
+    make_topology,
+    random_feasible_pair,
+    rng_from_seed,
+)
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ---------------------------------------------------------------------------
+# smp_cmp tier naming (the ISSUE 3 regression): degenerate dimensions
+# ---------------------------------------------------------------------------
+
+
+class TestSmpCmpNaming:
+    def test_acceptance_regression(self):
+        assert Topology.smp_cmp(1, 2, 2).tier_name(2) == "system"
+
+    @pytest.mark.parametrize(
+        "dims,names",
+        [
+            ((2, 2, 2), ("core", "chip", "node", "system")),
+            ((1, 2, 2), ("core", "chip", "system")),
+            ((2, 1, 2), ("core", "chip", "system")),
+            ((2, 2, 1), ("core", "node", "system")),
+            ((1, 1, 4), ("core", "system")),
+            ((1, 4, 1), ("core", "system")),
+            ((4, 1, 1), ("core", "system")),
+            ((1, 1, 1), ("core",)),
+        ],
+    )
+    def test_level_names_follow_deduplicated_heights(self, dims, names):
+        topo = Topology.smp_cmp(*dims)
+        assert topo.level_names == names
+
+    @_SETTINGS
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(1, 3))
+    def test_every_height_named_and_top_is_system_or_core(self, a, b, c):
+        topo = Topology.smp_cmp(a, b, c)
+        root = frozenset(range(topo.m))
+        top = topo.family.height(root)
+        # One name per surviving height, nothing hallucinated beyond.
+        assert len(topo.level_names) == top + 1
+        assert topo.tier_name(0) == "core"
+        assert topo.tier_name(top) == ("system" if topo.m > 1 else "core")
+        assert topo.tier_name(top + 1).startswith("level-")
+
+
+# ---------------------------------------------------------------------------
+# Topology builder properties
+# ---------------------------------------------------------------------------
+
+
+class TestTopologyZooProperties:
+    def test_zoo_builders_are_laminar_trees_with_singletons(self):
+        for name in TOPOLOGIES:
+            topo = make_topology(name)
+            assert topo.family.is_tree
+            assert topo.family.has_all_singletons
+            assert topo.m >= 2
+
+    def test_migration_tier_symmetry_zoo(self):
+        for name in TOPOLOGIES:
+            topo = make_topology(name)
+            cores = sorted(topo.machines)
+            for a in cores:
+                for b in cores:
+                    assert topo.migration_tier(a, b) == topo.migration_tier(b, a)
+                    assert (topo.migration_tier(a, b) == 0) == (a == b)
+
+    def test_distance_metric_axioms_zoo(self):
+        for name in TOPOLOGIES:
+            topo = make_topology(name)
+            cores = sorted(topo.machines)
+            for a in cores:
+                assert topo.distance(a, a) == 0
+                for b in cores:
+                    assert topo.distance(a, b) == topo.distance(b, a)
+                    assert topo.distance(a, b) >= 0
+                    for c in cores:
+                        assert (
+                            topo.distance(a, b)
+                            <= topo.distance(a, c) + topo.distance(c, b)
+                        )
+
+    @_SETTINGS
+    @given(st.integers(1, 3), st.integers(1, 4), st.integers(0, 8), st.integers(0, 8))
+    def test_tier_distances_yield_an_ultrametric(self, nodes, cpn, near, far):
+        topo = Topology.numa(nodes, cpn, near=near, far=near + far)
+        cores = sorted(topo.machines)
+        for a in cores:
+            for b in cores:
+                for c in cores:
+                    # Ultrametric: d(a,b) ≤ max(d(a,c), d(c,b)).
+                    assert topo.distance(a, b) <= max(
+                        topo.distance(a, c), topo.distance(c, b)
+                    )
+
+    def test_distance_defaults_to_tier(self):
+        topo = Topology.smp_cmp(2, 2, 2)
+        assert topo.distances is None
+        assert topo.distance(0, 1) == 1
+        assert topo.distance(0, 7) == 3
+
+    def test_decreasing_tier_profile_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Topology.clustered(4, 2).with_tier_distances([0, 3, 1])
+        with pytest.raises(InvalidInstanceError):
+            Topology.clustered(4, 2).with_tier_distances([1, 2])
+
+    def test_invalid_matrices_rejected(self):
+        fam_topo = Topology.flat(2)
+        with pytest.raises(InvalidInstanceError):
+            Topology(fam_topo.family, fam_topo.level_names, ((0, 1),))
+        with pytest.raises(InvalidInstanceError):  # asymmetric
+            Topology(fam_topo.family, fam_topo.level_names, ((0, 1), (2, 0)))
+        with pytest.raises(InvalidInstanceError):  # non-zero diagonal
+            Topology(fam_topo.family, fam_topo.level_names, ((1, 1), (1, 1)))
+
+    def test_triangle_violation_rejected(self):
+        topo = Topology.clustered(3, 3)
+        matrix = (
+            (0, 1, 5),
+            (1, 0, 1),
+            (5, 1, 0),
+        )
+        with pytest.raises(InvalidInstanceError):
+            Topology(topo.family, topo.level_names, matrix)
+
+    def test_speeds_validated(self):
+        flat = Topology.flat(2)
+        with pytest.raises(InvalidInstanceError):
+            flat.with_speeds([1])
+        with pytest.raises(InvalidInstanceError):
+            flat.with_speeds([1, 0])
+        hetero = Topology.heterogeneous((3, 1), 2)
+        assert hetero.speed(0) == 3 and hetero.speed(2) == 1
+        assert hetero.is_heterogeneous
+        assert not Topology.heterogeneous((2, 2), 2).is_heterogeneous
+
+    def test_asymmetric_tree_heights(self):
+        topo = Topology.asymmetric([[0, 1], [[2, 3], [4, 5]]])
+        assert topo.family.is_tree and topo.family.has_all_singletons
+        assert topo.mask_tier({0, 1}) == 1
+        assert topo.mask_tier({2, 3, 4, 5}) == 2
+        # The root sits strictly above its deepest child: system-wide
+        # migrations get their own (topmost) tier bucket.
+        assert topo.mask_tier(range(6)) == 3
+        assert topo.migration_tier(0, 2) == 3
+        assert topo.migration_tier(2, 4) == 2
+        assert topo.tier_name(0) == "core"
+        assert topo.tier_name(3) == "system"
+
+    def test_asymmetric_tiers_monotone_under_inclusion(self):
+        # Regression: LaminarFamily.height (shortest path to a leaf) is NOT
+        # monotone on uneven trees — a system-wide migration must never be
+        # priced below a strictly more local one.
+        topo = Topology.asymmetric([[0], [[1, 2], [3, 4]]])
+        assert topo.migration_tier(0, 1) > topo.migration_tier(1, 3)
+        assert topo.migration_tier(1, 3) > topo.migration_tier(1, 2)
+        cores = sorted(topo.machines)
+        for a in cores:
+            for b in cores:
+                for c in cores:
+                    # Tier ultrametric: t(a,b) ≤ max(t(a,c), t(c,b)).
+                    assert topo.migration_tier(a, b) <= max(
+                        topo.migration_tier(a, c), topo.migration_tier(c, b)
+                    )
+
+    def test_mask_diameter_monotone(self):
+        topo = make_topology("numa2x2")
+        chain = [frozenset({0}), frozenset({0, 1}), frozenset(range(4))]
+        diameters = [topo.mask_diameter(a) for a in chain]
+        assert diameters == sorted(diameters)
+        assert diameters[0] == 0
+
+
+class TestDistancePricing:
+    def test_numa_migration_cost_exceeds_local(self):
+        topo = make_topology("numa2x2")
+        cm = CostModel.numa_like()
+        assert cm.migration_cost(topo, 0, 2) > cm.migration_cost(topo, 0, 1)
+        assert cm.migration_cost(topo, 0, 0) == 0
+
+    def test_priced_metrics_on_hand_schedule(self):
+        from repro import Schedule
+
+        topo = make_topology("numa2x2")
+        cm = CostModel.numa_like(rate=1)
+        s = Schedule(range(4), 6)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 0, 2, 4)   # intra-node: tier 1, distance 1
+        s.add_segment(2, 0, 4, 6)   # cross-node: tier 2, distance 4
+        assert migration_tier_histogram(s, topo) == {1: 1, 2: 1}
+        expected = (cm.cost_of_tier(1) + 1) + (cm.cost_of_tier(2) + 4)
+        assert priced_migration_cost(s, topo, cm) == expected
+
+    def test_rate_zero_reduces_to_tier_model(self):
+        topo = make_topology("numa2x2")
+        tiered = CostModel.xeon_like()
+        assert tiered.migration_cost(topo, 0, 2) == tiered.cost_of_tier(2)
+
+
+# ---------------------------------------------------------------------------
+# Workload families
+# ---------------------------------------------------------------------------
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family_name", sorted(FAMILIES))
+    @pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+    def test_families_produce_monotone_instances(self, family_name, topo_name):
+        topo = make_topology(topo_name)
+        inst = make_instance(family_name, rng_from_seed(7), topo, 5)
+        assert inst.family == topo.family
+        # Re-validate monotonicity explicitly (generators skip it for speed).
+        Instance(
+            inst.family,
+            {j: {a: inst.p(j, a) for a in inst.family.sets} for j in range(inst.n)},
+        )
+        assert all(inst.allowed_sets(j) for j in range(inst.n))
+
+    def test_generation_is_seed_deterministic(self):
+        topo = make_topology("smp2x2x2")
+        for name in sorted(FAMILIES):
+            a = make_instance(name, rng_from_seed(11), topo, 6)
+            b = make_instance(name, rng_from_seed(11), topo, 6)
+            assert all(
+                a.p(j, alpha) == b.p(j, alpha)
+                for j in range(a.n)
+                for alpha in a.family.sets
+            )
+
+    def test_aligned_jobs_fit_one_domain(self):
+        topo = make_topology("clustered4x2")
+        inst = make_instance("aligned", rng_from_seed(3), topo, 8)
+        for j in range(inst.n):
+            cheap = {
+                i for i in sorted(inst.machines)
+                if inst.p(j, frozenset([i])) == min(
+                    inst.p(j, frozenset([k])) for k in sorted(inst.machines)
+                )
+            }
+            assert any(cheap <= alpha for alpha in inst.family.sets)
+
+    def test_misaligned_jobs_straddle_domains(self):
+        topo = make_topology("clustered4x2")
+        inst = make_instance("misaligned", rng_from_seed(3), topo, 8)
+        root = frozenset(topo.machines)
+        clusters = topo.family.children(root)
+        for j in range(inst.n):
+            mins = min(inst.p(j, frozenset([k])) for k in sorted(inst.machines))
+            cheap = {
+                i for i in sorted(inst.machines)
+                if inst.p(j, frozenset([i])) == mins
+            }
+            # One cheap core per cluster — no cluster contains two.
+            for cluster in clusters:
+                assert len(cheap & cluster) == 1
+
+    def test_heterogeneous_family_scales_by_speed(self):
+        topo = make_topology("hetero2x2")
+        inst = make_instance(
+            "heterogeneous", rng_from_seed(5), topo, 6, base_range=(8, 8)
+        )
+        # Fast cores (speed 2) run base 8 in 4; slow cores in 8.
+        for j in range(inst.n):
+            assert inst.p(j, frozenset([0])) == 4
+            assert inst.p(j, frozenset([3])) == 8
+
+    def test_heavy_tailed_has_flat_profiles(self):
+        topo = make_topology("flat4")
+        inst = make_instance("heavy_tailed", rng_from_seed(9), topo, 10)
+        root = frozenset(topo.machines)
+        for j in range(inst.n):
+            assert inst.p(j, root) == inst.p(j, frozenset([0]))
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            make_topology("nope")
+        with pytest.raises(InvalidInstanceError):
+            make_instance("nope", rng_from_seed(1), make_topology("flat4"), 4)
+
+
+class TestFallbackStressProgram:
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            fallback_stress_program(cycle=1)
+        with pytest.raises(InvalidInstanceError):
+            fallback_stress_program(alpha=Fraction(1), beta=Fraction(1))
+        with pytest.raises(InvalidInstanceError):
+            fallback_stress_program(bound=Fraction(2))  # ≥ alpha + beta
+
+    def test_declared_rho_scales_the_column_bound(self):
+        sp = fallback_stress_program(rho_scale=Fraction(1, 2))
+        assert sp.rho == sp.true_rho / 2
+        assert sp.true_rho == Fraction(4, 3)  # alpha=1 over bound=3/4
+
+    @_SETTINGS
+    @given(st.integers(2, 7), st.integers(0, 10**6))
+    def test_phase_diagram_holds_for_random_cycles(self, cycle, seed):
+        # At the true ρ the certified rules are complete: no fallback.
+        sp = fallback_stress_program(
+            cycle=cycle, rho_scale=Fraction(1), bound_jitter_denom=16, seed=seed
+        )
+        result = iterative_round(sp.groups, sp.rows, costs=sp.costs, rho=sp.rho)
+        assert result.fallback_drops == 0
+        assert result.max_violation_ratio <= 1 + sp.rho
+        # At half the column bound the fallback fires and still certifies.
+        sp = fallback_stress_program(
+            cycle=cycle, rho_scale=Fraction(1, 2), bound_jitter_denom=16, seed=seed
+        )
+        result = iterative_round(sp.groups, sp.rows, costs=sp.costs, rho=sp.rho)
+        assert result.fallback_drops > 0
+        assert not result.certification_violations()
+
+
+# ---------------------------------------------------------------------------
+# Periodic unrolling over the zoo
+# ---------------------------------------------------------------------------
+
+
+class TestPeriodicOverZoo:
+    @pytest.mark.parametrize("topo_name", ["clustered4x2", "numa2x2", "asym6"])
+    def test_interior_instances_match_processing_order(self, topo_name):
+        topo = make_topology(topo_name)
+        rng = rng_from_seed(23)
+        inst = make_instance("aligned", rng, topo, topo.m + 2)
+        for _trial in range(3):
+            assignment, T = random_feasible_pair(rng, inst)
+            schedule = schedule_hierarchical(inst, assignment, T)
+            for job in range(inst.n):
+                assert interior_instance_migrations(
+                    schedule, job, periods=4
+                ) == distinct_machine_migrations(schedule, job)
+
+    def test_unroll_preserves_priced_cost_per_period(self):
+        topo = make_topology("numa2x2")
+        cm = CostModel.numa_like()
+        rng = rng_from_seed(31)
+        inst = make_instance("misaligned", rng, topo, topo.m + 1)
+        assignment, T = random_feasible_pair(rng, inst)
+        schedule = schedule_hierarchical(inst, assignment, T)
+        periods = 4
+        unrolled = unroll(schedule, periods, relabel=False)
+        assert unrolled.T == periods * schedule.T
+        # Without relabeling every within-period transition recurs each
+        # period, so the priced cost is at least periods × one-shot cost.
+        assert priced_migration_cost(unrolled, topo, cm) >= periods * (
+            priced_migration_cost(schedule, topo, cm)
+        ) - periods * cm.cost_of_tier(len(topo.level_names))
+
+
+# ---------------------------------------------------------------------------
+# Experiments E16 / E17
+# ---------------------------------------------------------------------------
+
+
+class TestE16:
+    def test_phase_diagram_and_certification(self):
+        from repro.experiments import e16_fallback_stress
+
+        result = e16_fallback_stress.run(
+            cycles=(3,), rho_percents=(100, 50, 20)
+        )
+        assert result.fallback_exercised
+        assert result.certified_rows_within_limit
+        by_percent = {r.rho_percent: r for r in result.rows}
+        assert by_percent[100].fallback_drops == 0 and by_percent[100].certified
+        assert by_percent[50].fallback_drops > 0 and by_percent[50].certified
+        assert not by_percent[20].certified and by_percent[20].violations > 0
+
+
+class TestE17:
+    def test_zoo_comparison_within_guarantee(self):
+        from repro.experiments import e17_topology_sensitivity
+
+        result = e17_topology_sensitivity.run(
+            topologies=("flat4", "numa2x2"),
+            families=("aligned", "misaligned"),
+            trials=1,
+        )
+        assert result.hierarchical_within_guarantee
+        assert len(result.rows) == 4
+        # Misaligned cheap sets straddle clusters: the clustered class must
+        # pay strictly more than hierarchical on the NUMA platform.
+        clustered = result.ratio("numa2x2", "misaligned", "clustered")
+        hierarchical = result.ratio("numa2x2", "misaligned", "hierarchical")
+        assert clustered is not None and hierarchical is not None
+        assert clustered > hierarchical

@@ -17,7 +17,12 @@ from repro.core.memory import (
     solve_model1,
     solve_model2,
 )
-from repro.exceptions import InfeasibleError, InvalidInstanceError, RoundingError
+from repro.exceptions import (
+    InfeasibleError,
+    InvalidInstanceError,
+    RoundingCertificationError,
+    RoundingError,
+)
 from repro.rounding.iterative import PackingRow, column_rho, iterative_round
 from repro.workloads import rng_from_seed
 
@@ -94,10 +99,41 @@ class TestIterativeRound:
         ]
         assert column_rho(groups, rows) == Fraction(3, 2)
 
-    def test_nonpositive_bound_raises(self):
-        rows = [PackingRow("r", {("a", 0): Fraction(1)}, Fraction(0))]
+    def test_negative_bound_raises(self):
         with pytest.raises(RoundingError):
-            column_rho({0: [("a", 0)]}, rows)
+            PackingRow("r", {("a", 0): Fraction(1)}, Fraction(-1))
+
+    def test_negative_coefficient_raises(self):
+        with pytest.raises(RoundingError):
+            PackingRow("r", {("a", 0): Fraction(-1)}, Fraction(1))
+
+    def test_zero_bound_rows_skipped_by_column_rho(self):
+        # b = 0 rows carry no rounding slack: they are excluded from ρ
+        # instead of dividing by zero.
+        groups = {0: [("a", 0), ("b", 0)]}
+        rows = [
+            PackingRow("zero", {("a", 0): Fraction(1)}, Fraction(0)),
+            PackingRow("r", {("a", 0): Fraction(1), ("b", 0): Fraction(2)}, Fraction(4)),
+        ]
+        assert column_rho(groups, rows) == Fraction(1, 2)
+
+    def test_zero_bound_row_forces_exact_satisfaction(self):
+        # The candidate with positive weight on the b = 0 row can never be
+        # chosen; the sibling gets the assignment and usage stays 0.
+        groups = {0: [("a", 0), ("b", 0)]}
+        rows = [PackingRow("zero", {("a", 0): Fraction(3)}, Fraction(0))]
+        result = iterative_round(groups, rows)
+        assert result.values == {("a", 0): 0, ("b", 0): 1}
+        assert result.row_usage["zero"] == 0
+        assert result.certified_limits["zero"] == 0
+
+    def test_zero_bound_infeasible_when_unavoidable(self):
+        # Fractional (here: integral 1) weight on a zero-bound row is
+        # infeasible by convention.
+        groups = {0: [("a", 0)]}
+        rows = [PackingRow("zero", {("a", 0): Fraction(1)}, Fraction(0))]
+        with pytest.raises(InfeasibleError):
+            iterative_round(groups, rows)
 
     @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(st.integers(0, 10**6))
@@ -128,6 +164,82 @@ class TestIterativeRound:
         assert result.max_violation_ratio <= 1 + rho
         for j in range(n):
             assert sum(result.values[(i, j)] for i in range(m)) == 1
+
+
+def _odd_cycle_program(c=3):
+    """The E16 stress shape: c groups locked on a cycle of c tight rows."""
+    from repro.workloads.families import fallback_stress_program
+
+    program = fallback_stress_program(cycle=c)
+    return program.groups, program.rows, program.costs
+
+
+class TestSelfCertification:
+    """The hardened Lemma VI.2 fallback (ISSUE 3 regression tests)."""
+
+    def test_fallback_unreachable_at_column_rho(self):
+        # With ρ = column_rho the residual rule is complete (module
+        # docstring): the fallback never fires on the adversarial cycle.
+        groups, rows, costs = _odd_cycle_program()
+        result = iterative_round(groups, rows, costs=costs)
+        assert result.fallback_drops == 0
+        assert result.max_violation_ratio <= 1 + column_rho(groups, rows)
+
+    def test_fallback_fires_and_certifies(self):
+        # Declaring ρ below the column bound reaches the fallback; the
+        # achieved usage still passes the (1+ρ) self-certification.
+        groups, rows, costs = _odd_cycle_program()
+        rho = column_rho(groups, rows) / 2
+        result = iterative_round(groups, rows, costs=costs, rho=rho)
+        assert result.fallback_drops > 0
+        assert not result.certification_violations()
+        assert all(
+            result.row_usage[n] <= result.certified_limits[n]
+            for n in result.row_bounds
+        )
+
+    def test_certification_violation_raises_structured(self):
+        groups, rows, costs = _odd_cycle_program()
+        rho = column_rho(groups, rows) / 8
+        with pytest.raises(RoundingCertificationError) as excinfo:
+            iterative_round(groups, rows, costs=costs, rho=rho)
+        err = excinfo.value
+        assert err.violations
+        for name, (usage, limit, bound) in err.violations.items():
+            assert usage > limit
+            assert limit == (1 + rho) * bound
+        assert err.result is not None and err.result.fallback_drops > 0
+
+    def test_certify_false_returns_uncertified_result(self):
+        groups, rows, costs = _odd_cycle_program()
+        rho = column_rho(groups, rows) / 8
+        result = iterative_round(
+            groups, rows, costs=costs, rho=rho, certify=False
+        )
+        assert result.fallback_drops > 0
+        assert result.certification_violations()
+        with pytest.raises(RoundingCertificationError):
+            result.certify()
+
+    def test_certification_error_survives_pickling(self):
+        # Sweep workers raise across a process pool: the structured error
+        # must round-trip through pickle with its violations intact.
+        import pickle
+
+        groups, rows, costs = _odd_cycle_program()
+        rho = column_rho(groups, rows) / 8
+        with pytest.raises(RoundingCertificationError) as excinfo:
+            iterative_round(groups, rows, costs=costs, rho=rho)
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert clone.violations == excinfo.value.violations
+        assert clone.result.fallback_drops == excinfo.value.result.fallback_drops
+        assert str(clone) == str(excinfo.value)
+
+    def test_kept_rows_certified_at_their_bound(self):
+        groups = {0: [("a", 0)], 1: [("b", 1)]}
+        rows = [PackingRow("r", {("a", 0): Fraction(1)}, Fraction(2))]
+        result = iterative_round(groups, rows)
+        assert result.certified_limits == {"r": Fraction(2)}
 
 
 @pytest.fixture

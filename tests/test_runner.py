@@ -39,9 +39,9 @@ TINY = {"machine_counts": (2,), "trials": 2, "n_jobs": 4}
 
 
 class TestRegistry:
-    def test_all_fifteen_registered(self):
+    def test_all_seventeen_registered(self):
         ids = [s.id for s in all_specs()]
-        assert ids == [f"e{k:02d}" for k in range(1, 16)]
+        assert ids == [f"e{k:02d}" for k in range(1, 18)]
 
     def test_summaries_come_from_docstrings(self):
         for spec in all_specs():
@@ -210,6 +210,36 @@ class TestSweep:
         assert first.executed == 2 and first.skipped == 0
         assert second.executed == 0 and second.skipped == 2
 
+    def test_shards_partition_the_task_list(self):
+        from repro.runner import shard_tasks
+
+        tasks = build_tasks(["e16", "e17"])
+        for n in (1, 2, 3, len(tasks), len(tasks) + 3):
+            shards = [shard_tasks(tasks, (k, n)) for k in range(1, n + 1)]
+            rebuilt = []
+            for idx in range(len(tasks)):
+                rebuilt.append(shards[idx % n][idx // n])
+            assert rebuilt == tasks
+            assert sum(len(s) for s in shards) == len(tasks)
+
+    def test_shard_rejects_bad_indices(self):
+        from repro.runner import shard_tasks
+
+        tasks = build_tasks(["e16"])
+        with pytest.raises(ValueError):
+            shard_tasks(tasks, (0, 2))
+        with pytest.raises(ValueError):
+            shard_tasks(tasks, (3, 2))
+
+    def test_sharded_sweeps_compose_into_one_store(self, tmp_path):
+        ids = ["e01", "e03"]
+        with ResultsStore(str(tmp_path / "store")) as store:
+            first = run_sweep(ids, store, overrides=TINY, shard=(1, 2))
+            second = run_sweep(ids, store, overrides=TINY, shard=(2, 2))
+            full = run_sweep(ids, store, overrides=TINY)
+        assert first.executed + second.executed == 2
+        assert full.executed == 0 and full.skipped == 2
+
     def test_volatile_columns_masked_in_payload(self):
         params = {"shapes": ((4, 2),), "backends": ("exact",)}
         record, _elapsed = execute_task(
@@ -303,6 +333,23 @@ class TestCli:
 
     def test_sweep_unknown_id(self, capsys):
         assert cli_main(["sweep", "e99"]) == 2
+
+    def test_sweep_shard_cli_cycle(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert cli_main(["sweep", "e16", "--shard", "1/2", "--store", store]) == 0
+        assert "shard 1/2" in capsys.readouterr().out
+        assert cli_main(["sweep", "e16", "--shard", "2/2", "--store", store]) == 0
+        capsys.readouterr()
+        assert cli_main(["sweep", "e16", "--store", store]) == 0
+        assert "0 executed" in capsys.readouterr().out
+        assert cli_main(["report", store, "e16"]) == 0
+        assert "e16 — accumulated sweep (2 tasks)" in capsys.readouterr().out
+
+    def test_sweep_shard_malformed(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "e16", "--shard", "banana", "--store", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "e16", "--shard", "3/2", "--store", str(tmp_path)])
 
     def test_sweep_rejects_seeds_on_unseedable_selection(self, tmp_path, capsys):
         rc = cli_main(
