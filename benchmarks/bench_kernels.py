@@ -3,7 +3,19 @@
 Unlike the experiment benches (single-round sweeps), these time the paper's
 individual algorithms on fixed representative instances so solver-level
 regressions are measurable.
+
+Run as a script, it micro-benchmarks the **LU basis kernel**
+(:class:`repro.lp.basis.LUBasis`: factorize, ftran, btran, rank-one update)
+on optimal IP-3 bases across the E14 shapes and writes ``BENCH_kernels.json``
+to the repository root (mirrored under ``benchmarks/results/``)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
 """
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 import pytest
 
@@ -104,3 +116,143 @@ def test_kernel_mcnaughton(benchmark):
     lengths = [int(rng.integers(1, 100)) for _ in range(2000)]
     T, schedule = benchmark(lambda: mcnaughton_schedule(lengths, 64))
     assert schedule.makespan() == T
+
+
+# ---------------------------------------------------------------------------
+# LU basis kernel (factorize / ftran / btran / rank-one update)
+# ---------------------------------------------------------------------------
+
+#: E14 shapes the script-mode microbench sweeps (pytest uses the smallest).
+LU_SHAPES = ((16, 6), (24, 8), (32, 10), (48, 12), (64, 16))
+
+
+def _lu_fixture(n, m, seed=140):
+    """An optimal IP-3 basis at the top breakpoint, in kernel terms.
+
+    Returns ``(solver, basis_columns)`` where *solver* is the revised
+    driver's scaled-integer view of the LP and *basis_columns* are the
+    sparse columns of an optimal basis — exactly what a warm-started probe
+    factorizes, so the timings reflect production inputs, not random
+    matrices.
+    """
+    from fractions import Fraction
+
+    from repro.core.programs import IP3Builder
+    from repro.lp.revised import _RevisedSolver, solve_standard_revised
+    from repro.lp.simplex import standard_form
+
+    inst = random_hierarchical(rng_from_seed(seed), n=n, m=m)
+    builder = IP3Builder(inst)
+    coeff, senses, rhs, active = builder.probe_rows(builder.breakpoints[-1])
+    objective = [Fraction(0)] * len(active)
+    std = standard_form(coeff, senses, rhs, objective)
+    solver = _RevisedSolver(std, objective, 5000, 200000, "dantzig")
+    result = solve_standard_revised(coeff, senses, rhs, objective)
+    assert result.status == "optimal"
+    return solver, [solver.cols[c] for c in result.basis]
+
+
+def _time_lu_ops(solver, basis_columns, rounds=3):
+    """Wall-clock the four kernel operations on a realistic basis."""
+    import time
+
+    from repro.lp.basis import LUBasis
+
+    m = solver.m
+    times = {"factorize_ms": [], "ftran_us": [], "btran_us": [], "update_ms": []}
+    for _ in range(rounds):
+        start = time.perf_counter()
+        lub = LUBasis.factorize(m, basis_columns, solver.b_int)
+        times["factorize_ms"].append((time.perf_counter() - start) * 1e3)
+        assert lub is not None
+
+        sample = solver.cols[: min(len(solver.cols), 128)]
+        start = time.perf_counter()
+        for col in sample:
+            lub.ftran(col)
+        times["ftran_us"].append((time.perf_counter() - start) * 1e6 / len(sample))
+
+        cb = {i: 1 for i in range(0, m, 3)}
+        start = time.perf_counter()
+        for _ in range(16):
+            lub.btran(cb)
+        times["btran_us"].append((time.perf_counter() - start) * 1e6 / 16)
+
+        # Update pairs: pivot a non-basic column in, then the displaced one
+        # back (both legal exchanges), so the basis — and therefore the
+        # per-op cost — is identical across iterations.
+        basic = set()
+        pairs = 0
+        start = time.perf_counter()
+        for j, col in enumerate(solver.cols):
+            if pairs >= 8:
+                break
+            alpha = lub.ftran(col)
+            row = next(
+                (r for r in range(m) if alpha[r] != 0 and r not in basic), None
+            )
+            if row is None:
+                continue
+            old = basis_columns[row]
+            lub.update(row, alpha)
+            lub.update(row, lub.ftran(old))
+            basic.add(row)
+            pairs += 1
+        if pairs:
+            times["update_ms"].append(
+                (time.perf_counter() - start) * 1e3 / (2 * pairs)
+            )
+    return {op: round(min(vals), 4) for op, vals in times.items() if vals}
+
+
+def test_kernel_lu_basis_ops(benchmark):
+    solver, basis_columns = _lu_fixture(*LU_SHAPES[0])
+    from repro.lp.basis import LUBasis
+
+    lub = benchmark(lambda: LUBasis.factorize(solver.m, basis_columns, solver.b_int))
+    assert lub is not None and lub.den != 0
+
+
+def lu_main(argv=None):
+    """Script mode: emit BENCH_kernels.json across the E14 shapes."""
+    import argparse
+    import json
+    import os
+
+    parser = argparse.ArgumentParser(description="LU basis kernel microbench")
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument(
+        "--out", default=os.path.join(repo_root, "BENCH_kernels.json")
+    )
+    parser.add_argument("--quick", action="store_true", help="two shapes only")
+    args = parser.parse_args(argv)
+
+    shapes = LU_SHAPES[:2] if args.quick else LU_SHAPES
+    rows = []
+    for n, m in shapes:
+        solver, basis_columns = _lu_fixture(n, m)
+        ops = _time_lu_ops(solver, basis_columns)
+        row = {
+            "n": n,
+            "m": m,
+            "rows": solver.m,
+            "cols": len(solver.cols),
+            **ops,
+        }
+        rows.append(row)
+        print(
+            f"n={n:3d} m={m:3d} rows={solver.m:4d} cols={len(solver.cols):5d}  "
+            + "  ".join(f"{k}={v}" for k, v in ops.items())
+        )
+    payload = {"family": "e14_scaling", "kernel": "LUBasis", "rows": rows}
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    results_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "BENCH_kernels.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(lu_main())

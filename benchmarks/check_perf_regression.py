@@ -36,10 +36,21 @@ from typing import Dict, List, Optional, Tuple
 Shape = Tuple[int, int]
 
 
+def _canonical(row: Dict) -> bool:
+    """Whether a row is the default-kernel measurement for its backend.
+
+    Newer artifacts carry one row per (backend, kernel); the gate compares
+    the default-kernel rows (``revised`` for exact/hybrid, ``float`` for
+    scipy).  Rows without a ``kernel`` field — pre-kernel baselines — are
+    canonical by definition.
+    """
+    return row.get("kernel") in (None, "revised", "float")
+
+
 def _seconds_by_shape(payload: Dict, backend: str) -> Dict[Shape, float]:
     out: Dict[Shape, float] = {}
     for row in payload.get("rows", []):
-        if row.get("backend") == backend:
+        if row.get("backend") == backend and _canonical(row):
             out[(int(row["n"]), int(row["m"]))] = float(row["seconds"])
     return out
 
@@ -48,7 +59,7 @@ def _t_star_by_shape(payload: Dict, backend: str) -> Dict[Shape, str]:
     return {
         (int(r["n"]), int(r["m"])): str(r["T_star"])
         for r in payload.get("rows", [])
-        if r.get("backend") == backend
+        if r.get("backend") == backend and _canonical(r)
     }
 
 

@@ -27,6 +27,13 @@ Commands
 Backend guide: ``hybrid`` (default) = HiGHS speed with exact certification;
 ``exact`` = pure rational simplex; ``scipy`` = uncertified floats (fast,
 re-checked at the call sites that need exactness).
+
+Orthogonal to the backend, ``--kernel revised|tableau`` (on ``experiments``
+and ``solve``) selects the exact pivoting engine — ``revised`` (default) is
+the factorized-basis simplex, ``tableau`` the dense fraction-free tableau —
+and ``--profile`` prints aggregated solver counters (solves, pivots,
+refactorizations, warm-start hits, probe shortcuts) after the run, so perf
+claims can cite counters instead of wall-clock.
 """
 
 from __future__ import annotations
@@ -243,6 +250,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="LP backend override (default: each experiment's own)",
     )
+    exp.add_argument(
+        "--kernel",
+        choices=("revised", "tableau"),
+        default=None,
+        help="exact pivoting kernel for every solve (default: revised)",
+    )
+    exp.add_argument(
+        "--profile", action="store_true",
+        help="print aggregated solver counters after the run",
+    )
     sweep = sub.add_parser(
         "sweep", help="shard experiment sweeps across a process pool"
     )
@@ -286,9 +303,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="hybrid",
         help="LP backend for the 2-approximation (default: hybrid)",
     )
+    solve.add_argument(
+        "--kernel",
+        choices=("revised", "tableau"),
+        default=None,
+        help="exact pivoting kernel for every solve (default: revised)",
+    )
+    solve.add_argument(
+        "--profile", action="store_true",
+        help="print aggregated solver counters after the run",
+    )
     sub.add_parser("version", help="print the package version")
 
     args = parser.parse_args(argv)
+    if getattr(args, "kernel", None):
+        from .lp.simplex import set_default_kernel
+
+        set_default_kernel(args.kernel)
+    if getattr(args, "profile", False):
+        from .lp.stats import collect_stats
+
+        with collect_stats() as profile:
+            code = _dispatch(args, parser)
+        print()
+        print(profile.render())
+        return code
+    return _dispatch(args, parser)
+
+
+def _dispatch(args, parser) -> int:
     if args.command == "experiments":
         return _run_experiments(args.ids, backend=args.backend)
     if args.command == "sweep":

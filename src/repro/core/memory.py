@@ -177,6 +177,20 @@ def solve_model1(
     )
 
 
+def _memory_lp(groups: Mapping[int, List], rows: Sequence[PackingRow]):
+    """The feasibility LP shared by both memory models (groups + packing rows)."""
+    from ..lp.model import LinearProgram
+
+    lp = LinearProgram()
+    for j, keys in groups.items():
+        for key in keys:
+            lp.add_variable(key, lb=0)  # ub implied by the group equality
+        lp.add_constraint({key: 1 for key in keys}, "==", 1)
+    for row in rows:
+        lp.add_constraint(row.coeffs, "<=", row.bound, name=row.name)
+    return lp
+
+
 def model1_lp_feasible(
     instance: Instance,
     space: Sequence[Sequence[Time]],
@@ -188,7 +202,6 @@ def model1_lp_feasible(
 
     Certified for every backend via :func:`repro.lp.solve.is_feasible`.
     """
-    from ..lp.model import LinearProgram
     from ..lp.solve import is_feasible
 
     T = to_fraction(T)
@@ -196,14 +209,7 @@ def model1_lp_feasible(
         groups, rows = _model1_rows(instance, space, budgets, T)
     except InfeasibleError:
         return False
-    lp = LinearProgram()
-    for j, keys in groups.items():
-        for key in keys:
-            lp.add_variable(key, lb=0)  # ub implied by the group equality
-        lp.add_constraint({key: 1 for key in keys}, "==", 1)
-    for row in rows:
-        lp.add_constraint(row.coeffs, "<=", row.bound, name=row.name)
-    return is_feasible(lp, backend=backend)
+    return is_feasible(_memory_lp(groups, rows), backend=backend)
 
 
 def _min_T_with_rows(
@@ -247,15 +253,36 @@ def _min_T_with_rows(
 
 def _minimal_memory_T(
     instance: Instance,
-    feasible_at,
     rows_at,
     backend: str,
 ) -> Fraction:
     """Shared breakpoint search for the two memory models.
 
-    *feasible_at(T)* checks the LP; *rows_at(T)* returns (groups, rows) for
-    the min-T refinement inside/above a bracket.
+    *rows_at(T)* returns ``(groups, rows)`` — the probe LP *and* the min-T
+    refinement both build from it.  Mirroring the incremental pipeline of
+    :func:`repro.core.programs.minimal_fractional_T`, the previous feasible
+    probe's point is threaded into the next probe as warm values (variable
+    keys are stable across horizons), so a probe that must solve starts
+    from a crash-factorized feasible basis instead of phase 1.
     """
+    from ..lp.solve import feasible_point
+
+    warm: Dict = {}
+
+    def feasible_at(T: Fraction) -> bool:
+        try:
+            groups, rows = rows_at(T)
+        except InfeasibleError:
+            return False
+        point = feasible_point(
+            _memory_lp(groups, rows), backend=backend, warm_values=warm or None
+        )
+        if point is not None:
+            warm.clear()
+            warm.update({k: v for k, v in point.items() if v})
+            return True
+        return False
+
     values = sorted(
         {
             to_fraction(instance.p(j, alpha))
@@ -304,7 +331,6 @@ def minimal_model1_T(
     """Smallest horizon at which (IP-3)+(7)'s LP relaxation is feasible."""
     return _minimal_memory_T(
         instance,
-        feasible_at=lambda T: model1_lp_feasible(instance, space, budgets, T, backend),
         rows_at=lambda T: _model1_rows(instance, space, budgets, to_fraction(T)),
         backend=backend,
     )
@@ -521,7 +547,6 @@ def model2_lp_feasible(
 
     Certified for every backend via :func:`repro.lp.solve.is_feasible`.
     """
-    from ..lp.model import LinearProgram
     from ..lp.solve import is_feasible
 
     T = to_fraction(T)
@@ -529,14 +554,7 @@ def model2_lp_feasible(
         groups, rows, _caps = _model2_rows(instance, sizes, mu, T)
     except InfeasibleError:
         return False
-    lp = LinearProgram()
-    for j, keys in groups.items():
-        for key in keys:
-            lp.add_variable(key, lb=0)  # ub implied by the group equality
-        lp.add_constraint({key: 1 for key in keys}, "==", 1)
-    for row in rows:
-        lp.add_constraint(row.coeffs, "<=", row.bound, name=row.name)
-    return is_feasible(lp, backend=backend)
+    return is_feasible(_memory_lp(groups, rows), backend=backend)
 
 
 def minimal_model2_T(
@@ -548,7 +566,6 @@ def minimal_model2_T(
     """Smallest horizon at which (IP-4)'s LP relaxation is feasible."""
     return _minimal_memory_T(
         instance,
-        feasible_at=lambda T: model2_lp_feasible(instance, sizes, mu, T, backend),
         rows_at=lambda T: _model2_rows(instance, sizes, mu, to_fraction(T))[:2],
         backend=backend,
     )

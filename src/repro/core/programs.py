@@ -15,12 +15,20 @@ exactly, returning the paper's lower bound ``T* ≤ opt(I)``.
 
 Probe cost: a naive implementation rebuilds the subset-closure scan
 (``O(|F|²·n)``) and cold-starts the simplex at every probe.  The search here
-shares one :class:`IP3Builder` across all probes (the closure is computed
-once and each probe's LP is materialized by filtering on ``p ≤ T``), runs
-the probes through the certified fast path of
-:func:`repro.lp.solve.feasible_point`, and warm-starts the final min-T LPs
-from the feasible point the bracketing probe already produced — with a warm
-basis the min-T solve needs no phase-1 work at all.
+is **incremental** end to end:
+
+* one :class:`IP3Builder` is shared across all probes — the closure is
+  computed once, and each probe's rows are materialized by *masking* the
+  cached index templates on ``p ≤ T`` (:meth:`IP3Builder.probe_rows`), not
+  by rebuilding a keyed :class:`~repro.lp.model.LinearProgram`;
+* successive probes reuse the bracketing probes' outcomes: a still-valid
+  feasible point answers a "yes" probe after one ``O(nnz)`` exact re-check,
+  a still-valid Farkas certificate answers a "no" probe the same way, and
+  when a solve is unavoidable it is warm-started from the previous feasible
+  point's factorized basis (:class:`_ProbeSession`);
+* the final min-T LPs are warm-started from the feasible point the
+  bracketing probe already produced — with a warm basis the min-T solve
+  needs no phase-1 work at all.
 """
 
 from __future__ import annotations
@@ -30,8 +38,10 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from .._fraction import is_inf, to_fraction
 from ..exceptions import InfeasibleError, InvalidInstanceError
+from ..lp.certificates import farkas_certifies
 from ..lp.model import LinearProgram
-from ..lp.solve import feasible_point, solve_lp
+from ..lp.solve import check_standard_rows, feasible_point, feasible_point_rows, solve_lp
+from ..lp.stats import SolverStats, record
 from .assignment import FractionalAssignment
 from .instance import Instance
 from .laminar import MachineSet
@@ -91,6 +101,63 @@ class IP3Builder:
                     if not is_inf(p):
                         entries.append((beta, j, to_fraction(p)))
             self.load_template[alpha] = entries
+
+        # Index-based row templates for probe masking: probes address
+        # variables by their position in ``self.finite`` (stable across all
+        # horizons), so materializing a probe is pure integer filtering —
+        # no tuple-key hashing, no LinearProgram object.
+        var_of_pair: Dict[Tuple[int, MachineSet], int] = {
+            (j, alpha): gi for gi, (j, alpha, _p) in enumerate(self.finite)
+        }
+        #: Per-job assignment-row template: global variable indices.
+        self.assign_template: List[List[int]] = [[] for _ in range(n)]
+        for gi, (j, _alpha, _p) in enumerate(self.finite):
+            self.assign_template[j].append(gi)
+        #: Per-set load-row template in index form: (global index, p).
+        self.load_template_idx: List[Tuple[MachineSet, List[Tuple[int, Fraction]]]] = [
+            (
+                alpha,
+                [
+                    (var_of_pair[(j, beta)], p)
+                    for beta, j, p in self.load_template[alpha]
+                ],
+            )
+            for alpha in family.sets
+        ]
+        #: Processing time per global variable index.
+        self.var_p: List[Fraction] = [p for _j, _a, p in self.finite]
+
+    def probe_rows(
+        self, T: Fraction
+    ) -> Tuple[List[Dict[int, Fraction]], List[str], List[Fraction], List[int]]:
+        """The decision LP at horizon *T* as masked standard rows.
+
+        Returns ``(coeff_rows, senses, rhs, active)`` where *active* maps
+        local variable index → position in ``self.finite``.  Row order is
+        the ``decision_lp`` order (all assignment rows, then all load rows),
+        which is what keeps Farkas certificates transferable between
+        probes.  ``O(nnz)`` — a filter pass over cached index templates.
+        """
+        var_p = self.var_p
+        active = [gi for gi in range(len(var_p)) if var_p[gi] <= T]
+        local = {gi: li for li, gi in enumerate(active)}
+        coeff_rows: List[Dict[int, Fraction]] = []
+        senses: List[str] = []
+        rhs: List[Fraction] = []
+        one = Fraction(1)
+        for j in range(self.instance.n):
+            coeff_rows.append(
+                {local[gi]: one for gi in self.assign_template[j] if var_p[gi] <= T}
+            )
+            senses.append("==")
+            rhs.append(one)
+        for alpha, entries in self.load_template_idx:
+            coeff_rows.append(
+                {local[gi]: p for gi, p in entries if p <= T}
+            )
+            senses.append("<=")
+            rhs.append(len(alpha) * T)
+        return coeff_rows, senses, rhs, active
 
     def decision_lp(self, T: Fraction) -> LinearProgram:
         """The LP relaxation of (IP-3) at horizon *T* (== :func:`build_ip3`)."""
@@ -152,6 +219,90 @@ class IP3Builder:
         return lp
 
 
+class _ProbeSession:
+    """Incremental feasibility probing for one binary search.
+
+    Carries the last feasible point and the last Farkas certificate across
+    probes.  Probe rows share one variable indexing (positions in
+    ``builder.finite``) and one row order, so both artifacts transfer
+    between horizons: a point transfers downward whenever its support
+    survives the shrunken pruning set and the tightened load bounds (one
+    exact ``O(nnz)`` re-check decides), a certificate transfers upward
+    whenever the new columns keep its column sums non-positive (same
+    check).  Either hit answers the probe with **no LP solve at all**;
+    misses fall through to a certified solve warm-started from the masked
+    previous point.  Shortcut hits are recorded as
+    ``point_reuses``/``farkas_reuses`` in any active
+    :func:`repro.lp.stats.collect_stats` scope.
+    """
+
+    def __init__(
+        self,
+        builder: IP3Builder,
+        backend: str,
+        kernel: Optional[str] = None,
+    ):
+        self.builder = builder
+        self.backend = backend
+        self.kernel = kernel
+        #: Last feasible point, keyed by global variable index (support only).
+        self.point: Optional[Dict[int, Fraction]] = None
+        #: Last verified Farkas certificate, in probe-row order.
+        self.farkas: Optional[List[Fraction]] = None
+
+    def probe(self, T: Fraction) -> Optional[Dict[int, Fraction]]:
+        """Certified feasibility verdict at horizon *T*.
+
+        Returns the feasible point (global-index keyed, support only) or
+        ``None`` for a certified infeasibility.
+        """
+        builder = self.builder
+        var_p = builder.var_p
+        # A job with no admissible pair at T is an unsatisfiable {} == 1
+        # row; decide it structurally instead of building the LP.
+        for j in range(builder.instance.n):
+            if not any(var_p[gi] <= T for gi in builder.assign_template[j]):
+                return None
+        coeff_rows, senses, rhs, active = builder.probe_rows(T)
+        if self.farkas is not None and farkas_certifies(
+            coeff_rows, senses, rhs, self.farkas
+        ):
+            record(SolverStats(farkas_reuses=1))
+            return None
+        masked: Optional[List[Fraction]] = None
+        if self.point is not None:
+            masked = [self.point.get(gi, Fraction(0)) for gi in active]
+            support_survives = all(var_p[gi] <= T for gi in self.point)
+            if support_survives and check_standard_rows(
+                coeff_rows, senses, rhs, masked
+            ):
+                record(SolverStats(point_reuses=1))
+                return self.point
+        point, farkas = feasible_point_rows(
+            coeff_rows, senses, rhs, len(active),
+            backend=self.backend, warm_point=masked, kernel=self.kernel,
+        )
+        if point is not None:
+            self.point = {
+                active[li]: v for li, v in enumerate(point) if v
+            }
+            return self.point
+        if farkas is not None:
+            self.farkas = farkas
+        return None
+
+    def keyed_point(
+        self, gpoint: Optional[Dict[int, Fraction]]
+    ) -> Optional[Dict]:
+        """A global-index point as ``("x", α, j)``-keyed LP warm values."""
+        if gpoint is None:
+            return None
+        finite = self.builder.finite
+        return {
+            ("x", finite[gi][1], finite[gi][0]): v for gi, v in gpoint.items()
+        }
+
+
 def build_ip3(
     instance: Instance,
     T: Time,
@@ -201,6 +352,7 @@ def feasible_lp_solution(
     instance: Instance,
     T: Time,
     backend: str = "hybrid",
+    kernel: Optional[str] = None,
 ) -> Optional[FractionalAssignment]:
     """A feasible fractional solution of (IP-3)'s LP relaxation at *T*.
 
@@ -212,17 +364,19 @@ def feasible_lp_solution(
     ``push_down``/``lst_round``.
     """
     lp = build_ip3(instance, T)
-    solution = solve_lp(lp, backend=backend)
+    solution = solve_lp(lp, backend=backend, kernel=kernel)
     if not solution.is_optimal and backend == "scipy":
         # A float "infeasible" right at the certified T* boundary is noise
         # territory; re-derive the verdict exactly before returning None.
-        solution = solve_lp(lp, backend="exact")
+        solution = solve_lp(lp, backend="exact", kernel=kernel)
     if not solution.is_optimal:
         return None
     if backend == "scipy" and lp.check_values(solution.values):
         # Rationalization noise: certify by exact re-solve instead of
         # handing a near-feasible point to the rounding arguments.
-        solution = solve_lp(lp, backend="exact", warm_values=solution.values)
+        solution = solve_lp(
+            lp, backend="exact", warm_values=solution.values, kernel=kernel
+        )
         if not solution.is_optimal:  # pragma: no cover - float false positive
             return None
     values = {
@@ -233,14 +387,21 @@ def feasible_lp_solution(
     return FractionalAssignment(values)
 
 
-def lp_feasible(instance: Instance, T: Time, backend: str = "hybrid") -> bool:
+def lp_feasible(
+    instance: Instance, T: Time, backend: str = "hybrid", kernel: Optional[str] = None
+) -> bool:
     """Whether the LP relaxation of (IP-3) is feasible at horizon *T*.
 
     Certified for every backend: the verdict is always backed by either an
     exactly re-checked point or an exact solve (see
     :func:`repro.lp.solve.feasible_point`).
     """
-    return feasible_point(build_ip3(instance, to_fraction(T)), backend=backend) is not None
+    return (
+        feasible_point(
+            build_ip3(instance, to_fraction(T)), backend=backend, kernel=kernel
+        )
+        is not None
+    )
 
 
 def _min_T_with_fixed_R(
@@ -250,6 +411,7 @@ def _min_T_with_fixed_R(
     backend: str,
     builder: Optional[IP3Builder] = None,
     warm_values: Optional[Dict] = None,
+    kernel: Optional[str] = None,
 ) -> Optional[Fraction]:
     """Minimize T over the LP with ``R = R(r_anchor)`` and ``T ≥ t_low``.
 
@@ -266,18 +428,23 @@ def _min_T_with_fixed_R(
     if warm_values:
         warm = dict(warm_values)
         warm.setdefault(T_KEY, max(t_low, r_anchor))
-    solution = solve_lp(lp, backend=backend, warm_values=warm)
+    solution = solve_lp(lp, backend=backend, warm_values=warm, kernel=kernel)
     if not solution.is_optimal:
         return None
     return to_fraction(solution.value(T_KEY))
 
 
-def minimal_fractional_T(instance: Instance, backend: str = "hybrid") -> Fraction:
+def minimal_fractional_T(
+    instance: Instance, backend: str = "hybrid", kernel: Optional[str] = None
+) -> Fraction:
     """The minimum horizon ``T*`` at which (IP-3)'s LP relaxation is feasible.
 
     This is the paper's fractional lower bound: ``T* ≤ opt(I)``.  Exact
     procedure: binary search over the breakpoints of ``R(T)``, then a min-T
-    LP inside the bracket where ``R`` is constant.
+    LP inside the bracket where ``R`` is constant.  The probes run through
+    :class:`_ProbeSession`, so consecutive probes reuse each other's
+    feasible points and Farkas certificates and only a handful of them pay
+    for an actual LP solve.
 
     Degenerate inputs resolve exactly instead of entering a vacuous search:
 
@@ -301,16 +468,16 @@ def minimal_fractional_T(instance: Instance, backend: str = "hybrid") -> Fractio
         # Every finite time is 0 and every job has one: T* = 0 exactly.
         return Fraction(0)
 
-    def probe(T: Fraction) -> Optional[Dict]:
-        return feasible_point(builder.decision_lp(T), backend=backend)
-
+    session = _ProbeSession(builder, backend, kernel=kernel)
     lo_idx, hi_idx = 0, len(points) - 1
-    top_point = probe(points[hi_idx])
+    top_point = session.probe(points[hi_idx])
     if top_point is None:
         # The optimum lies above every processing time (the load bound
         # dominates); R is maximal there, so one min-T LP settles it.
         top = points[hi_idx]
-        t_above = _min_T_with_fixed_R(instance, top, top, backend, builder=builder)
+        t_above = _min_T_with_fixed_R(
+            instance, top, top, backend, builder=builder, kernel=kernel
+        )
         if t_above is None:
             raise InfeasibleError(
                 "LP relaxation infeasible at every horizon; some job cannot "
@@ -321,25 +488,28 @@ def minimal_fractional_T(instance: Instance, backend: str = "hybrid") -> Fractio
     feasible_points: Dict[Fraction, Dict] = {points[hi_idx]: top_point}
     while lo_idx < hi_idx:
         mid = (lo_idx + hi_idx) // 2
-        mid_point = probe(points[mid])
+        mid_point = session.probe(points[mid])
         if mid_point is not None:
             feasible_points[points[mid]] = mid_point
             hi_idx = mid
         else:
             lo_idx = mid + 1
     anchor = points[lo_idx]
-    anchor_point = feasible_points.get(anchor)
+    anchor_point = session.keyed_point(feasible_points.get(anchor))
     # Below `anchor`, R is strictly smaller.  The optimum lies either in the
     # previous bracket [prev, anchor) with R(prev), or at/above anchor with
     # R(anchor).
     candidates: List[Fraction] = []
     if lo_idx > 0:
         prev = points[lo_idx - 1]
-        t_prev = _min_T_with_fixed_R(instance, prev, prev, backend, builder=builder)
+        t_prev = _min_T_with_fixed_R(
+            instance, prev, prev, backend, builder=builder, kernel=kernel
+        )
         if t_prev is not None and t_prev < anchor:
             candidates.append(t_prev)
     t_here = _min_T_with_fixed_R(
-        instance, anchor, anchor, backend, builder=builder, warm_values=anchor_point
+        instance, anchor, anchor, backend, builder=builder,
+        warm_values=anchor_point, kernel=kernel,
     )
     if t_here is not None:
         candidates.append(t_here)

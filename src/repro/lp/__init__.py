@@ -1,10 +1,25 @@
-"""LP/ILP substrate: model builder, exact simplex, scipy + hybrid backends, B&B."""
+"""LP/ILP substrate: model builder, exact simplex kernels, scipy + hybrid backends, B&B.
 
+Two exact pivoting kernels share one contract (see
+:func:`~repro.lp.simplex.solve_standard`): the dense fraction-free
+``tableau`` and the factorized-basis ``revised`` simplex (the default).
+"""
+
+from .basis import LUBasis
 from .branch_and_bound import BnBResult, solve_binary_ilp
+from .certificates import farkas_certifies
 from .hybrid import HAVE_SCIPY, solve_standard_hybrid
 from .model import LinearProgram, LPSolution, Row
-from .simplex import SimplexResult, solve_standard
-from .solve import BACKENDS, feasible_point, is_feasible, solve_lp
+from .revised import solve_standard_revised
+from .simplex import (
+    KERNELS,
+    SimplexResult,
+    get_default_kernel,
+    set_default_kernel,
+    solve_standard,
+)
+from .solve import BACKENDS, feasible_point, feasible_point_rows, is_feasible, solve_lp
+from .stats import SolverStats, collect_stats
 
 if HAVE_SCIPY:
     from .scipy_backend import solve_standard_float
@@ -14,15 +29,24 @@ else:  # pragma: no cover - scipy is present in CI images
 __all__ = [
     "BACKENDS",
     "BnBResult",
+    "KERNELS",
     "LPSolution",
+    "LUBasis",
     "LinearProgram",
     "Row",
     "SimplexResult",
+    "SolverStats",
+    "collect_stats",
+    "farkas_certifies",
     "feasible_point",
+    "feasible_point_rows",
+    "get_default_kernel",
     "is_feasible",
+    "set_default_kernel",
     "solve_binary_ilp",
     "solve_lp",
     "solve_standard",
     "solve_standard_float",
     "solve_standard_hybrid",
+    "solve_standard_revised",
 ]

@@ -1,0 +1,223 @@
+"""Fraction-free factorized-basis kernel for the revised exact simplex.
+
+The dense tableau of :mod:`repro.lp.simplex` updates **every** column on
+every pivot — ``O(rows·cols)`` big-integer work per pivot, even though a
+simplex iteration only ever reads one entering column and one cost row.
+The revised simplex (:mod:`repro.lp.revised`) instead maintains a
+factorization of the *basis* alone; per-pivot work drops to ``O(rows²)``
+plus the sparse pricing of candidate columns.
+
+Representation
+--------------
+:class:`LUBasis` keeps the basis inverse in Edmonds' integer-preserving
+form, the same arithmetic lrs uses for the full tableau:
+
+    B⁻¹ = W / den,         W integer (rows² entries),  den > 0
+
+where ``den = |det(B)|`` in the row-scaled integer system and ``W`` is the
+correspondingly scaled adjugate.  Every entry of ``W`` (and of the
+transformed right-hand side ``W·b``) is a minor of the original constraint
+matrix — the classical Bareiss/Edmonds subdeterminant identity — so the
+rank-one pivot update
+
+    W'[i][j] = (W[i][j]·α_r − α_i·W[r][j]) / den        (i ≠ r)
+
+divides **exactly**: no rational normalization, no gcd scans, and the
+representation after any pivot sequence is *canonical* (it depends only on
+the current basis, not on the path taken to reach it).
+
+Operations
+----------
+``ftran(a)``
+    Forward transform: the den-scaled tableau column ``W·a`` of a sparse
+    column ``a`` — ``O(rows · nnz(a))``.
+``btran(c_B)``
+    Backward transform: the den-scaled dual row ``c_Bᵀ·W`` of a sparse
+    basic-cost vector — ``O(nnz(c_B) · rows)``.
+``update(r, α)``
+    Rank-one basis exchange given the already-ftran'd entering column α,
+    pivoting on row ``r`` — ``O(rows²)``.
+``factorize(columns, b)``
+    Fraction-free elimination of an explicit column set straight into a
+    factorized basis (Gauss–Jordan realized as ``rows`` ftran+update
+    steps, i.e. the LU elimination with the L-factor applied through).
+    This is how the hybrid backend certifies a float candidate: the
+    candidate's claimed basis is factorized **directly** — ``O(rows³)``,
+    independent of the total column count — instead of being pushed in
+    through ``O(rows)`` full-tableau pivots of ``O(rows·cols)`` each.
+
+Because the arithmetic is exact, periodic refactorization is *not* needed
+for numerical hygiene (there is no drift to flush, and a from-scratch
+factorization reproduces ``W`` and ``den`` bit-for-bit — the representation
+is canonical).  :meth:`refactorize` exists for the structural occasions
+where the basis is *given* rather than evolved — crash starts from a float
+candidate, re-anchoring a basis carried across two neighbouring LPs of a
+binary search — and as an invariant self-check; the driver counts every
+call in :class:`~repro.lp.stats.SolverStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..exceptions import SolverError
+
+
+class LUBasis:
+    """Integer-preserving factorized basis inverse (see module docstring).
+
+    ``inv`` holds ``W`` row-major; ``rhs`` holds the transformed right-hand
+    side ``W·b`` (updated in lockstep with ``W`` so the current basic values
+    are always ``rhs[i] / den``); ``den > 0`` is maintained as an invariant
+    so sign tests read directly off the integers.
+    """
+
+    __slots__ = ("m", "den", "inv", "rhs", "updates", "refactorizations")
+
+    def __init__(self, m: int, b: Sequence[int]):
+        if len(b) != m:
+            raise SolverError("rhs length must match the basis dimension")
+        self.m = m
+        self.den = 1
+        self.inv: List[List[int]] = [
+            [1 if i == j else 0 for j in range(m)] for i in range(m)
+        ]
+        self.rhs: List[int] = list(b)
+        self.updates = 0
+        self.refactorizations = 0
+
+    # ------------------------------------------------------------------
+    # Exact solves
+    # ------------------------------------------------------------------
+
+    def ftran(self, col: Mapping[int, int]) -> List[int]:
+        """``W·a`` for a sparse column *a* — the den-scaled tableau column."""
+        items = [(k, v) for k, v in col.items() if v]
+        out = []
+        for row in self.inv:
+            s = 0
+            for k, v in items:
+                w = row[k]
+                if w:
+                    s += w * v
+            out.append(s)
+        return out
+
+    def btran(self, basic_costs: Mapping[int, int]) -> List[int]:
+        """``c_Bᵀ·W`` for a sparse basic-cost vector — den-scaled duals."""
+        out = [0] * self.m
+        for i, c in basic_costs.items():
+            if c == 0:
+                continue
+            row = self.inv[i]
+            for j in range(self.m):
+                w = row[j]
+                if w:
+                    out[j] += c * w
+        return out
+
+    # ------------------------------------------------------------------
+    # Rank-one update
+    # ------------------------------------------------------------------
+
+    def update(self, row: int, alpha: Sequence[int]) -> None:
+        """Basis exchange pivoting on ``(row, alpha[row])``.
+
+        *alpha* is the entering column's forward transform (``ftran``
+        output).  Exactly the Edmonds tableau pivot restricted to the
+        ``W | rhs`` block; divisions are exact by the minor identity.
+        """
+        piv = alpha[row]
+        if piv == 0:
+            raise SolverError("zero pivot element in basis update")
+        den = self.den
+        inv, rhs = self.inv, self.rhs
+        piv_row = inv[row]
+        piv_rhs = rhs[row]
+        for i in range(self.m):
+            if i == row:
+                continue
+            f = alpha[i]
+            if f == 0:
+                if piv != den:
+                    inv[i] = [w * piv // den if w else 0 for w in inv[i]]
+                    rhs[i] = rhs[i] * piv // den
+            else:
+                inv[i] = [
+                    (w * piv - f * p) // den for w, p in zip(inv[i], piv_row)
+                ]
+                rhs[i] = (rhs[i] * piv - f * piv_rhs) // den
+        if piv < 0:
+            # Keep den > 0 so feasibility tests read off rhs signs directly.
+            self.den = -piv
+            self.inv = [[-w for w in r] for r in inv]
+            self.rhs = [-v for v in rhs]
+        else:
+            self.den = piv
+        self.updates += 1
+
+    # ------------------------------------------------------------------
+    # Factorization of an explicit basis
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def factorize(
+        cls,
+        m: int,
+        columns: Sequence[Mapping[int, int]],
+        b: Sequence[int],
+    ) -> Optional["LUBasis"]:
+        """Factorize an explicit set of ``m`` columns, or ``None`` if singular.
+
+        Fraction-free elimination: each column is forward-transformed
+        against the partial factorization and pivoted into the first still
+        unclaimed row with a non-zero transformed entry (deterministic; any
+        non-zero choice is exact).  ``O(m³)`` total.
+        """
+        if len(columns) != m:
+            return None
+        basis = cls(m, b)
+        claimed = [False] * m
+        for col in columns:
+            alpha = basis.ftran(col)
+            row = next(
+                (r for r in range(m) if not claimed[r] and alpha[r] != 0), None
+            )
+            if row is None:
+                return None  # linearly dependent on the columns placed so far
+            basis.update(row, alpha)
+            claimed[row] = True
+        return basis
+
+    def refactorize(
+        self, columns: Sequence[Mapping[int, int]], b: Sequence[int]
+    ) -> bool:
+        """Rebuild this factorization from scratch off *columns*.
+
+        Returns ``False`` (state unchanged) when the columns are singular.
+        With exact arithmetic the rebuilt ``W``/``den`` equal the updated
+        ones whenever *columns* is the basis the updates evolved — the
+        canonical-representation property — so this is used to (re)anchor a
+        basis that came from *outside* the update path, and as a self-check.
+        """
+        fresh = self.factorize(self.m, columns, b)
+        if fresh is None:
+            return False
+        self.den = fresh.den
+        self.inv = fresh.inv
+        self.rhs = fresh.rhs
+        self.refactorizations += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def row_dot(self, row: int, col: Mapping[int, int]) -> int:
+        """Single transformed entry ``(W·a)[row]`` — ``O(nnz(a))``."""
+        inv_row = self.inv[row]
+        return sum(inv_row[k] * v for k, v in col.items() if v)
+
+    def is_feasible_dictionary(self) -> bool:
+        """Whether the current basic values are all non-negative."""
+        return all(v >= 0 for v in self.rhs)

@@ -1,0 +1,71 @@
+"""Exact Farkas certificates of LP infeasibility, checkable in O(nnz).
+
+A vector ``y`` (one entry per constraint row, in the caller's row order)
+certifies that ``{x ≥ 0 : rows}`` is empty when
+
+* ``y_i ≤ 0`` for every ``<=`` row and ``y_i ≥ 0`` for every ``>=`` row
+  (equality rows are unrestricted),
+* ``Σ_i y_i·a_{ij} ≤ 0`` for every column ``j``, and
+* ``Σ_i y_i·b_i > 0``.
+
+Proof: for any feasible ``x ≥ 0``, the sign conditions give
+``y_i·(a_i·x) ≥ y_i·b_i`` row-wise, so ``yᵀA·x ≥ yᵀb > 0`` — but every
+column sum of ``yᵀA`` is ``≤ 0`` and ``x ≥ 0`` force ``yᵀA·x ≤ 0``.
+
+These certificates are the currency of the incremental probe pipeline: an
+infeasible probe of a binary search hands its ``y`` to the next probe,
+which re-checks it against the *new* rows in ``O(nnz)`` rational work — if
+it still certifies, an entire exact solve is skipped (see
+:meth:`repro.core.programs.IP3Builder`).  Both exact kernels and the
+HiGHS-dual path of :func:`repro.lp.hybrid.certify_infeasible` emit their
+certificates in this one format.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence
+
+from .._fraction import to_fraction
+
+
+def farkas_certifies(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    y: Sequence[Fraction],
+) -> bool:
+    """Exactly verify the certificate conditions above (``True`` = proof)."""
+    if len(y) != len(coeff_rows):
+        return False
+    for yi, sense in zip(y, senses):
+        if sense == "<=" and yi > 0:
+            return False
+        if sense == ">=" and yi < 0:
+            return False
+    column_sums: Dict[int, Fraction] = {}
+    for yi, row in zip(y, coeff_rows):
+        if yi == 0:
+            continue
+        for j, v in row.items():
+            column_sums[j] = column_sums.get(j, Fraction(0)) + yi * v
+    if any(total > 0 for total in column_sums.values()):
+        return False
+    gain = sum(
+        (yi * to_fraction(b) for yi, b in zip(y, rhs) if yi), Fraction(0)
+    )
+    return gain > 0
+
+
+def denormalize_farkas(
+    y_std: Sequence[Fraction], raw_rhs: Sequence[Fraction]
+) -> List[Fraction]:
+    """Map a certificate on sign-normalized rows back to the raw rows.
+
+    :func:`repro.lp.simplex.standard_form` negates every row whose rhs is
+    negative; a dual on the normalized system certifies the raw system with
+    the corresponding entries negated back.
+    """
+    return [
+        -yi if to_fraction(b) < 0 else yi for yi, b in zip(y_std, raw_rhs)
+    ]

@@ -35,7 +35,8 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence
 
-from .._fraction import rationalize
+from .._fraction import rationalize, to_fraction
+from .certificates import denormalize_farkas, farkas_certifies
 from .simplex import SimplexResult, solve_standard, standard_form
 
 try:  # pragma: no cover - exercised implicitly on import
@@ -74,30 +75,33 @@ def certify_infeasible(
     senses: Sequence[str],
     rhs: Sequence[Fraction],
     num_vars: Optional[int] = None,
-) -> bool:
+) -> Optional[List[Fraction]]:
     """Exact Farkas certificate of infeasibility from a float phase-1 dual.
 
-    ``True`` is a *proof* — never a float verdict.  The phase-1 program
+    A non-``None`` return is a *proof* — never a float verdict: the
+    returned ``y`` (row-indexed in the caller's row order, semantics of
+    :func:`repro.lp.certificates.farkas_certifies`) has been verified
+    exactly, so callers may cache it and re-check it against neighbouring
+    LPs (the binary-search probe pipeline does).  The phase-1 program
 
         min 1ᵀa   s.t.   A·x + S·s + I·a = b,   x, s, a ≥ 0
 
     (rows sign-normalized to ``b ≥ 0``; ``S`` the slack columns) is always
     feasible, so HiGHS returns an optimal dual ``y``.  Rationalizing ``y``
-    and re-checking **exactly** that
+    and re-checking **exactly** the Farkas conditions
 
-        yᵀA ≤ 0 (structural cols),  yᵀS ≤ 0 (slack cols),  y ≤ 1,  yᵀb > 0
+        yᵀA ≤ 0 (all columns),  sign conditions per row sense,  yᵀb > 0
 
-    establishes, by weak duality, that the exact phase-1 optimum is at least
-    ``yᵀb > 0`` — i.e. the original program is infeasible — without a single
+    establishes that the original program is infeasible — without a single
     exact pivot.  Any check failing (dual noise too large, wrong verdict)
-    returns ``False`` and the caller falls back to the exact simplex.
+    returns ``None`` and the caller falls back to the exact simplex.
 
     This is what makes the binary search of ``minimal_fractional_T`` fast:
     its infeasible probes are certified in ``O(nnz)`` rational work instead
     of a cold exact phase-1 solve.
     """
     if not HAVE_SCIPY:
-        return False
+        return None
     import numpy as np
     from scipy.optimize import linprog
 
@@ -106,7 +110,7 @@ def certify_infeasible(
     std = standard_form(coeff_rows, senses, rhs, [Fraction(0)] * num_vars)
     n, r = std.n, std.num_rows
     if r == 0:
-        return False  # x = 0 is feasible
+        return None  # x = 0 is feasible
     num_slack = sum(1 for s in std.slack_of_row if s is not None)
     width = n + num_slack + r
     a_eq = np.zeros((r, width))
@@ -124,42 +128,24 @@ def certify_infeasible(
             c=c, A_eq=a_eq, b_eq=b_eq, bounds=[(0, None)] * width, method="highs"
         )
     except Exception:  # pragma: no cover - HiGHS internal failures
-        return False
+        return None
     if result.status != 0 or result.fun < 1e-9 or result.eqlin is None:
-        return False
+        return None
+    raw_rhs = [to_fraction(b) for b in rhs]
     raw = [float(v) for v in result.eqlin.marginals]
     for sign in (1.0, -1.0):  # scipy's dual sign convention varies by path
         try:
-            y = [rationalize(sign * v, 10**9) for v in raw]
+            y_std = [rationalize(sign * v, 10**9) for v in raw]
         except ValueError:  # pragma: no cover - non-finite marginals
             continue
-        if _farkas_checks(std, y):
-            return True
-    return False
+        y = denormalize_farkas(y_std, raw_rhs)
+        if farkas_certifies(coeff_rows, senses, rhs, y):
+            return y
+    return None
 
 
 def _num_vars(coeff_rows: Sequence[Dict[int, Fraction]]) -> int:
     return 1 + max((max(row, default=-1) for row in coeff_rows), default=-1)
-
-
-def _farkas_checks(std, y: List[Fraction]) -> bool:
-    """The exact weak-duality conditions behind :func:`certify_infeasible`."""
-    if any(yi > 1 for yi in y):
-        return False
-    for i in range(std.num_rows):
-        if std.slack_of_row[i] is not None and std.slack_sign[i] * y[i] > 0:
-            return False
-    column_sums: Dict[int, Fraction] = {}
-    for i in range(std.num_rows):
-        yi = y[i]
-        if yi == 0:
-            continue
-        for j, v in std.rows[i].items():
-            column_sums[j] = column_sums.get(j, Fraction(0)) + yi * v
-    if any(total > 0 for total in column_sums.values()):
-        return False
-    gain = sum((y[i] * std.rhs[i] for i in range(std.num_rows)), Fraction(0))
-    return gain > 0
 
 
 def solve_standard_hybrid(
@@ -169,14 +155,19 @@ def solve_standard_hybrid(
     objective: Sequence[Fraction],
     warm_hints: Optional[Sequence[int]] = None,
     warm_point: Optional[Sequence[Fraction]] = None,
+    kernel: Optional[str] = None,
 ) -> SimplexResult:
     """Certified solve: float candidate first, exact verification always.
 
     The returned :class:`SimplexResult` is produced by the exact simplex in
     every path, so it carries the same guarantees as ``backend="exact"``.
     The rationalized HiGHS point (when HiGHS claims optimality) takes
-    precedence over the caller's *warm_point* as the crash-basis seed; a
-    claimed infeasibility is accepted only with an exact Farkas certificate.
+    precedence over the caller's *warm_point* as the crash-basis seed; with
+    the default ``revised`` kernel the candidate's basis is **factorized
+    directly** (``O(rows³)``, independent of the column count) instead of
+    being pushed in through full-width tableau pivots.  A claimed
+    infeasibility is accepted only with an exact Farkas certificate, which
+    is attached to the result for reuse.
     """
     n = len(objective)
     size = n * max(len(coeff_rows), 1)
@@ -185,9 +176,12 @@ def solve_standard_hybrid(
         if candidate is not None and candidate.status == "optimal":
             warm_point = candidate.x
         elif candidate is not None and candidate.status == "infeasible":
-            if certify_infeasible(coeff_rows, senses, rhs, num_vars=n):
-                return SimplexResult("infeasible", [], None, None)
+            farkas = certify_infeasible(coeff_rows, senses, rhs, num_vars=n)
+            if farkas is not None:
+                return SimplexResult(
+                    "infeasible", [], None, None, farkas=farkas
+                )
     return solve_standard(
         coeff_rows, senses, rhs, objective,
-        warm_hints=warm_hints, warm_point=warm_point,
+        warm_hints=warm_hints, warm_point=warm_point, kernel=kernel,
     )

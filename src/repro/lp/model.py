@@ -18,6 +18,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from .._fraction import to_fraction
 from ..exceptions import SolverError
+from .stats import SolverStats
 
 VarKey = Hashable
 Sense = str  # "<=", ">=", "=="
@@ -214,11 +215,13 @@ class LinearProgram:
 
 @dataclass
 class LPSolution:
-    """Solver-agnostic result: status, per-key values, objective."""
+    """Solver-agnostic result: status, per-key values, objective, counters."""
 
     status: str  # "optimal" | "infeasible" | "unbounded"
     values: Dict[VarKey, Fraction]
     objective: Optional[Fraction]
+    #: Per-solve performance counters (``None`` for the float backend).
+    stats: Optional["SolverStats"] = None
 
     @property
     def is_optimal(self) -> bool:

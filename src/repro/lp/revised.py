@@ -1,0 +1,547 @@
+"""Revised exact simplex: lazy pricing over a factorized basis.
+
+The dense-tableau kernel (:mod:`repro.lp.simplex`) pays ``O(rows·cols)``
+big-integer work per pivot because it updates every column, including the
+thousands it will never pivot on.  This driver keeps only the basis inverse
+factorized (:class:`repro.lp.basis.LUBasis` — integer-preserving, exact) and
+reconstructs just what an iteration needs:
+
+* the dual row ``y = c_B·B⁻¹`` by one backward transform (``btran``) of the
+  sparse basic-cost vector,
+* reduced costs ``c_j − y·a_j`` by sparse dot products against the original
+  columns (*pricing* — never materialized as a row),
+* the entering column ``B⁻¹·a_q`` by one forward transform (``ftran``),
+* the basis exchange by one ``O(rows²)`` rank-one update.
+
+Pricing is lazy either way; two rules are offered.  ``pricing="dantzig"``
+(the default) prices every column with the tableau kernel's exact
+tie-breaking; from a cold start this replicates the dense kernel's pivot
+sequence *pivot for pivot*, so the two kernels return byte-identical
+vertices — the cross-check suite and the benchmark's reproducibility
+guarantee rely on it.  ``pricing="partial"`` scans columns in rotating
+blocks and takes the Dantzig winner of the first block containing an
+improving column, pricing only a fraction of the columns per iteration; it
+is faster on very wide programs but may land on a *different* (equally
+optimal) vertex when optima are non-unique.  Under both rules, once the
+pivot count crosses ``bland_threshold`` the rule switches to Bland's
+smallest-index rule (scanning from column 0), which cannot cycle, so
+termination is guaranteed exactly as in the tableau kernel.
+
+Warm starts factorize directly: a candidate point's support columns are
+eliminated straight into the basis (``O(rows³)``, independent of the column
+count) instead of being pushed through full-width tableau pivots.  This is
+how the hybrid backend certifies HiGHS candidates.  A failed crash falls
+back to ordinary ratio-test pushes, which preserve feasibility
+unconditionally.
+
+Infeasible programs return an exact Farkas certificate
+(:mod:`repro.lp.certificates`) read off the optimal phase-1 duals, so
+callers running probe sequences can re-check it against a neighbouring LP
+and skip entire solves.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._fraction import to_fraction
+from ..exceptions import PivotLimitError, SolverError
+from .basis import LUBasis
+from .certificates import denormalize_farkas, farkas_certifies
+from .stats import SolverStats
+
+
+def _lcm(a: int, b: int) -> int:
+    return a // gcd(a, b) * b
+
+
+class _RevisedSolver:
+    """One solve's state: scaled columns, factorized basis, counters."""
+
+    def __init__(
+        self,
+        std,
+        objective: Sequence[Fraction],
+        bland_threshold: int,
+        max_pivots: int,
+        pricing: str,
+    ):
+        self.std = std
+        self.m = std.num_rows
+        self.bland_threshold = bland_threshold
+        self.max_pivots = max_pivots
+        if pricing not in ("partial", "dantzig"):
+            raise SolverError(f"unknown pricing rule {pricing!r}")
+        self.pricing = pricing
+        self.stats = SolverStats(solves=1)
+        self.stats.count_kernel("revised")
+        self.phase = 2
+
+        # Row scales: every constraint row becomes integer; slacks and
+        # artificials are implicitly rescaled with their row (their columns
+        # keep ±1 entries), exactly as the tableau kernel does — the two
+        # kernels therefore pivot on identical integers.
+        m, n = self.m, std.n
+        self.scales: List[int] = []
+        for i in range(m):
+            scale = 1
+            for v in std.rows[i].values():
+                scale = _lcm(scale, v.denominator)
+            scale = _lcm(scale, std.rhs[i].denominator)
+            self.scales.append(scale)
+        self.b_int: List[int] = [
+            int(std.rhs[i] * self.scales[i]) for i in range(m)
+        ]
+
+        # Sparse integer columns of [A | S | I].
+        cols: List[Dict[int, int]] = [dict() for _ in range(std.total_cols)]
+        for i in range(m):
+            scale = self.scales[i]
+            for j, v in std.rows[i].items():
+                cols[j][i] = int(v * scale)
+        art_index = std.art_start
+        self.art_of_row: List[Optional[int]] = [None] * m
+        for i in range(m):
+            s = std.slack_of_row[i]
+            if s is not None:
+                cols[s][i] = std.slack_sign[i]
+            if std.needs_artificial[i]:
+                cols[art_index][i] = 1
+                self.art_of_row[i] = art_index
+                art_index += 1
+        self.cols = cols
+        self.col_items: List[Tuple[Tuple[int, int], ...]] = [
+            tuple(c.items()) for c in cols
+        ]
+
+        # Scaled integer objective (positive scaling preserves signs/argmin).
+        obj_scale = 1
+        fr_obj = [to_fraction(c) for c in objective]
+        for c in fr_obj:
+            obj_scale = _lcm(obj_scale, c.denominator)
+        self.c_int: List[int] = [int(c * obj_scale) for c in fr_obj]
+
+        # Slack-or-artificial starting basis (identity in the scaled system).
+        self.basis: List[int] = [
+            self.art_of_row[i]
+            if self.art_of_row[i] is not None
+            else std.slack_of_row[i]  # type: ignore[list-item]
+            for i in range(m)
+        ]
+        self.lub = LUBasis(m, self.b_int)
+        self._cursor = 0
+        self._block = max(64, (std.art_start + 7) // 8)
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+
+    @property
+    def pivots(self) -> int:
+        return self.lub.updates
+
+    def _pivot(self, row: int, alpha: Sequence[int], col: int) -> None:
+        self.lub.update(row, alpha)
+        self.basis[row] = col
+        if self.phase == 1:
+            self.stats.phase1_pivots += 1
+        if self.lub.updates > self.max_pivots:
+            raise PivotLimitError(
+                self.max_pivots, self.lub.updates, self.phase, kernel="revised"
+            )
+
+    # ------------------------------------------------------------------
+    # Pricing
+    # ------------------------------------------------------------------
+
+    def _structural_cost(self, j: int) -> int:
+        # Phase 1 prices against zero structural costs; phase 2 against the
+        # scaled objective (slack/artificial costs are zero in both).
+        if self.phase == 1 or j >= self.std.n:
+            return 0
+        return self.c_int[j]
+
+    def _reduced(self, j: int, y_num: List[int], den: int) -> int:
+        r = self._structural_cost(j) * den
+        for i, v in self.col_items[j]:
+            yi = y_num[i]
+            if yi:
+                r -= yi * v
+        return r
+
+    def _entering(self, y_num: List[int], bland: bool) -> Optional[int]:
+        limit = self.std.art_start
+        den = self.lub.den
+        if bland:
+            for j in range(limit):
+                if self._reduced(j, y_num, den) < 0:
+                    return j
+            return None
+        if self.pricing == "dantzig":
+            best_j: Optional[int] = None
+            best = 0
+            for j in range(limit):
+                v = self._reduced(j, y_num, den)
+                if v < best:
+                    best = v
+                    best_j = j
+            return best_j
+        # Partial pricing: rotating blocks, Dantzig winner of the first
+        # block that contains any improving column.
+        scanned = 0
+        j = self._cursor if self._cursor < limit else 0
+        best_j = None
+        best = 0
+        while scanned < limit:
+            v = self._reduced(j, y_num, den)
+            if v < best:
+                best = v
+                best_j = j
+            scanned += 1
+            j += 1
+            if j >= limit:
+                j = 0
+            if scanned % self._block == 0 and best_j is not None:
+                break
+        if best_j is not None:
+            self._cursor = (best_j + 1) % limit
+        return best_j
+
+    def _dual_row(self) -> List[int]:
+        """den-scaled duals ``c_B·W`` for the current phase's costs."""
+        if self.phase == 1:
+            cb = {
+                i: 1
+                for i in range(self.m)
+                if self.basis[i] >= self.std.art_start
+            }
+        else:
+            cb = {}
+            for i in range(self.m):
+                b = self.basis[i]
+                if b < self.std.n and self.c_int[b]:
+                    cb[i] = self.c_int[b]
+        return self.lub.btran(cb)
+
+    # ------------------------------------------------------------------
+    # Ratio test (identical comparisons and tie-breaks to the tableau)
+    # ------------------------------------------------------------------
+
+    def _leaving(self, alpha: Sequence[int]) -> Optional[int]:
+        rhs, basis = self.lub.rhs, self.basis
+        best_r: Optional[int] = None
+        best_b = best_a = 0
+        for r in range(self.m):
+            a = alpha[r]
+            if a <= 0:
+                continue
+            b = rhs[r]
+            if best_r is None:
+                best_r, best_b, best_a = r, b, a
+                continue
+            lhs = b * best_a
+            cmp = best_b * a
+            if lhs < cmp or (lhs == cmp and basis[r] < basis[best_r]):
+                best_r, best_b, best_a = r, b, a
+        return best_r
+
+    def run_phase(self, phase: int) -> str:
+        self.phase = phase
+        while True:
+            bland = self.pivots >= self.bland_threshold
+            y_num = self._dual_row()
+            col = self._entering(y_num, bland)
+            if col is None:
+                return "optimal"
+            alpha = self.lub.ftran(self.cols[col])
+            row = self._leaving(alpha)
+            if row is None:
+                return "unbounded"
+            self._pivot(row, alpha, col)
+
+    # ------------------------------------------------------------------
+    # Warm starts
+    # ------------------------------------------------------------------
+
+    def crash_factorize(
+        self, hints: Sequence[int], eligible: Optional[Sequence[bool]]
+    ) -> bool:
+        """Factorize the hinted basis directly; ``True`` iff exactly feasible.
+
+        Hint columns are eliminated into eligible (tight) rows —
+        structurally-owning rows first, artificial-basic ones preferred so
+        phase 1 dissolves as a side effect — then slack columns are
+        reinstated on rows whose artificial would otherwise sit at a
+        non-zero level.  The intermediate dictionaries may be infeasible;
+        the result counts only if the final one is exactly feasible with
+        every remaining artificial at level 0.
+        """
+        std, m = self.std, self.m
+        self.stats.refactorizations += 1
+        self.lub.refactorizations += 1
+        claimed = [False] * m
+        in_basis = set(self.basis)
+        skipped: List[int] = []
+        for col in hints:
+            if not 0 <= col < std.art_start or col in in_basis:
+                continue
+            alpha = self.lub.ftran(self.cols[col])
+            best_row: Optional[int] = None
+            best_rank = 2
+            for r in range(m):
+                if (
+                    claimed[r]
+                    or (eligible is not None and not eligible[r])
+                    or r not in self.cols[col]
+                    or alpha[r] == 0
+                ):
+                    continue
+                rank = 0 if self.basis[r] >= std.art_start else 1
+                if rank < best_rank:
+                    best_rank = rank
+                    best_row = r
+                    if rank == 0:
+                        break
+            if best_row is None:
+                skipped.append(col)
+                continue
+            in_basis.discard(self.basis[best_row])
+            self._pivot(best_row, alpha, col)
+            in_basis.add(col)
+            claimed[best_row] = True
+        # Mop-up: stragglers may factor into eligible rows through fill-in
+        # once every structurally-owning row is placed.
+        for col in skipped:
+            alpha = self.lub.ftran(self.cols[col])
+            best_row = None
+            for r in range(m):
+                if (
+                    claimed[r]
+                    or (eligible is not None and not eligible[r])
+                    or alpha[r] == 0
+                ):
+                    continue
+                best_row = r
+                if self.basis[r] >= std.art_start:
+                    break
+            if best_row is None:
+                continue  # linearly dependent on the placed columns
+            in_basis.discard(self.basis[best_row])
+            self._pivot(best_row, alpha, col)
+            in_basis.add(col)
+            claimed[best_row] = True
+        # A "≥" row that is slack at the warm point starts artificial-basic;
+        # reinstate its surplus column so the artificial is not left at a
+        # negative level.
+        for r in range(m):
+            if self.basis[r] >= std.art_start:
+                s = std.slack_of_row[r]
+                if s is not None and s not in in_basis:
+                    alpha = self.lub.ftran(self.cols[s])
+                    if alpha[r] != 0:
+                        in_basis.discard(self.basis[r])
+                        self._pivot(r, alpha, s)
+                        in_basis.add(s)
+        for r in range(m):
+            if self.lub.rhs[r] < 0:
+                return False
+            if self.basis[r] >= std.art_start and self.lub.rhs[r] != 0:
+                return False
+        return True
+
+    def push_hints(self, hints: Sequence[int]) -> None:
+        """Ratio-test pushes: always legal, bad hints only cost their pivots."""
+        in_basis = set(self.basis)
+        for col in hints:
+            if not 0 <= col < self.std.art_start or col in in_basis:
+                continue
+            alpha = self.lub.ftran(self.cols[col])
+            row = self._leaving(alpha)
+            if row is None:
+                continue
+            in_basis.discard(self.basis[row])
+            self._pivot(row, alpha, col)
+            in_basis.add(col)
+
+    def reset(self) -> None:
+        """Back to the slack/artificial identity basis (crash fallback)."""
+        self.basis = [
+            self.art_of_row[i]
+            if self.art_of_row[i] is not None
+            else self.std.slack_of_row[i]  # type: ignore[list-item]
+            for i in range(self.m)
+        ]
+        updates, refact = self.lub.updates, self.lub.refactorizations
+        self.lub = LUBasis(self.m, self.b_int)
+        self.lub.updates = updates  # pivot budget covers the failed crash
+        self.lub.refactorizations = refact
+
+    # ------------------------------------------------------------------
+    # Phase-1 bookkeeping
+    # ------------------------------------------------------------------
+
+    def artificial_level_positive(self) -> bool:
+        return any(
+            self.lub.rhs[i] != 0
+            for i in range(self.m)
+            if self.basis[i] >= self.std.art_start
+        )
+
+    def clear_artificials(self) -> None:
+        """Pivot zero-level artificials out wherever a structural entry exists.
+
+        Load-bearing (same invariant as the tableau kernel): a basic
+        artificial at level 0 whose row has non-zero structural entries
+        could be lifted off zero by a later phase-2 pivot, silently voiding
+        an equality row.  All-zero rows (redundant constraints) keep their
+        artificial marker; extraction skips it and pricing never enters
+        artificial columns.
+        """
+        for i in range(self.m):
+            if self.basis[i] >= self.std.art_start:
+                for j in range(self.std.art_start):
+                    entry = self.lub.row_dot(i, self.cols[j])
+                    if entry != 0:
+                        alpha = self.lub.ftran(self.cols[j])
+                        self._pivot(i, alpha, j)
+                        break
+
+    def farkas_certificate(
+        self,
+        coeff_rows: Sequence[Dict[int, Fraction]],
+        senses: Sequence[str],
+        rhs: Sequence[Fraction],
+    ) -> Optional[List[Fraction]]:
+        """The exact Farkas dual read off the optimal phase-1 basis.
+
+        The scaled phase-1 duals ``y_num/den`` certify the *scaled* rows;
+        row ``i`` of the scaled system is ``scales[i]`` times the
+        sign-normalized row, so the normalized certificate is
+        ``y_num[i]·scales[i]/den``, denormalized back to the caller's row
+        signs.  Verified exactly before being returned — a certificate this
+        module emits is always a proof.
+        """
+        self.phase = 1
+        y_num = self._dual_row()
+        den = self.lub.den
+        y_std = [
+            Fraction(y_num[i] * self.scales[i], den) for i in range(self.m)
+        ]
+        y_raw = denormalize_farkas(y_std, [to_fraction(b) for b in rhs])
+        if farkas_certifies(coeff_rows, senses, rhs, y_raw):
+            return y_raw
+        return None  # pragma: no cover - duality guarantees the checks
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+
+    def extract(self, objective: Sequence[Fraction]):
+        n = self.std.n
+        den = self.lub.den
+        x = [Fraction(0)] * n
+        for i in range(self.m):
+            if self.basis[i] < n:
+                x[self.basis[i]] = Fraction(self.lub.rhs[i], den)
+        value = sum(
+            (to_fraction(objective[j]) * x[j] for j in range(n) if x[j]),
+            Fraction(0),
+        )
+        return x, value
+
+
+def solve_standard_revised(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    objective: Sequence[Fraction],
+    warm_hints: Optional[Sequence[int]] = None,
+    warm_point: Optional[Sequence[Fraction]] = None,
+    bland_threshold: Optional[int] = None,
+    max_pivots: Optional[int] = None,
+    pricing: str = "dantzig",
+    want_farkas: bool = True,
+):
+    """Solve ``min c·x  s.t.  rows, x ≥ 0`` exactly via the revised simplex.
+
+    Same contract as :func:`repro.lp.simplex.solve_standard` (which
+    dispatches here for ``kernel="revised"``): exact rational basic optimal
+    solutions, warm starts never change the result.  Additionally fills
+    ``SimplexResult.stats`` and, for infeasible programs (when
+    *want_farkas*), ``SimplexResult.farkas`` with a verified certificate.
+    """
+    # Imported late: simplex dispatches into this module (kernel switch).
+    from .simplex import (
+        BLAND_THRESHOLD_DEFAULT,
+        MAX_PIVOTS_DEFAULT,
+        SimplexResult,
+        _point_hints,
+        _tight_rows,
+        standard_form,
+    )
+    from .stats import record
+
+    std = standard_form(coeff_rows, senses, rhs, objective)
+    solver = _RevisedSolver(
+        std,
+        objective,
+        bland_threshold if bland_threshold is not None else BLAND_THRESHOLD_DEFAULT,
+        max_pivots if max_pivots is not None else MAX_PIVOTS_DEFAULT,
+        pricing,
+    )
+    has_artificials = any(std.needs_artificial)
+
+    eligible: Optional[List[bool]] = None
+    if warm_point is not None and len(warm_point) == std.n:
+        point = [to_fraction(v) for v in warm_point]
+        warm_hints = _point_hints(point) + list(warm_hints or [])
+        eligible = _tight_rows(coeff_rows, senses, rhs, point)
+
+    crashed = False
+    if warm_hints:
+        solver.stats.warm_start_attempts += 1
+        crashed = solver.crash_factorize(warm_hints, eligible)
+        if crashed:
+            solver.stats.warm_start_hits += 1
+        else:
+            # The crash landed on an infeasible dictionary; restart from the
+            # identity basis and fall back to ratio-test pushes.
+            solver.reset()
+            solver.push_hints(warm_hints)
+
+    # ---------------- Phase 1: minimize the sum of artificials -------------
+    if has_artificials and not crashed:
+        status = solver.run_phase(1)
+        if status == "unbounded":  # pragma: no cover - impossible: cost ≥ 0
+            raise SolverError("phase-1 objective unbounded")
+        if solver.artificial_level_positive():
+            farkas = (
+                solver.farkas_certificate(coeff_rows, senses, rhs)
+                if want_farkas
+                else None
+            )
+            solver.stats.pivots = solver.pivots
+            record(solver.stats)
+            return SimplexResult(
+                "infeasible", [], None, None, solver.pivots,
+                stats=solver.stats, farkas=farkas,
+            )
+    if has_artificials:
+        solver.clear_artificials()
+
+    # ---------------- Phase 2: original objective --------------------------
+    status = solver.run_phase(2)
+    solver.stats.pivots = solver.pivots
+    record(solver.stats)
+    if status == "unbounded":
+        return SimplexResult(
+            "unbounded", [], None, list(solver.basis), solver.pivots,
+            stats=solver.stats,
+        )
+    x, value = solver.extract(objective)
+    return SimplexResult(
+        "optimal", x, value, list(solver.basis), solver.pivots,
+        stats=solver.stats,
+    )

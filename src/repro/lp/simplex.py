@@ -42,12 +42,34 @@ from math import gcd
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .._fraction import to_fraction
-from ..exceptions import SolverError
+from ..exceptions import PivotLimitError, SolverError
+from .stats import SolverStats, record
 
 #: After this many pivots the pivot rule switches to Bland's (anti-cycling).
-_BLAND_THRESHOLD = 5000
-#: Hard cap — exceeded only by a bug, not by honest degeneracy.
-_MAX_PIVOTS = 200000
+#: Overridable per solve via ``solve_standard(bland_threshold=…)``.
+BLAND_THRESHOLD_DEFAULT = 5000
+#: Default hard cap — exceeded only by a bug, not by honest degeneracy.
+#: Overridable per solve via ``solve_standard(max_pivots=…)``; exceeding it
+#: raises the structured :class:`~repro.exceptions.PivotLimitError`.
+MAX_PIVOTS_DEFAULT = 200000
+
+#: The exact pivoting kernels ``solve_standard`` dispatches between.
+KERNELS = ("revised", "tableau")
+
+#: Process-wide default kernel (the CLI's ``--kernel`` flag sets it).
+_default_kernel = "revised"
+
+
+def set_default_kernel(kernel: str) -> None:
+    """Set the kernel used when callers pass ``kernel=None`` (the default)."""
+    global _default_kernel
+    if kernel not in KERNELS:
+        raise SolverError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
+    _default_kernel = kernel
+
+
+def get_default_kernel() -> str:
+    return _default_kernel
 
 
 @dataclass
@@ -57,6 +79,12 @@ class SimplexResult:
     objective: Optional[Fraction]
     basis: Optional[List[int]]
     pivots: int = 0
+    #: Per-solve performance counters (``None`` for the float backend).
+    stats: Optional[SolverStats] = None
+    #: Verified Farkas certificate (infeasible results from the revised
+    #: kernel; row-indexed in the caller's row order, see
+    #: :mod:`repro.lp.certificates`).
+    farkas: Optional[List[Fraction]] = None
 
     @property
     def is_optimal(self) -> bool:
@@ -149,15 +177,29 @@ class _Tableau:
     column of every row.
     """
 
-    __slots__ = ("rows", "den", "basis", "num_rows", "art_start", "pivots")
+    __slots__ = (
+        "rows", "den", "basis", "num_rows", "art_start", "pivots",
+        "bland_threshold", "max_pivots", "phase",
+    )
 
-    def __init__(self, rows: List[List[int]], basis: List[int], num_rows: int, art_start: int):
+    def __init__(
+        self,
+        rows: List[List[int]],
+        basis: List[int],
+        num_rows: int,
+        art_start: int,
+        bland_threshold: int = BLAND_THRESHOLD_DEFAULT,
+        max_pivots: int = MAX_PIVOTS_DEFAULT,
+    ):
         self.rows = rows
         self.den = 1
         self.basis = basis
         self.num_rows = num_rows
         self.art_start = art_start
         self.pivots = 0
+        self.bland_threshold = bland_threshold
+        self.max_pivots = max_pivots
+        self.phase = 2
 
     def pivot(self, row: int, col: int) -> None:
         rows = self.rows
@@ -186,8 +228,10 @@ class _Tableau:
         else:
             self.den = piv
         self.pivots += 1
-        if self.pivots > _MAX_PIVOTS:
-            raise SolverError("simplex exceeded the pivot budget (cycling bug?)")
+        if self.pivots > self.max_pivots:
+            raise PivotLimitError(
+                self.max_pivots, self.pivots, self.phase, kernel="tableau"
+            )
 
     def entering(self, cost_index: int, bland: bool) -> Optional[int]:
         """An improving non-artificial column (negative reduced cost)."""
@@ -354,8 +398,9 @@ class _Tableau:
         self.rows = [row[:art_start] + [row[-1]] for row in self.rows]
 
     def run_phase(self, cost_index: int) -> str:
+        self.phase = 1 if cost_index > self.num_rows else 2
         while True:
-            bland = self.pivots >= _BLAND_THRESHOLD
+            bland = self.pivots >= self.bland_threshold
             col = self.entering(cost_index, bland)
             if col is None:
                 return "optimal"
@@ -368,7 +413,12 @@ class _Tableau:
         return Fraction(self.rows[row][col], self.den)
 
 
-def _build_tableau(std: StandardForm, objective: Sequence[Fraction]) -> Tuple[_Tableau, bool]:
+def _build_tableau(
+    std: StandardForm,
+    objective: Sequence[Fraction],
+    bland_threshold: int = BLAND_THRESHOLD_DEFAULT,
+    max_pivots: int = MAX_PIVOTS_DEFAULT,
+) -> Tuple[_Tableau, bool]:
     """Integer tableau for *std* with the slack/artificial starting basis.
 
     Each constraint row is scaled by the lcm of its denominators; slack and
@@ -424,7 +474,10 @@ def _build_tableau(std: StandardForm, objective: Sequence[Fraction]) -> Tuple[_T
                 cost1 = [a - b for a, b in zip(cost1, rows[i])]
         rows.append(cost1)
 
-    return _Tableau(rows, basis, r, std.art_start), has_artificials
+    return (
+        _Tableau(rows, basis, r, std.art_start, bland_threshold, max_pivots),
+        has_artificials,
+    )
 
 
 def _point_hints(point: Sequence[Fraction]) -> List[int]:
@@ -470,6 +523,10 @@ def solve_standard(
     objective: Sequence[Fraction],
     warm_hints: Optional[Sequence[int]] = None,
     warm_point: Optional[Sequence[Fraction]] = None,
+    kernel: Optional[str] = None,
+    bland_threshold: Optional[int] = None,
+    max_pivots: Optional[int] = None,
+    pricing: Optional[str] = None,
 ) -> SimplexResult:
     """Solve ``min c·x  s.t.  rows, x ≥ 0`` exactly.
 
@@ -477,13 +534,48 @@ def solve_standard(
     entries are ``"<="``, ``">="`` or ``"=="``.  The returned ``x`` is a
     basic solution: at most ``len(coeff_rows)`` entries are non-zero.
 
+    *kernel* selects the exact pivoting engine: ``"revised"`` (default —
+    lazy pricing over the factorized basis of :mod:`repro.lp.revised`) or
+    ``"tableau"`` (the dense fraction-free tableau below).  Both are exact
+    and return the same statuses/objectives; from a cold start with full
+    Dantzig pricing they pivot identically.
+
+    *bland_threshold* / *max_pivots* override the anti-cycling switchover
+    and the pivot budget (:data:`BLAND_THRESHOLD_DEFAULT` /
+    :data:`MAX_PIVOTS_DEFAULT`); exhausting the budget raises the
+    structured :class:`~repro.exceptions.PivotLimitError`.
+
     Warm starts (see the module docstring) can only speed the solve up,
     never change its guarantees: *warm_point* is a candidate solution whose
     support and tight rows seed a crash basis; *warm_hints* is the bare
     column-index form used when no full point is available.
     """
+    kernel = kernel or _default_kernel
+    if kernel not in KERNELS:
+        raise SolverError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
+    if kernel == "revised":
+        from .revised import solve_standard_revised
+
+        return solve_standard_revised(
+            coeff_rows, senses, rhs, objective,
+            warm_hints=warm_hints, warm_point=warm_point,
+            bland_threshold=bland_threshold, max_pivots=max_pivots,
+            pricing=pricing or "dantzig",
+        )
+    if pricing not in (None, "dantzig"):
+        raise SolverError(
+            f"pricing {pricing!r} requires kernel='revised' (the tableau "
+            f"kernel always prices with Dantzig→Bland)"
+        )
+
+    bland_threshold = (
+        BLAND_THRESHOLD_DEFAULT if bland_threshold is None else bland_threshold
+    )
+    max_pivots = MAX_PIVOTS_DEFAULT if max_pivots is None else max_pivots
+    stats = SolverStats(solves=1)
+    stats.count_kernel("tableau")
     std = standard_form(coeff_rows, senses, rhs, objective)
-    tab, has_artificials = _build_tableau(std, objective)
+    tab, has_artificials = _build_tableau(std, objective, bland_threshold, max_pivots)
     r = std.num_rows
 
     eligible: Optional[List[bool]] = None
@@ -494,21 +586,32 @@ def solve_standard(
 
     crashed = False
     if warm_hints:
+        stats.warm_start_attempts += 1
         crashed = tab.crash_basis(warm_hints, std, eligible)
-        if not crashed:
+        if crashed:
+            stats.warm_start_hits += 1
+        else:
             # The crash left an infeasible dictionary; rebuild and fall back
             # to ratio-test pushes (always legal, merely less direct).
-            tab, has_artificials = _build_tableau(std, objective)
+            tab, has_artificials = _build_tableau(
+                std, objective, bland_threshold, max_pivots
+            )
             tab.push_hints(warm_hints)
 
     # ---------------- Phase 1: minimize the sum of artificials -------------
     if has_artificials:
         if not crashed:
+            before = tab.pivots
             status = tab.run_phase(r + 1)
+            stats.phase1_pivots += tab.pivots - before
             if status == "unbounded":  # pragma: no cover - impossible: cost ≥ 0
                 raise SolverError("phase-1 objective unbounded")
             if tab.rows[r + 1][-1] < 0:  # objective −rhs/den still positive
-                return SimplexResult("infeasible", [], None, None, tab.pivots)
+                stats.pivots = tab.pivots
+                record(stats)
+                return SimplexResult(
+                    "infeasible", [], None, None, tab.pivots, stats=stats
+                )
         # Drive any zero-level artificials out of the basis.  This is load-
         # bearing, not cosmetic: a basic artificial at level 0 whose row has
         # non-zero structural entries could be lifted off zero by a later
@@ -531,8 +634,12 @@ def solve_standard(
 
     # ---------------- Phase 2: original objective --------------------------
     status = tab.run_phase(r)
+    stats.pivots = tab.pivots
+    record(stats)
     if status == "unbounded":
-        return SimplexResult("unbounded", [], None, list(tab.basis), tab.pivots)
+        return SimplexResult(
+            "unbounded", [], None, list(tab.basis), tab.pivots, stats=stats
+        )
 
     n = std.n
     x = [Fraction(0)] * n
@@ -542,4 +649,6 @@ def solve_standard(
     objective_value = sum(
         (to_fraction(objective[j]) * x[j] for j in range(n) if x[j]), Fraction(0)
     )
-    return SimplexResult("optimal", x, objective_value, list(tab.basis), tab.pivots)
+    return SimplexResult(
+        "optimal", x, objective_value, list(tab.basis), tab.pivots, stats=stats
+    )

@@ -1,10 +1,10 @@
-"""Unified LP solving entry point with backend dispatch.
+"""Unified LP solving entry point with backend and kernel dispatch.
 
 Backends
 --------
 ``"exact"``
-    Fraction-free rational simplex.  Guaranteed exact optimal *basic*
-    solutions; the reference everything else is certified against.
+    Exact rational simplex.  Guaranteed exact optimal *basic* solutions;
+    the reference everything else is certified against.
 ``"scipy"``
     HiGHS floats, rationalized on the way out.  Fast but **uncertified**:
     values may violate constraints by rounding hairs and need not be
@@ -20,15 +20,24 @@ Backends
     ``"exact"`` for small programs, ``"hybrid"`` beyond
     :data:`_AUTO_SIZE_LIMIT`.
 
+Kernels
+-------
+Orthogonal to the backend, the *exact* pivoting engine is selectable:
+``"revised"`` (default — lazy pricing over a fraction-free factorized
+basis, :mod:`repro.lp.revised`) or ``"tableau"`` (dense fraction-free
+tableau, :mod:`repro.lp.simplex`).  Both are exact; the revised kernel does
+``O(rows²)`` work per pivot instead of ``O(rows·cols)``.
+``repro … --kernel`` sets the process-wide default.
+
 Warm starts: pass ``warm_values`` (a previously feasible point keyed like
-the program's variables) and the exact/hybrid backends push its support into
-the starting basis, typically skipping phase 1 entirely.
+the program's variables) and the exact/hybrid backends factorize its
+support into the starting basis, typically skipping phase 1 entirely.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .._fraction import to_fraction
 from ..exceptions import SolverError
@@ -81,47 +90,138 @@ def solve_lp(
     lp: LinearProgram,
     backend: str = "exact",
     warm_values: Optional[Mapping[VarKey, Fraction]] = None,
+    kernel: Optional[str] = None,
 ) -> LPSolution:
     """Solve *lp* (minimization) and map values back to variable keys.
 
     See the module docstring for the per-backend guarantees.  *warm_values*
     is an optional previously-feasible point used to warm-start the
-    exact/hybrid backends; it never changes the result, only the pivot path.
+    exact/hybrid backends; it never changes the result, only the pivot
+    path.  *kernel* selects the exact pivoting engine (``None`` = the
+    process default, normally ``"revised"``).
     """
     backend = _resolve_backend(backend, lp)
     coeff_rows, senses, rhs, objective = lp.to_standard_rows()
     if backend == "exact":
         result = solve_standard(
-            coeff_rows, senses, rhs, objective, warm_point=_warm_point(lp, warm_values)
+            coeff_rows, senses, rhs, objective,
+            warm_point=_warm_point(lp, warm_values), kernel=kernel,
         )
     elif backend == "hybrid":
         result = solve_standard_hybrid(
-            coeff_rows, senses, rhs, objective, warm_point=_warm_point(lp, warm_values)
+            coeff_rows, senses, rhs, objective,
+            warm_point=_warm_point(lp, warm_values), kernel=kernel,
         )
     else:
         result = solve_standard_float(coeff_rows, senses, rhs, objective)
     if result.status != "optimal":
-        return LPSolution(status=result.status, values={}, objective=None)
+        return LPSolution(
+            status=result.status, values={}, objective=None, stats=result.stats
+        )
     values: Dict = {}
     for key in lp.variable_keys:
         values[key] = result.x[lp.index_of(key)]
-    return LPSolution(status="optimal", values=values, objective=result.objective)
+    return LPSolution(
+        status="optimal", values=values, objective=result.objective,
+        stats=result.stats,
+    )
+
+
+def check_standard_rows(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    x: Sequence[Fraction],
+) -> bool:
+    """Exactly verify ``x ≥ 0`` against the rows (no tolerances).
+
+    The raw-row counterpart of
+    :meth:`~repro.lp.model.LinearProgram.check_values`; this is the gate
+    that certifies float candidates — and re-certifies cached points in the
+    incremental probe pipeline — without an exact solve.
+    """
+    if any(v < 0 for v in x):
+        return False
+    for row, sense, b in zip(coeff_rows, senses, rhs):
+        lhs = sum((v * x[j] for j, v in row.items() if x[j]), Fraction(0))
+        b = to_fraction(b)
+        ok = (
+            lhs <= b if sense == "<="
+            else lhs >= b if sense == ">="
+            else lhs == b
+        )
+        if not ok:
+            return False
+    return True
+
+
+def feasible_point_rows(
+    coeff_rows: Sequence[Dict[int, Fraction]],
+    senses: Sequence[str],
+    rhs: Sequence[Fraction],
+    num_vars: int,
+    backend: str = "hybrid",
+    warm_point: Optional[Sequence[Fraction]] = None,
+    kernel: Optional[str] = None,
+) -> Tuple[Optional[List[Fraction]], Optional[List[Fraction]]]:
+    """Certified feasibility probe on raw standard rows.
+
+    Returns ``(point, farkas)``: exactly one of the two is non-``None``
+    unless the program is infeasible without an available certificate
+    (``(None, None)``).  The point is **exactly** feasible; the certificate
+    is **exactly** verified (see :mod:`repro.lp.certificates`).  This is
+    the primitive behind the incremental binary-search pipeline of
+    :class:`repro.core.programs.IP3Builder`, which calls it with masked row
+    views instead of materialized :class:`~repro.lp.model.LinearProgram`
+    objects.
+    """
+    from .hybrid import _FLOAT_SIZE_CUTOFF, certify_infeasible, float_candidate
+
+    if backend not in BACKENDS and backend != "auto":
+        raise SolverError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    use_float = (
+        backend in ("hybrid", "scipy", "auto")
+        and HAVE_SCIPY
+        and num_vars * max(len(coeff_rows), 1) >= _FLOAT_SIZE_CUTOFF
+    )
+    objective = [Fraction(0)] * num_vars
+    if use_float:
+        candidate = float_candidate(coeff_rows, senses, rhs, objective)
+        if candidate is not None and candidate.status == "optimal":
+            if check_standard_rows(coeff_rows, senses, rhs, candidate.x):
+                return list(candidate.x), None  # certified by the re-check
+            warm_point = candidate.x  # uncertified: warm-start the repair
+        elif candidate is not None and candidate.status == "infeasible":
+            farkas = certify_infeasible(
+                coeff_rows, senses, rhs, num_vars=num_vars
+            )
+            if farkas is not None:
+                return None, farkas
+    result = solve_standard(
+        coeff_rows, senses, rhs, objective,
+        warm_point=warm_point, kernel=kernel,
+    )
+    if result.status != "optimal":
+        return None, result.farkas
+    return result.x, None
 
 
 def feasible_point(
     lp: LinearProgram,
     backend: str = "exact",
+    warm_values: Optional[Mapping[VarKey, Fraction]] = None,
+    kernel: Optional[str] = None,
 ) -> Optional[Dict[VarKey, Fraction]]:
     """An **exactly certified** feasible point of *lp*, or ``None``.
 
     This is the cheap primitive behind feasibility probes (the binary search
     of ``minimal_fractional_T`` fires hundreds of them).  With the hybrid
-    backend, a rationalized HiGHS point that passes the exact
-    :meth:`~repro.lp.model.LinearProgram.check_values` re-check is returned
-    directly — no exact pivoting at all; the point is feasible but not
-    necessarily basic, which is all a feasibility verdict needs.  Every
+    backend, a rationalized HiGHS point that passes the exact re-check is
+    returned directly — no exact pivoting at all; the point is feasible but
+    not necessarily basic, which is all a feasibility verdict needs.  Every
     other path (check fails, float says infeasible, non-hybrid backend)
-    falls through to a certified solve.
+    falls through to a certified solve, warm-started from *warm_values*
+    (e.g. the bracketing probe's point) when given.
 
     With ``backend="scipy"`` the point is re-checked exactly as well, and
     rejected (exact re-solve) instead of propagated when uncertified.
@@ -133,30 +233,21 @@ def feasible_point(
     if backend == "hybrid" and size < _FLOAT_SIZE_CUTOFF:
         backend = "exact"  # linprog overhead exceeds a cold exact solve
     coeff_rows, senses, rhs, objective = lp.to_standard_rows()
-    warm_point: Optional[List[Fraction]] = None
     if backend in ("hybrid", "scipy"):
-        from .hybrid import certify_infeasible, float_candidate
-
-        # float_candidate absorbs HiGHS hard failures (iteration limits,
-        # numerical breakdown) — a None candidate simply means no shortcut.
-        candidate = float_candidate(coeff_rows, senses, rhs, objective)
-        if candidate is not None and candidate.status == "optimal":
-            values = {
-                key: candidate.x[lp.index_of(key)] for key in lp.variable_keys
-            }
-            if not lp.check_values(values):
-                return values  # certified by the exact re-check
-            warm_point = candidate.x  # uncertified: warm-start the repair
-        elif candidate is not None and candidate.status == "infeasible" and certify_infeasible(
-            coeff_rows, senses, rhs, num_vars=lp.num_variables
-        ):
-            return None  # certified by the exact Farkas re-check
-        # Claimed unbounded or failed certification: the exact solver
-        # re-derives the verdict (reusing the standard rows built above).
-    result = solve_standard(coeff_rows, senses, rhs, objective, warm_point=warm_point)
-    if result.status != "optimal":
+        point, _farkas = feasible_point_rows(
+            coeff_rows, senses, rhs, lp.num_variables,
+            backend=backend, warm_point=_warm_point(lp, warm_values),
+            kernel=kernel,
+        )
+    else:
+        result = solve_standard(
+            coeff_rows, senses, rhs, objective,
+            warm_point=_warm_point(lp, warm_values), kernel=kernel,
+        )
+        point = result.x if result.status == "optimal" else None
+    if point is None:
         return None
-    return {key: result.x[lp.index_of(key)] for key in lp.variable_keys}
+    return {key: point[lp.index_of(key)] for key in lp.variable_keys}
 
 
 def is_feasible(lp: LinearProgram, backend: str = "exact") -> bool:

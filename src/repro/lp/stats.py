@@ -1,0 +1,103 @@
+"""Solver performance counters and an opt-in aggregation scope.
+
+Perf work on the LP substrate needs numbers that survive machine noise:
+wall-clock alone cannot tell "the kernel pivots less" from "the laptop was
+idle".  Every solve therefore fills a :class:`SolverStats` record (pivot
+counts, phase-1 share, basis refactorizations, warm-start outcomes) that is
+attached to the :class:`~repro.lp.simplex.SimplexResult` /
+:class:`~repro.lp.model.LPSolution` it produced.
+
+Higher-level pipelines (the ``minimal_fractional_T`` binary search, the
+2-approximation, whole experiments) run many solves whose results are not
+individually surfaced.  :func:`collect_stats` opens an aggregation scope:
+while it is active, every solve (and every probe shortcut that *avoided* a
+solve) adds its counters to the scope's aggregate.  ``repro … --profile``
+wraps a CLI run in such a scope and prints the totals, so future perf PRs
+can cite counters, not just seconds.
+
+Scopes are per-process (module state, not shared across a sweep's worker
+pool) and nestable — an inner scope does not steal counts from an outer one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class SolverStats:
+    """Counters for one LP solve (or an aggregate of many).
+
+    ``warm_start_attempts``/``warm_start_hits`` count crash-basis
+    factorizations tried/succeeded (a hit means phase 1 was skipped
+    outright).  ``point_reuses``/``farkas_reuses`` count binary-search
+    probes answered by re-checking a cached feasible point / Farkas
+    certificate instead of solving — the incremental-pipeline shortcuts.
+    """
+
+    solves: int = 0
+    pivots: int = 0
+    phase1_pivots: int = 0
+    refactorizations: int = 0
+    warm_start_attempts: int = 0
+    warm_start_hits: int = 0
+    point_reuses: int = 0
+    farkas_reuses: int = 0
+    #: Solve count per kernel name ("revised", "tableau", "float").
+    kernels: Dict[str, int] = field(default_factory=dict)
+
+    def count_kernel(self, kernel: str) -> None:
+        self.kernels[kernel] = self.kernels.get(kernel, 0) + 1
+
+    def add(self, other: "SolverStats") -> None:
+        self.solves += other.solves
+        self.pivots += other.pivots
+        self.phase1_pivots += other.phase1_pivots
+        self.refactorizations += other.refactorizations
+        self.warm_start_attempts += other.warm_start_attempts
+        self.warm_start_hits += other.warm_start_hits
+        self.point_reuses += other.point_reuses
+        self.farkas_reuses += other.farkas_reuses
+        for kernel, count in other.kernels.items():
+            self.kernels[kernel] = self.kernels.get(kernel, 0) + count
+
+    def render(self) -> str:
+        """One human-readable block (the ``--profile`` output)."""
+        kernels = ", ".join(
+            f"{name}×{count}" for name, count in sorted(self.kernels.items())
+        ) or "none"
+        return "\n".join(
+            [
+                "solver profile:",
+                f"  solves            {self.solves}  ({kernels})",
+                f"  pivots            {self.pivots}  (phase 1: {self.phase1_pivots})",
+                f"  refactorizations  {self.refactorizations}",
+                f"  warm starts       {self.warm_start_hits}/{self.warm_start_attempts} hits",
+                f"  probe shortcuts   {self.point_reuses} point reuses, "
+                f"{self.farkas_reuses} Farkas reuses",
+            ]
+        )
+
+
+#: Active aggregation scopes (innermost last).  Module state: cheap, and the
+#: solver hot path must not pay for collection when nothing listens.
+_scopes: List[SolverStats] = []
+
+
+def record(stats: SolverStats) -> None:
+    """Add *stats* to every active aggregation scope (no-op when none)."""
+    for scope in _scopes:
+        scope.add(stats)
+
+
+@contextmanager
+def collect_stats() -> Iterator[SolverStats]:
+    """Aggregate the stats of every solve performed inside the scope."""
+    scope = SolverStats()
+    _scopes.append(scope)
+    try:
+        yield scope
+    finally:
+        _scopes.remove(scope)

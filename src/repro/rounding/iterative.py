@@ -194,6 +194,7 @@ def iterative_round(
     max_drop_vars: Optional[int] = None,
     backend: str = "exact",
     certify: bool = True,
+    kernel: Optional[str] = None,
 ) -> IterativeRoundingResult:
     """Round an assignment+packing LP per Lemma VI.2.
 
@@ -216,6 +217,13 @@ def iterative_round(
         Verify the achieved usage of every row against its certified limit
         and raise :class:`RoundingCertificationError` on any excess
         (default).  Pass ``False`` to obtain the uncertified result.
+    kernel:
+        Exact pivoting kernel for the re-solves (``None`` = process
+        default).  Each iteration's LP is warm-started from the previous
+        iteration's point restricted to the still-free variables — that
+        restriction stays feasible for the residual system (1-fixed
+        contributions are subtracted from the bounds), so the crash basis
+        typically skips phase 1 outright.
     """
     all_keys: List[VarKey] = []
     owner: Dict[VarKey, Hashable] = {}
@@ -240,6 +248,7 @@ def iterative_round(
     drop_limits: Dict[str, Fraction] = {}
     fallback_drops = 0
     iterations = 0
+    warm: Optional[Dict[VarKey, Fraction]] = None
 
     while True:
         iterations += 1
@@ -266,7 +275,7 @@ def iterative_round(
             lp.add_constraint(coeffs, "<=", _residual(row, fixed), name=row.name)
         if cost_map:
             lp.set_objective({q: cost_map.get(q, Fraction(0)) for q in free_keys})
-        solution = solve_lp(lp, backend=backend)
+        solution = solve_lp(lp, backend=backend, warm_values=warm, kernel=kernel)
         if not solution.is_optimal:
             raise InfeasibleError(
                 "iterative rounding LP became infeasible (input LP was "
@@ -297,6 +306,10 @@ def iterative_round(
                     if q in fractional:
                         fractional.remove(q)
                     progress = True
+
+        # Next iteration's warm start: this vertex restricted to the keys
+        # that are still free stays feasible for the residual system.
+        warm = {q: v for q, v in solution.values.items() if v and q not in fixed}
 
         if not fractional:
             continue  # all remaining either fixed now or done next loop

@@ -130,6 +130,7 @@ def lst_round(
     p: PMatrix,
     T: Time,
     backend: str = "hybrid",
+    kernel: Optional[str] = None,
 ) -> Dict[int, int]:
     """Full LST step: solve the assignment LP at *T*, then round.
 
@@ -138,22 +139,26 @@ def lst_round(
     :class:`InfeasibleError` when the LP itself is infeasible at *T*.
 
     The rounding needs a *basic* solution; the exact and hybrid backends
-    guarantee one.  With ``backend="scipy"`` the rationalized point is
-    re-checked exactly first, and any uncertified or non-vertex point is
-    repaired by an exact re-solve (warm-started from the candidate) instead
-    of being propagated into the pseudo-forest argument.
+    guarantee one (with either exact *kernel* — ``None`` means the process
+    default, normally the revised simplex).  With ``backend="scipy"`` the
+    rationalized point is re-checked exactly first, and any uncertified or
+    non-vertex point is repaired by an exact re-solve (warm-started from
+    the candidate) instead of being propagated into the pseudo-forest
+    argument.
     """
     lp = build_unrelated_lp(p, T)
-    solution = solve_lp(lp, backend=backend)
+    solution = solve_lp(lp, backend=backend, kernel=kernel)
     if not solution.is_optimal and backend == "scipy":
         # Callers sit exactly on the feasibility knife-edge (T = certified
         # T*); never let a float solver's "infeasible" be the last word.
-        solution = solve_lp(lp, backend="exact")
+        solution = solve_lp(lp, backend="exact", kernel=kernel)
     if not solution.is_optimal:
         raise InfeasibleError(f"assignment LP infeasible at T={T}")
     if backend == "scipy":
         if lp.check_values(solution.values):
-            solution = solve_lp(lp, backend="exact", warm_values=solution.values)
+            solution = solve_lp(
+                lp, backend="exact", warm_values=solution.values, kernel=kernel
+            )
             if not solution.is_optimal:  # pragma: no cover - float false positive
                 raise InfeasibleError(f"assignment LP infeasible at T={T}")
         else:
@@ -162,7 +167,9 @@ def lst_round(
             except RoundingError:
                 # Feasible but not vertex-shaped (HiGHS interior/crossover
                 # artifact): repair with an exact basic re-solve.
-                solution = solve_lp(lp, backend="exact", warm_values=solution.values)
+                solution = solve_lp(
+                    lp, backend="exact", warm_values=solution.values, kernel=kernel
+                )
     return round_fractional_solution(solution.values)
 
 
