@@ -40,6 +40,28 @@ class InvalidScheduleError(ReproError):
     """A schedule violates the validity conditions of Section II."""
 
 
+class ScheduleValidationError(InvalidScheduleError):
+    """Structured form of a failed validation.
+
+    Raised by :meth:`repro.schedule.validator.ValidationReport.raise_if_invalid`
+    with the full violation list attached, so callers can inspect *which*
+    job/piece/time broke *which* condition instead of parsing a message.
+    ``violations`` holds the :class:`~repro.schedule.validator.ScheduleViolation`
+    dataclasses; each has structured ``job``/``machine``/``start``/``end``/
+    ``limit`` fields next to its rendered ``detail``.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        msgs = "; ".join(str(v) for v in self.violations)
+        super().__init__(f"invalid schedule: {msgs}")
+
+    def __reduce__(self):
+        # Keep the structure across pickling (sweep workers raise through a
+        # process pool) — the default reduce would re-init with the message.
+        return (self.__class__, (self.violations,))
+
+
 class SolverError(ReproError):
     """An LP/ILP solver failed or returned an unusable status."""
 

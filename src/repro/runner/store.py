@@ -108,6 +108,10 @@ class ResultsStore:
         self._db = sqlite3.connect(self.index_path)
         self._db.executescript(_SCHEMA)
         self._db.commit()
+        # Payload files this store object has already appended to cleanly:
+        # a torn tail is only possible before our first append, so the
+        # newline check runs once per (store, file).
+        self._clean_payloads: set = set()
 
     # -- lookup ----------------------------------------------------------
 
@@ -158,6 +162,25 @@ class ResultsStore:
 
     # -- write -----------------------------------------------------------
 
+    @staticmethod
+    def _ends_mid_line(path: str) -> bool:
+        """Whether *path* exists, is non-empty, and lacks a final newline.
+
+        That is the signature of a writer killed mid-append: the torn last
+        line must be sealed off before new records are appended, or the
+        next record would concatenate onto the fragment and *two* results
+        would become unreadable instead of zero.
+        """
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return False
+        if size == 0:
+            return False
+        with open(path, "rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            return fh.read(1) != b"\n"
+
     def add(self, record: Dict[str, Any], elapsed_s: float) -> None:
         """Persist one finished task: JSONL payload + index row."""
         experiment = record["experiment"]
@@ -165,10 +188,17 @@ class ResultsStore:
         payload_path = os.path.join(self.root, payload_rel)
         line = json.dumps(_canonical(record), sort_keys=True,
                           separators=(",", ":"))
+        repair_newline = (
+            payload_path not in self._clean_payloads
+            and self._ends_mid_line(payload_path)
+        )
         with open(payload_path, "a", encoding="utf-8") as fh:
+            if repair_newline:
+                fh.write("\n")
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+        self._clean_payloads.add(payload_path)
         self._db.execute(
             "INSERT OR REPLACE INTO tasks"
             " (key, experiment, params_json, seed, fingerprint, status,"
@@ -197,7 +227,10 @@ class ResultsStore:
 
         A JSONL line whose key is absent from the index (e.g. a crashed run
         that appended the payload but died before committing the index row)
-        is skipped — the index is the source of truth for completion.
+        is skipped — the index is the source of truth for completion.  A
+        line that does not even parse (the crash tore the write mid-line)
+        is skipped for the same reason: its task was never committed, so
+        resuming re-executes it and appends a clean copy.
 
         *fingerprint* selects one code generation; the default is each
         experiment's **latest** completed generation, so results produced
@@ -219,7 +252,12 @@ class ResultsStore:
                     line = line.strip()
                     if not line:
                         continue
-                    record = json.loads(line)
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn write of an uncommitted task
+                    if not isinstance(record, dict):
+                        continue
                     key = record.get("key", "")
                     if key in seen or key not in done:
                         continue

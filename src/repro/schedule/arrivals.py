@@ -1,0 +1,282 @@
+"""Online job-arrival models: release times and sporadic tasks.
+
+The paper's Algorithms 1 and 3 produce wrap-around schedules for one fixed
+planning window; :mod:`repro.schedule.periodic` gives them a cyclic reading
+in which every window executes a fresh instance of every job.  Real-time
+practice (the semi-partitioned literature the paper builds on) goes one
+step further: job instances *arrive* — periodically with release offsets,
+or sporadically with a minimum interarrival time — and the runtime admits
+each arriving instance into a planning window.  This module provides the
+arrival side of that story; :mod:`repro.simulation.admission` provides the
+admission side.
+
+All timestamps are exact :class:`~fractions.Fraction` values.  Randomized
+variants (release jitter, sporadic slack) draw *integer* numerators at a
+declared resolution from per-job streams seeded through
+:func:`repro.workloads.generators.derive_seed`, so a stream is a pure
+function of ``(seed, job)`` — never of how many other jobs exist or in
+which order streams are materialized.  That is the property that keeps
+sweep results byte-identical across ``--jobs N``.
+
+The deliberate degeneracies are load-bearing for the test suite:
+
+* a :class:`PeriodicArrivals` with zero offsets and zero jitter releases
+  instance ``q`` of every job at exactly ``q·period`` — the stream whose
+  admission must reproduce the cyclic reading of
+  :func:`repro.schedule.periodic.unroll` bit-for-bit;
+* a :class:`SporadicArrivals` with zero slack *is* that same stream
+  (interarrival exactly the period), which pins the two variants together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple, Union
+
+from .._fraction import to_fraction
+from ..exceptions import InvalidInstanceError
+
+Time = Union[int, Fraction]
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One arriving job instance: template job *job*, instance *index*.
+
+    ``release`` is the absolute time the instance becomes available;
+    ``deadline`` its absolute deadline (release + relative deadline).
+    """
+
+    job: int
+    index: int
+    release: Fraction
+    deadline: Fraction
+
+    def __post_init__(self):
+        object.__setattr__(self, "release", to_fraction(self.release))
+        object.__setattr__(self, "deadline", to_fraction(self.deadline))
+        if self.release < 0:
+            raise InvalidInstanceError(
+                f"release time must be non-negative, got {self.release}"
+            )
+        if self.deadline < self.release:
+            raise InvalidInstanceError(
+                f"deadline {self.deadline} precedes release {self.release}"
+            )
+
+
+def _arrival_order(arrival: JobArrival) -> Tuple[Fraction, int, int]:
+    return (arrival.release, arrival.job, arrival.index)
+
+
+class ArrivalModel:
+    """Base interface: a deterministic stream of job instances per job.
+
+    Subclasses implement :meth:`job_releases`; the shared
+    :meth:`arrivals_until` materializes and orders the merged stream.
+    """
+
+    n_jobs: int
+    relative_deadline: Fraction
+
+    def job_releases(self, job: int, horizon: Fraction) -> List[Fraction]:
+        """Release times of *job*'s instances with ``release < horizon``."""
+        raise NotImplementedError
+
+    def arrivals_until(self, horizon: Time) -> List[JobArrival]:
+        """Every instance released strictly before *horizon*, in
+        ``(release, job, index)`` order — the canonical event order the
+        admission layer consumes."""
+        horizon = to_fraction(horizon)
+        stream: List[JobArrival] = []
+        for job in range(self.n_jobs):
+            for index, release in enumerate(self.job_releases(job, horizon)):
+                stream.append(
+                    JobArrival(
+                        job=job,
+                        index=index,
+                        release=release,
+                        deadline=release + self.relative_deadline,
+                    )
+                )
+        stream.sort(key=_arrival_order)
+        return stream
+
+
+def _per_job_rng(seed: int, label: str, job: int):
+    # Imported lazily: workloads.generators imports simulation modules, and
+    # keeping schedule/ free of that import at module load avoids a cycle.
+    from ..workloads.generators import derive_seed, rng_from_seed
+
+    return rng_from_seed(derive_seed(seed, label, job))
+
+
+def _draw_fractions(
+    rng, count: int, bound: Fraction, resolution: int
+) -> List[Fraction]:
+    """*count* exact draws from ``{0, 1/resolution, …} ∩ [0, bound]``.
+
+    The grid keeps the stream exact: numerators are integers from the
+    seeded generator, denominators the declared resolution — no float ever
+    touches a timestamp.
+    """
+    steps = int(bound * resolution)
+    if steps <= 0:
+        return [Fraction(0)] * count
+    draws = rng.integers(0, steps + 1, size=count)
+    return [Fraction(int(k), resolution) for k in draws]
+
+
+@dataclass(frozen=True)
+class PeriodicArrivals(ArrivalModel):
+    """Periodic tasks with per-job release offsets and optional jitter.
+
+    Instance ``q`` of job ``j`` is released at
+    ``offsets[j] + q·periods[j] + J_{j,q}`` where the jitter ``J_{j,q}`` is
+    an exact draw from ``[0, jitter]`` at ``1/resolution`` granularity
+    (zero by default).  ``periods`` broadcasts a scalar; harmonic task sets
+    pass per-job multiples.  The relative deadline defaults to the (base)
+    period — the implicit-deadline convention of the schedulability
+    literature.
+
+    Jitter is bounded below the period so releases of one job stay strictly
+    increasing (instance order is never scrambled).
+    """
+
+    n_jobs: int
+    period: Fraction
+    offsets: Optional[Tuple[Fraction, ...]] = None
+    periods: Optional[Tuple[Fraction, ...]] = None
+    relative_deadline: Optional[Fraction] = None
+    jitter: Fraction = Fraction(0)
+    resolution: int = 16
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_jobs < 1:
+            raise InvalidInstanceError(f"need ≥ 1 job, got {self.n_jobs}")
+        period = to_fraction(self.period)
+        if period <= 0:
+            raise InvalidInstanceError(f"period must be positive, got {period}")
+        object.__setattr__(self, "period", period)
+        if self.offsets is None:
+            offsets = (Fraction(0),) * self.n_jobs
+        else:
+            offsets = tuple(to_fraction(o) for o in self.offsets)
+        if len(offsets) != self.n_jobs:
+            raise InvalidInstanceError(
+                f"{len(offsets)} offsets for {self.n_jobs} jobs"
+            )
+        if any(o < 0 for o in offsets):
+            raise InvalidInstanceError("release offsets must be non-negative")
+        object.__setattr__(self, "offsets", offsets)
+        if self.periods is None:
+            periods = (period,) * self.n_jobs
+        else:
+            periods = tuple(to_fraction(p) for p in self.periods)
+        if len(periods) != self.n_jobs:
+            raise InvalidInstanceError(
+                f"{len(periods)} periods for {self.n_jobs} jobs"
+            )
+        if any(p <= 0 for p in periods):
+            raise InvalidInstanceError("per-job periods must be positive")
+        object.__setattr__(self, "periods", periods)
+        deadline = (
+            period
+            if self.relative_deadline is None
+            else to_fraction(self.relative_deadline)
+        )
+        if deadline <= 0:
+            raise InvalidInstanceError(
+                f"relative deadline must be positive, got {deadline}"
+            )
+        object.__setattr__(self, "relative_deadline", deadline)
+        jitter = to_fraction(self.jitter)
+        if jitter < 0:
+            raise InvalidInstanceError("jitter must be non-negative")
+        if jitter >= min(periods):
+            raise InvalidInstanceError(
+                f"jitter {jitter} must stay below the shortest period "
+                f"{min(periods)} (release order would scramble)"
+            )
+        object.__setattr__(self, "jitter", jitter)
+        if self.resolution < 1:
+            raise InvalidInstanceError("resolution must be ≥ 1")
+
+    def job_releases(self, job: int, horizon: Fraction) -> List[Fraction]:
+        offset = self.offsets[job]
+        period = self.periods[job]
+        if offset >= horizon:
+            return []
+        # Largest q with offset + q·period < horizon (jitter only delays).
+        count = int((horizon - offset) / period)
+        if offset + count * period < horizon:
+            count += 1
+        bases = [offset + q * period for q in range(count)]
+        if self.jitter > 0:
+            rng = _per_job_rng(self.seed, "periodic-jitter", job)
+            jitters = _draw_fractions(rng, count, self.jitter, self.resolution)
+            bases = [b + j for b, j in zip(bases, jitters)]
+        return [b for b in bases if b < horizon]
+
+
+@dataclass(frozen=True)
+class SporadicArrivals(ArrivalModel):
+    """Sporadic tasks: consecutive releases at least ``min_interarrival``
+    apart, plus an exact random slack drawn from ``[0, max_slack]``.
+
+    With ``max_slack = 0`` the stream degenerates to a zero-offset periodic
+    stream of period ``min_interarrival`` — the bit-for-bit bridge the
+    cross-check tests lean on.  The relative deadline defaults to the
+    minimum interarrival time (implicit deadlines again).
+    """
+
+    n_jobs: int
+    min_interarrival: Fraction
+    max_slack: Fraction = Fraction(0)
+    relative_deadline: Optional[Fraction] = None
+    resolution: int = 16
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_jobs < 1:
+            raise InvalidInstanceError(f"need ≥ 1 job, got {self.n_jobs}")
+        gap = to_fraction(self.min_interarrival)
+        if gap <= 0:
+            raise InvalidInstanceError(
+                f"minimum interarrival must be positive, got {gap}"
+            )
+        object.__setattr__(self, "min_interarrival", gap)
+        slack = to_fraction(self.max_slack)
+        if slack < 0:
+            raise InvalidInstanceError("max_slack must be non-negative")
+        object.__setattr__(self, "max_slack", slack)
+        deadline = (
+            gap
+            if self.relative_deadline is None
+            else to_fraction(self.relative_deadline)
+        )
+        if deadline <= 0:
+            raise InvalidInstanceError(
+                f"relative deadline must be positive, got {deadline}"
+            )
+        object.__setattr__(self, "relative_deadline", deadline)
+        if self.resolution < 1:
+            raise InvalidInstanceError("resolution must be ≥ 1")
+
+    def job_releases(self, job: int, horizon: Fraction) -> List[Fraction]:
+        releases: List[Fraction] = []
+        rng = (
+            _per_job_rng(self.seed, "sporadic-slack", job)
+            if self.max_slack > 0
+            else None
+        )
+        t = Fraction(0)
+        while t < horizon:
+            releases.append(t)
+            gap = self.min_interarrival
+            if rng is not None:
+                gap += _draw_fractions(rng, 1, self.max_slack, self.resolution)[0]
+            t = t + gap
+        return releases

@@ -27,9 +27,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from .._fraction import to_fraction
 from .schedule import Schedule
+
+Time = Union[int, Fraction]
 
 
 @dataclass(frozen=True)
@@ -43,12 +46,15 @@ class JobTransitionCounts:
         return self.migrations + self.pure_preemptions
 
 
-def _merged_job_segments(schedule: Schedule, job: int) -> List[Tuple[int, Fraction, Fraction]]:
-    raw = [
-        (machine, seg.start, seg.end)
-        for machine, seg in schedule.job_segments(job)
-    ]
-    raw.sort(key=lambda t: (t[1], t[2]))
+def merge_piece_runs(
+    raw: List[Tuple[int, Fraction, Fraction]]
+) -> List[Tuple[int, Fraction, Fraction]]:
+    """Sort ``(machine, start, end)`` pieces and merge same-machine
+    contiguous runs — the canonical "merged pieces" every transition
+    accounting in this module works on.  Exposed so callers that already
+    hold a job's pieces (the admission layer, per instance) can account
+    without re-scanning a whole schedule."""
+    raw = sorted(raw, key=lambda t: (t[1], t[2]))
     merged: List[Tuple[int, Fraction, Fraction]] = []
     for machine, start, end in raw:
         if merged and merged[-1][0] == machine and merged[-1][2] == start:
@@ -58,9 +64,16 @@ def _merged_job_segments(schedule: Schedule, job: int) -> List[Tuple[int, Fracti
     return merged
 
 
-def job_transitions(schedule: Schedule, job: int) -> JobTransitionCounts:
-    """Count migrations and pure preemptions for one job."""
-    merged = _merged_job_segments(schedule, job)
+def _merged_job_segments(schedule: Schedule, job: int) -> List[Tuple[int, Fraction, Fraction]]:
+    return merge_piece_runs(
+        [(machine, seg.start, seg.end) for machine, seg in schedule.job_segments(job)]
+    )
+
+
+def transitions_of_merged(
+    merged: List[Tuple[int, Fraction, Fraction]]
+) -> JobTransitionCounts:
+    """Migration/preemption counts of one job's merged pieces."""
     migrations = 0
     pure_preemptions = 0
     for (m1, _s1, e1), (m2, s2, _e2) in zip(merged, merged[1:]):
@@ -69,6 +82,11 @@ def job_transitions(schedule: Schedule, job: int) -> JobTransitionCounts:
         elif s2 > e1:
             pure_preemptions += 1
     return JobTransitionCounts(migrations, pure_preemptions)
+
+
+def job_transitions(schedule: Schedule, job: int) -> JobTransitionCounts:
+    """Count migrations and pure preemptions for one job."""
+    return transitions_of_merged(_merged_job_segments(schedule, job))
 
 
 def total_migrations(schedule: Schedule) -> int:
@@ -116,26 +134,51 @@ def migration_tier_histogram(schedule, topology) -> Dict[int, int]:
     return histogram
 
 
-def priced_migration_cost(schedule, topology, cost_model) -> Fraction:
-    """Total migration overhead priced by tier *and* NUMA distance.
+def priced_cost_of_merged(
+    merged: List[Tuple[int, Fraction, Fraction]], topology, cost_model
+) -> Fraction:
+    """Distance-priced overhead of one job's merged pieces.
 
     Each wall-clock machine change is charged
     ``cost_model.migration_cost(topology, a, b)`` (tier cost plus the
     distance-proportional term when the model has a ``distance_rate``);
-    same-machine gaps are charged the tier-0 resume cost.  This is the
-    scalar E17 compares across topologies — on a topology without a
-    distance matrix and a rate-0 model it reduces to counting migrations
-    weighted by the tier cost profile.
+    same-machine gaps are charged the tier-0 resume cost.
     """
     total = Fraction(0)
-    for job in schedule.jobs():
-        merged = _merged_job_segments(schedule, job)
-        for (m1, _s1, e1), (m2, s2, _e2) in zip(merged, merged[1:]):
-            if m1 != m2:
-                total += cost_model.migration_cost(topology, m1, m2)
-            elif s2 > e1:
-                total += cost_model.cost_of_tier(0)
+    for (m1, _s1, e1), (m2, s2, _e2) in zip(merged, merged[1:]):
+        if m1 != m2:
+            total += cost_model.migration_cost(topology, m1, m2)
+        elif s2 > e1:
+            total += cost_model.cost_of_tier(0)
     return total
+
+
+def priced_job_migration_cost(schedule, job, topology, cost_model) -> Fraction:
+    """One job's migration overhead priced by tier *and* NUMA distance.
+
+    The admission layer prices each admitted *instance* with the same
+    accounting (via :func:`priced_cost_of_merged` on pieces it already
+    holds).
+    """
+    return priced_cost_of_merged(
+        _merged_job_segments(schedule, job), topology, cost_model
+    )
+
+
+def priced_migration_cost(schedule, topology, cost_model) -> Fraction:
+    """Total distance-priced migration overhead over all jobs.
+
+    This is the scalar E17 compares across topologies — on a topology
+    without a distance matrix and a rate-0 model it reduces to counting
+    migrations weighted by the tier cost profile.
+    """
+    return sum(
+        (
+            priced_job_migration_cost(schedule, job, topology, cost_model)
+            for job in schedule.jobs()
+        ),
+        Fraction(0),
+    )
 
 
 def machine_utilization(schedule: Schedule) -> Dict[int, Fraction]:
@@ -173,4 +216,78 @@ def summarize(schedule: Schedule) -> ScheduleSummary:
         preemptions_and_migrations=total_preemptions_and_migrations(schedule),
         segments=schedule.total_segments(),
         avg_utilization=average_utilization(schedule),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Online metrics: response time, tardiness, deadline misses (E18)
+# ---------------------------------------------------------------------------
+
+
+def tardiness(completion: Time, deadline: Time) -> Fraction:
+    """``max(0, completion − deadline)`` — exact, never negative."""
+    lateness = to_fraction(completion) - to_fraction(deadline)
+    return lateness if lateness > 0 else Fraction(0)
+
+
+@dataclass(frozen=True)
+class ResponseStats:
+    """Exact response-time statistics over a set of completed instances.
+
+    All times are :class:`~fractions.Fraction`; ``mean_response`` and
+    ``miss_ratio`` are exact rationals (``None`` when no instance
+    completed).
+    """
+
+    completed: int
+    misses: int
+    max_response: Optional[Fraction]
+    mean_response: Optional[Fraction]
+    max_tardiness: Fraction
+    total_tardiness: Fraction
+
+    @property
+    def miss_ratio(self) -> Optional[Fraction]:
+        if self.completed == 0:
+            return None
+        return Fraction(self.misses, self.completed)
+
+
+def response_stats(instances: Iterable) -> ResponseStats:
+    """Fold completed instances into a :class:`ResponseStats`.
+
+    *instances* is any iterable of objects exposing ``release``,
+    ``completion`` and ``deadline`` attributes (duck-typed so the admission
+    layer's :class:`~repro.simulation.admission.AdmittedInstance` and plain
+    test fixtures both work).  A miss is ``completion > deadline`` —
+    strict, because finishing exactly at the deadline meets it.
+    """
+    count = 0
+    misses = 0
+    max_response: Optional[Fraction] = None
+    total_response = Fraction(0)
+    max_tardy = Fraction(0)
+    total_tardy = Fraction(0)
+    for inst in instances:
+        release = to_fraction(inst.release)
+        completion = to_fraction(inst.completion)
+        deadline = to_fraction(inst.deadline)
+        response = completion - release
+        count += 1
+        total_response += response
+        if max_response is None or response > max_response:
+            max_response = response
+        tardy = tardiness(completion, deadline)
+        total_tardy += tardy
+        if tardy > max_tardy:
+            max_tardy = tardy
+        if tardy > 0:
+            misses += 1
+    return ResponseStats(
+        completed=count,
+        misses=misses,
+        max_response=max_response,
+        mean_response=(total_response / count) if count else None,
+        max_tardiness=max_tardy,
+        total_tardiness=total_tardy,
     )

@@ -34,6 +34,29 @@ from .schedule import Schedule
 Time = Union[int, Fraction]
 
 
+def wrapped_tail(schedule: Schedule, job: int):
+    """The mod-T wrapped piece of *job*, as ``[(machine, segment)]``.
+
+    A tail exists exactly when the job has a piece ending at ``T`` and one
+    starting at ``0`` on the same machine (and more than one piece in
+    total): that leading run is the seamless continuation of the piece that
+    hit the wrap, and in the periodic reading it belongs to the *previous*
+    instance.  At most one tail exists (a job's work is ≤ T).
+
+    Shared by :func:`unroll` and the admission layer
+    (:mod:`repro.simulation.admission`), so the two readings agree on which
+    piece wraps by construction.
+    """
+    segs = schedule.job_segments(job)
+    by_machine_end = {m for m, s in segs if s.end == schedule.T}
+    tail = []
+    for machine, seg in segs:
+        if seg.start == 0 and machine in by_machine_end and len(segs) > 1:
+            tail.append((machine, seg))
+            break  # at most one wrapped piece per job (length ≤ T)
+    return tail
+
+
 def unroll(
     schedule: Schedule,
     periods: int,
@@ -78,19 +101,8 @@ def unroll(
 
     # For each job, split its per-period segments into "head" (the pieces
     # from its first processing onward) and "wrapped tail" (pieces that the
-    # mod-T rule pushed to the start of the window).  A tail exists exactly
-    # when the job has a piece ending at T and one starting at 0 on the same
-    # machine; that leading run belongs to the *previous* instance.
-    tail_segments = {}
-    for job in jobs:
-        segs = schedule.job_segments(job)
-        by_machine_end = {m for m, s in segs if s.end == T}
-        tail = []
-        for machine, seg in segs:
-            if seg.start == 0 and machine in by_machine_end and len(segs) > 1:
-                tail.append((machine, seg))
-                break  # at most one wrapped piece per job (length ≤ T)
-        tail_segments[job] = tail
+    # mod-T rule pushed to the start of the window) — see wrapped_tail.
+    tail_segments = {job: wrapped_tail(schedule, job) for job in jobs}
 
     for q in range(periods):
         offset = q * T

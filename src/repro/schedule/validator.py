@@ -11,26 +11,69 @@ A schedule is *valid with respect to an assignment* when
 Condition 4 is enforced eagerly by :class:`~repro.schedule.schedule.Schedule`
 but re-checked here so the validator stands on its own (e.g. for schedules
 deserialized from traces).  All arithmetic is exact.
+
+With the online-arrivals subsystem a sixth condition joins the list:
+
+6. no piece of a job executes before that job's *release time*.
+
+Release feasibility is opt-in via the ``releases`` mapping (offline
+schedules have no releases), and :func:`check_releases` is exposed
+standalone because admission-layer schedules label *instances* rather than
+the 0…n−1 template jobs an :class:`~repro.core.instance.Instance` knows.
+
+Violations are structured: every :class:`ScheduleViolation` carries the
+offending ``job``/``machine``/``start``/``end`` and the ``limit`` it broke
+next to its rendered ``detail``, and
+:meth:`ValidationReport.raise_if_invalid` raises
+:class:`~repro.exceptions.ScheduleValidationError` with the full list
+attached — callers inspect payloads instead of parsing messages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import List, Optional, Union
+from typing import List, Mapping, Optional, Union
 
 from .._fraction import is_inf, to_fraction
 from ..core.assignment import Assignment
 from ..core.instance import Instance
-from ..exceptions import InvalidScheduleError
+from ..exceptions import ScheduleValidationError
 from .schedule import Schedule
 from .segments import Time
 
 
-@dataclass
+@dataclass(frozen=True)
 class ScheduleViolation:
+    """One broken validity condition, with its structured evidence.
+
+    ``kind`` names the condition (``mask`` / ``self-parallel`` / ``work`` /
+    ``machine-overlap`` / ``horizon`` / ``integrality`` / ``release``);
+    ``detail`` is the human rendering.  The optional fields locate the
+    offending piece: ``job`` and ``machine`` where applicable, ``start``/
+    ``end`` the piece's endpoints, and ``limit`` the bound it violated (the
+    horizon, the required work, or the release time).
+    """
+
     kind: str
     detail: str
+    job: Optional[int] = None
+    machine: Optional[int] = None
+    start: Optional[Fraction] = None
+    end: Optional[Fraction] = None
+    limit: Optional[Fraction] = None
+
+    def as_payload(self) -> dict:
+        """The structured fields as a plain dict (log/JSON friendly)."""
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "job": self.job,
+            "machine": self.machine,
+            "start": self.start,
+            "end": self.end,
+            "limit": self.limit,
+        }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.kind}] {self.detail}"
@@ -44,8 +87,38 @@ class ValidationReport:
 
     def raise_if_invalid(self) -> None:
         if not self.valid:
-            msgs = "; ".join(str(v) for v in self.violations)
-            raise InvalidScheduleError(f"invalid schedule: {msgs}")
+            raise ScheduleValidationError(self.violations)
+
+
+def check_releases(
+    schedule: Schedule,
+    releases: Mapping[int, Time],
+) -> List[ScheduleViolation]:
+    """Condition 6 standalone: no piece before its job's release.
+
+    *releases* maps a job id **as it appears in the schedule** to its
+    release time — for admission-layer schedules these are instance ids
+    (see :meth:`repro.simulation.admission.AdmissionResult.releases`).
+    Jobs absent from the mapping are unconstrained (released at 0).
+    """
+    violations: List[ScheduleViolation] = []
+    for job, release in releases.items():
+        release = to_fraction(release)
+        for machine, seg in schedule.job_segments(job):
+            if seg.start < release:
+                violations.append(
+                    ScheduleViolation(
+                        "release",
+                        f"job {job} piece [{seg.start},{seg.end}) on machine "
+                        f"{machine} starts before its release {release}",
+                        job=job,
+                        machine=machine,
+                        start=seg.start,
+                        end=seg.end,
+                        limit=release,
+                    )
+                )
+    return violations
 
 
 def validate_schedule(
@@ -54,6 +127,7 @@ def validate_schedule(
     schedule: Schedule,
     T: Optional[Time] = None,
     require_integral_times: bool = False,
+    releases: Optional[Mapping[int, Time]] = None,
 ) -> ValidationReport:
     """Check all Section II validity conditions exactly.
 
@@ -66,6 +140,9 @@ def validate_schedule(
         constructions preserve integrality when ``(x, T)`` is integral, but
         LP-derived fractional horizons legitimately produce fractional
         endpoints, so the check is opt-in.
+    releases:
+        Optional release times per job (condition 6); jobs absent from the
+        mapping are unconstrained.
     """
     horizon = to_fraction(T) if T is not None else schedule.T
     violations: List[ScheduleViolation] = []
@@ -79,6 +156,11 @@ def validate_schedule(
                         "horizon",
                         f"job {seg.job} on machine {machine} in [{seg.start},{seg.end}) "
                         f"outside [0,{horizon}]",
+                        job=seg.job,
+                        machine=machine,
+                        start=seg.start,
+                        end=seg.end,
+                        limit=horizon,
                     )
                 )
 
@@ -92,6 +174,10 @@ def validate_schedule(
                         "machine-overlap",
                         f"machine {machine}: jobs {a.job} and {b.job} overlap "
                         f"at [{b.start},{min(a.end, b.end)})",
+                        job=b.job,
+                        machine=machine,
+                        start=b.start,
+                        end=min(a.end, b.end),
                     )
                 )
 
@@ -102,7 +188,11 @@ def validate_schedule(
         required = instance.p(job, mask)
         if is_inf(required):
             violations.append(
-                ScheduleViolation("mask", f"job {job} assigned to forbidden set {sorted(mask)}")
+                ScheduleViolation(
+                    "mask",
+                    f"job {job} assigned to forbidden set {sorted(mask)}",
+                    job=job,
+                )
             )
             continue
         required = to_fraction(required)
@@ -115,6 +205,10 @@ def validate_schedule(
                     ScheduleViolation(
                         "mask",
                         f"job {job} runs on machine {machine} ∉ mask {sorted(mask)}",
+                        job=job,
+                        machine=machine,
+                        start=seg.start,
+                        end=seg.end,
                     )
                 )
 
@@ -127,6 +221,10 @@ def validate_schedule(
                         "self-parallel",
                         f"job {job} runs simultaneously on machines {m1} and {m2} "
                         f"during [{s2.start},{min(s1.end, s2.end)})",
+                        job=job,
+                        machine=m2,
+                        start=s2.start,
+                        end=min(s1.end, s2.end),
                     )
                 )
 
@@ -137,12 +235,19 @@ def validate_schedule(
                 ScheduleViolation(
                     "work",
                     f"job {job} received {delivered} units, requires {required}",
+                    job=job,
+                    limit=required,
                 )
             )
 
         if required > 0 and job not in scheduled_jobs:
             violations.append(
-                ScheduleViolation("work", f"job {job} never scheduled")
+                ScheduleViolation(
+                    "work",
+                    f"job {job} never scheduled",
+                    job=job,
+                    limit=required,
+                )
             )
 
     if require_integral_times:
@@ -154,8 +259,16 @@ def validate_schedule(
                             "integrality",
                             f"segment [{seg.start},{seg.end}) of job {seg.job} "
                             f"has non-integer endpoints",
+                            job=seg.job,
+                            machine=machine,
+                            start=seg.start,
+                            end=seg.end,
                         )
                     )
+
+    # --- condition 6: release feasibility (opt-in) ---------------------------
+    if releases:
+        violations.extend(check_releases(schedule, releases))
 
     return ValidationReport(
         valid=not violations,

@@ -1,11 +1,15 @@
-"""SimSo-style execution substrate: topologies, cost models, simulator."""
+"""SimSo-style execution substrate: topologies, cost models, simulator,
+admission-driven online execution."""
 
+from .admission import AdmissionResult, AdmittedInstance, admit
 from .costs import CostModel, mask_overhead_budget
 from .engine import BudgetReport, check_overhead_budgets, simulate
 from .topology import Topology
 from .trace import Event, EventKind, ExecutionTrace, JobStats
 
 __all__ = [
+    "AdmissionResult",
+    "AdmittedInstance",
     "BudgetReport",
     "CostModel",
     "Event",
@@ -13,6 +17,7 @@ __all__ = [
     "ExecutionTrace",
     "JobStats",
     "Topology",
+    "admit",
     "check_overhead_budgets",
     "mask_overhead_budget",
     "simulate",

@@ -39,13 +39,14 @@ from typing import Callable, Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
 
+from .._fraction import to_fraction
 from ..core.instance import Instance
 from ..core.laminar import LaminarFamily, MachineSet
 from ..exceptions import InvalidInstanceError
 from ..rounding.iterative import PackingRow, column_rho
 from ..simulation.costs import CostModel, mask_overhead_budget
 from ..simulation.topology import Topology
-from .generators import utilization_workload
+from .generators import derive_seed, rng_from_seed, utilization_workload
 
 FamilyFn = Callable[[np.random.Generator, Topology, int], Instance]
 
@@ -292,6 +293,144 @@ def make_instance(
             f"unknown workload family {family_name!r}; known: {sorted(FAMILIES)}"
         ) from None
     return fn(rng, topology, n, **params)
+
+
+# ---------------------------------------------------------------------------
+# Arrival families (online arrivals, experiment E18)
+# ---------------------------------------------------------------------------
+
+#: An arrival family builds an :class:`~repro.schedule.arrivals.ArrivalModel`
+#: for ``n_jobs`` template jobs over planning windows of length ``period``.
+#: Randomized variants derive per-job streams from *seed* through
+#: :func:`~repro.workloads.generators.derive_seed`, so streams are pure
+#: functions of ``(seed, job)`` — sweep-parallel safe.
+ArrivalFamilyFn = Callable[[int, int, Fraction], "ArrivalModel"]
+
+
+def synchronous_arrivals(seed: int, n_jobs: int, period: Fraction):
+    """The baseline: every job releases at every window boundary.
+
+    Zero offsets, zero jitter — the stream whose admission reproduces the
+    cyclic reading of :func:`repro.schedule.periodic.unroll` exactly.
+    """
+    from ..schedule.arrivals import PeriodicArrivals
+
+    return PeriodicArrivals(n_jobs=n_jobs, period=to_fraction(period), seed=seed)
+
+
+def bursty_arrivals(
+    seed: int, n_jobs: int, period: Fraction, bursts: int = 2
+):
+    """Jobs release in *bursts*: groups sharing one offset inside the window.
+
+    Burst ``b`` releases at offset ``b·period/(2·bursts)`` — the second half
+    of the window stays arrival-free, so late bursts wait for the next
+    boundary and response times stretch by the waiting term.
+    """
+    from ..schedule.arrivals import PeriodicArrivals
+
+    period = to_fraction(period)
+    bursts = max(1, int(bursts))
+    rng = rng_from_seed(derive_seed(seed, "bursty"))
+    assignment = rng.integers(0, bursts, size=n_jobs)
+    offsets = tuple(
+        Fraction(int(b), 2 * bursts) * period for b in assignment
+    )
+    return PeriodicArrivals(
+        n_jobs=n_jobs, period=period, offsets=offsets, seed=seed
+    )
+
+
+def harmonic_arrivals(
+    seed: int, n_jobs: int, period: Fraction, multiples: Sequence[int] = (1, 2, 4)
+):
+    """Harmonic task set: per-job periods are 2-power multiples of the window.
+
+    A job with multiple ``k`` releases every ``k``-th window — the light-
+    load regime where most windows run a strict subset of the template's
+    slots.  Deadlines stay at the *base* period so the long-period jobs are
+    the slack-rich ones, as in harmonic rate-monotonic task sets.
+    """
+    from ..schedule.arrivals import PeriodicArrivals
+
+    period = to_fraction(period)
+    rng = rng_from_seed(derive_seed(seed, "harmonic"))
+    mults = [int(multiples[int(k)]) for k in rng.integers(0, len(multiples), size=n_jobs)]
+    if any(m < 1 for m in mults):
+        raise InvalidInstanceError("period multiples must be ≥ 1")
+    periods = tuple(period * m for m in mults)
+    return PeriodicArrivals(
+        n_jobs=n_jobs,
+        period=period,
+        periods=periods,
+        relative_deadline=period,
+        seed=seed,
+    )
+
+
+def jittered_arrivals(
+    seed: int, n_jobs: int, period: Fraction, jitter_fraction: Fraction = Fraction(1, 4)
+):
+    """Periodic releases with exact per-instance jitter in
+    ``[0, jitter_fraction·period]``.
+
+    Jitter pushes a release past its window boundary, sliding the instance
+    to the next window: the classic release-jitter response-time penalty.
+    """
+    from ..schedule.arrivals import PeriodicArrivals
+
+    period = to_fraction(period)
+    return PeriodicArrivals(
+        n_jobs=n_jobs,
+        period=period,
+        jitter=to_fraction(jitter_fraction) * period,
+        seed=seed,
+    )
+
+
+def sporadic_arrivals(
+    seed: int, n_jobs: int, period: Fraction, slack_fraction: Fraction = Fraction(1, 4)
+):
+    """Sporadic tasks: minimum interarrival = the window, random extra slack.
+
+    Releases drift later over time, so windows alternate between serving a
+    fresh instance and idling — the under-load regime semi-partitioned
+    admission handles natively.
+    """
+    from ..schedule.arrivals import SporadicArrivals
+
+    period = to_fraction(period)
+    return SporadicArrivals(
+        n_jobs=n_jobs,
+        min_interarrival=period,
+        max_slack=to_fraction(slack_fraction) * period,
+        relative_deadline=period,
+        seed=seed,
+    )
+
+
+#: The arrival-family registry E18 sweeps (name → builder).
+ARRIVAL_FAMILIES: Dict[str, ArrivalFamilyFn] = {
+    "synchronous": synchronous_arrivals,
+    "bursty": bursty_arrivals,
+    "harmonic": harmonic_arrivals,
+    "jittered": jittered_arrivals,
+    "sporadic": sporadic_arrivals,
+}
+
+
+def make_arrivals(
+    family_name: str, seed: int, n_jobs: int, period: Fraction, **params
+):
+    """Build the named arrival family's model (E18's entry point)."""
+    try:
+        fn = ARRIVAL_FAMILIES[family_name]
+    except KeyError:
+        raise InvalidInstanceError(
+            f"unknown arrival family {family_name!r}; "
+            f"known: {sorted(ARRIVAL_FAMILIES)}"
+        ) from None
+    return fn(seed, n_jobs, period, **params)
 
 
 # ---------------------------------------------------------------------------

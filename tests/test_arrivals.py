@@ -1,0 +1,699 @@
+"""Online arrivals + admission: models, cross-checks, property fuzz, E18.
+
+The load-bearing properties (ISSUE 5):
+
+* the admission layer never executes a piece before its release and never
+  overlaps an instance with itself (seeded fuzz over random workloads ×
+  arrival families);
+* with zero offsets, per-instance migration counts match the cyclic
+  reading of ``periodic.unroll(relabel=True)``;
+* a sporadic stream with interarrival exactly the period reproduces the
+  periodic reading's response times and migration counts **bit-for-bit**
+  (exact ``Fraction`` equality, no float on the path).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError, InvalidScheduleError
+from repro.schedule import (
+    PeriodicArrivals,
+    Schedule,
+    SporadicArrivals,
+    check_releases,
+    job_transitions,
+    priced_job_migration_cost,
+    response_stats,
+    tardiness,
+    unroll,
+    wrapped_tail,
+)
+from repro.schedule.arrivals import JobArrival
+from repro.simulation import CostModel, Topology, admit
+from repro.workloads import (
+    ARRIVAL_FAMILIES,
+    derive_seed,
+    make_arrivals,
+    rng_from_seed,
+)
+from repro.workloads.generators import utilization_workload
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def wrap_template():
+    """T=4 template: job 0 wraps on m0 ([2,4) + [0,1)), job 1 migrates
+    m1→m0 ([0,3) on m1, [1,2) on m0 — self-overlap-free)."""
+    s = Schedule([0, 1], 4)
+    s.add_segment(0, 0, 2, 4)
+    s.add_segment(0, 0, 0, 1)
+    s.add_segment(1, 1, 0, 3)
+    # job 1's second piece would self-overlap; use a third job instead
+    s.add_segment(0, 2, 1, 2)
+    return s
+
+
+@pytest.fixture
+def migrating_template():
+    """T=6 template: job 0 runs m0 [0,2) then m1 [2,5) (one migration)."""
+    s = Schedule([0, 1], 6)
+    s.add_segment(0, 0, 0, 2)
+    s.add_segment(1, 0, 2, 5)
+    s.add_segment(1, 1, 0, 2)
+    s.add_segment(0, 1, 3, 6)
+    return s
+
+
+# ---------------------------------------------------------------------------
+# arrival models
+# ---------------------------------------------------------------------------
+
+
+class TestJobArrival:
+    def test_exact_fraction_coercion(self):
+        a = JobArrival(job=0, index=0, release=1, deadline=Fraction(3, 2))
+        assert isinstance(a.release, Fraction) and a.release == 1
+        assert a.deadline == Fraction(3, 2)
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            JobArrival(job=0, index=0, release=-1, deadline=0)
+
+    def test_deadline_before_release_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            JobArrival(job=0, index=0, release=2, deadline=1)
+
+
+class TestPeriodicArrivals:
+    def test_zero_offset_releases_every_period(self):
+        model = PeriodicArrivals(n_jobs=2, period=4)
+        stream = model.arrivals_until(12)
+        per_job = {j: [a for a in stream if a.job == j] for j in (0, 1)}
+        for j in (0, 1):
+            assert [a.release for a in per_job[j]] == [0, 4, 8]
+            assert [a.index for a in per_job[j]] == [0, 1, 2]
+            # implicit deadlines: release + period, exactly
+            assert all(a.deadline == a.release + 4 for a in per_job[j])
+
+    def test_horizon_is_exclusive(self):
+        model = PeriodicArrivals(n_jobs=1, period=4)
+        assert [a.release for a in model.arrivals_until(8)] == [0, 4]
+        assert [a.release for a in model.arrivals_until(Fraction(81, 10))] == [0, 4, 8]
+
+    def test_offsets_shift_releases(self):
+        model = PeriodicArrivals(
+            n_jobs=2, period=4, offsets=(Fraction(1, 2), Fraction(3))
+        )
+        stream = model.arrivals_until(8)
+        assert [a.release for a in stream if a.job == 0] == [
+            Fraction(1, 2), Fraction(9, 2),
+        ]
+        assert [a.release for a in stream if a.job == 1] == [3, 7]
+
+    def test_per_job_periods_harmonic(self):
+        model = PeriodicArrivals(n_jobs=2, period=2, periods=(2, 4))
+        stream = model.arrivals_until(8)
+        assert [a.release for a in stream if a.job == 0] == [0, 2, 4, 6]
+        assert [a.release for a in stream if a.job == 1] == [0, 4]
+        # deadlines follow the *base* period
+        assert all(a.deadline == a.release + 2 for a in stream)
+
+    def test_stream_sorted_canonically(self):
+        model = PeriodicArrivals(n_jobs=3, period=4, offsets=(2, 0, 2))
+        stream = model.arrivals_until(8)
+        keys = [(a.release, a.job, a.index) for a in stream]
+        assert keys == sorted(keys)
+
+    def test_jitter_is_exact_bounded_and_deterministic(self):
+        model = PeriodicArrivals(
+            n_jobs=3, period=4, jitter=Fraction(1), resolution=8, seed=42
+        )
+        stream = model.arrivals_until(40)
+        for a in stream:
+            slack = a.release - a.index * 4
+            assert 0 <= slack <= 1
+            assert (slack * 8).denominator == 1  # on the declared grid
+        again = PeriodicArrivals(
+            n_jobs=3, period=4, jitter=Fraction(1), resolution=8, seed=42
+        ).arrivals_until(40)
+        assert stream == again
+        other_seed = PeriodicArrivals(
+            n_jobs=3, period=4, jitter=Fraction(1), resolution=8, seed=43
+        ).arrivals_until(40)
+        assert stream != other_seed
+
+    def test_jitter_stream_is_per_job_stable(self):
+        """Job j's jittered releases don't depend on how many jobs exist —
+        the derive_seed(seed, label, job) contract."""
+        small = PeriodicArrivals(n_jobs=1, period=4, jitter=1, seed=7)
+        big = PeriodicArrivals(n_jobs=5, period=4, jitter=1, seed=7)
+        assert [a.release for a in small.arrivals_until(20)] == [
+            a.release for a in big.arrivals_until(20) if a.job == 0
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_jobs=0, period=4),
+            dict(n_jobs=1, period=0),
+            dict(n_jobs=1, period=-2),
+            dict(n_jobs=2, period=4, offsets=(1,)),
+            dict(n_jobs=1, period=4, offsets=(-1,)),
+            dict(n_jobs=2, period=4, periods=(4,)),
+            dict(n_jobs=1, period=4, periods=(0,)),
+            dict(n_jobs=1, period=4, relative_deadline=0),
+            dict(n_jobs=1, period=4, jitter=-1),
+            dict(n_jobs=1, period=4, jitter=4),  # ≥ period scrambles order
+            dict(n_jobs=1, period=4, resolution=0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            PeriodicArrivals(**kwargs)
+
+
+class TestSporadicArrivals:
+    def test_zero_slack_is_periodic_bit_for_bit(self):
+        sporadic = SporadicArrivals(n_jobs=3, min_interarrival=4, seed=9)
+        periodic = PeriodicArrivals(n_jobs=3, period=4, seed=9)
+        assert sporadic.arrivals_until(24) == periodic.arrivals_until(24)
+
+    def test_slack_respects_minimum_interarrival(self):
+        model = SporadicArrivals(
+            n_jobs=2, min_interarrival=4, max_slack=2, resolution=4, seed=5
+        )
+        for j in (0, 1):
+            rels = model.job_releases(j, Fraction(60))
+            gaps = [b - a for a, b in zip(rels, rels[1:])]
+            assert all(4 <= g <= 6 for g in gaps)
+            assert all((g * 4).denominator == 1 for g in gaps)
+
+    def test_deterministic_and_seed_sensitive(self):
+        kw = dict(n_jobs=2, min_interarrival=4, max_slack=2)
+        a = SporadicArrivals(seed=1, **kw).arrivals_until(40)
+        assert a == SporadicArrivals(seed=1, **kw).arrivals_until(40)
+        assert a != SporadicArrivals(seed=2, **kw).arrivals_until(40)
+
+    def test_implicit_deadline_is_min_interarrival(self):
+        model = SporadicArrivals(n_jobs=1, min_interarrival=3, max_slack=1, seed=0)
+        for a in model.arrivals_until(30):
+            assert a.deadline == a.release + 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_jobs=0, min_interarrival=4),
+            dict(n_jobs=1, min_interarrival=0),
+            dict(n_jobs=1, min_interarrival=4, max_slack=-1),
+            dict(n_jobs=1, min_interarrival=4, relative_deadline=0),
+            dict(n_jobs=1, min_interarrival=4, resolution=0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            SporadicArrivals(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# admission
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_basic_placement_and_instance_ids(self, wrap_template):
+        stream = PeriodicArrivals(n_jobs=3, period=4).arrivals_until(12)
+        result = admit(wrap_template, stream, 3)
+        # one instance of each of the 3 template jobs per window
+        assert len(result.admitted) == 9
+        stride = 3
+        for inst in result.admitted:
+            assert inst.instance_id == inst.job + inst.window * stride
+            assert inst.window == inst.index  # period == T, zero offsets
+
+    def test_wrapped_instance_completes_in_next_window(self, wrap_template):
+        stream = PeriodicArrivals(n_jobs=3, period=4).arrivals_until(12)
+        result = admit(wrap_template, stream, 3)
+        job0 = result.instances_of(0)
+        # head [2,4) in window w, tail [0,1) at the start of window w+1
+        assert [i.completion for i in job0] == [5, 9, 13]
+        assert [i.response_time for i in job0] == [5, 5, 5]
+        job1 = result.instances_of(1)
+        assert [i.completion for i in job1] == [3, 7, 11]
+
+    def test_release_feasibility_holds(self, wrap_template):
+        stream = PeriodicArrivals(
+            n_jobs=3, period=4, offsets=(0, 1, 2)
+        ).arrivals_until(12)
+        result = admit(wrap_template, stream, 3)
+        assert check_releases(result.schedule, result.releases()) == []
+        for inst in result.admitted:
+            assert inst.start >= inst.release
+
+    def test_offset_instances_wait_for_next_boundary(self, wrap_template):
+        stream = PeriodicArrivals(
+            n_jobs=3, period=4, offsets=(1, 1, 1)
+        ).arrivals_until(12)
+        result = admit(wrap_template, stream, 3)
+        for inst in result.admitted:
+            assert inst.window * 4 >= inst.release
+            assert inst.waiting_time == inst.window * 4 + (
+                inst.start - inst.window * 4
+            ) - inst.release
+
+    def test_one_instance_per_job_per_window_queues_fifo(self, migrating_template):
+        # period T/2: two arrivals of each job per window → backlog grows
+        stream = PeriodicArrivals(n_jobs=2, period=3).arrivals_until(12)
+        result = admit(migrating_template, stream, 2)
+        # windows 0 and 1 each serve exactly one instance per job
+        assert len(result.admitted) == 4
+        for job in (0, 1):
+            indices = [i.index for i in result.instances_of(job)]
+            assert indices == [0, 1]  # FIFO: earliest arrivals first
+        assert result.max_backlog >= 1
+        assert len(result.pending) == 2  # index-2 arrivals released at t=6
+        assert not result.schedulable
+
+    def test_unreleased_not_counted_as_backlog(self, migrating_template):
+        stream = PeriodicArrivals(n_jobs=2, period=6).arrivals_until(18)
+        result = admit(migrating_template, stream, 2)
+        # index-2 arrivals release at 12 > last boundary 6: unreleased
+        assert len(result.admitted) == 4
+        assert result.pending == []
+        assert len(result.unreleased) == 2
+        assert result.schedulable
+
+    def test_migration_counts_and_pricing(self, migrating_template):
+        topo = Topology.flat(2)
+        cm = CostModel.xeon_like()
+        stream = PeriodicArrivals(n_jobs=2, period=6).arrivals_until(12)
+        result = admit(migrating_template, stream, 2, topology=topo, cost_model=cm)
+        for inst in result.instances_of(0):
+            assert inst.migrations == 1
+            assert inst.priced_overhead == priced_job_migration_cost(
+                result.schedule, inst.instance_id, topo, cm
+            )
+            assert inst.priced_overhead > 0
+        for inst in result.instances_of(1):
+            assert inst.migrations == 1
+
+    def test_default_cost_model_applied_with_topology(self, migrating_template):
+        stream = PeriodicArrivals(n_jobs=2, period=6).arrivals_until(6)
+        result = admit(migrating_template, stream, 1, topology=Topology.flat(2))
+        assert any(i.priced_overhead > 0 for i in result.admitted)
+
+    def test_no_topology_means_zero_overhead(self, migrating_template):
+        stream = PeriodicArrivals(n_jobs=2, period=6).arrivals_until(6)
+        result = admit(migrating_template, stream, 1)
+        assert all(i.priced_overhead == 0 for i in result.admitted)
+
+    def test_instance_ids_unique_even_without_template_jobs(self):
+        """Regression: an empty template (no segments) must still label
+        each (job, window) admission with a distinct instance id."""
+        empty = Schedule([0], 4)
+        stream = PeriodicArrivals(n_jobs=2, period=4).arrivals_until(8)
+        result = admit(empty, stream, 2)
+        ids = [i.instance_id for i in result.admitted]
+        assert len(ids) == len(set(ids)) == 4
+        assert len(result.releases()) == 4
+
+    def test_zero_work_job_completes_at_boundary(self, migrating_template):
+        arrival = JobArrival(job=7, index=0, release=2, deadline=20)
+        result = admit(migrating_template, [arrival], 2)
+        (inst,) = result.instances_of(7)
+        assert inst.window == 1  # next boundary after release 2 is t=6
+        assert inst.start == inst.completion == 6
+        assert inst.migrations == 0
+
+    def test_deadline_misses_are_strict(self, wrap_template):
+        # job 0 responds in 5; deadline 5 exactly → met, 4.99… → missed
+        met = JobArrival(job=0, index=0, release=0, deadline=5)
+        missed = JobArrival(job=0, index=0, release=0, deadline=Fraction(9, 2))
+        assert not admit(wrap_template, [met], 2).admitted[0].missed_deadline
+        assert admit(wrap_template, [missed], 2).admitted[0].missed_deadline
+
+    def test_validation_errors(self, wrap_template):
+        stream = PeriodicArrivals(n_jobs=1, period=4).arrivals_until(4)
+        with pytest.raises(InvalidScheduleError):
+            admit(wrap_template, stream, 0)
+        zero = Schedule([0], 0)
+        with pytest.raises(InvalidScheduleError):
+            admit(zero, stream, 2)
+
+    def test_stats_shortcut_matches_metrics(self, wrap_template):
+        stream = PeriodicArrivals(n_jobs=3, period=4).arrivals_until(8)
+        result = admit(wrap_template, stream, 2)
+        stats = result.stats()
+        assert stats.completed == len(result.admitted)
+        assert stats == response_stats(result.admitted)
+        assert result.miss_ratio == stats.miss_ratio
+
+
+class TestZeroOffsetMatchesUnroll:
+    """Zero-offset periodic admission == the cyclic reading, instance by
+    instance (satellite 1's accounting cross-check)."""
+
+    PERIODS = 4
+
+    def _compare(self, template):
+        jobs = template.jobs()
+        stride = (max(jobs) + 1) if jobs else 1
+        stream = PeriodicArrivals(
+            n_jobs=stride, period=template.T
+        ).arrivals_until(self.PERIODS * template.T)
+        result = admit(template, stream, self.PERIODS)
+        unrolled = unroll(template, self.PERIODS, relabel=True)
+        # interior instances (windows 0 … P-2): identical pieces, hence
+        # identical migration counts and completions
+        for q in range(self.PERIODS - 1):
+            for job in jobs:
+                iid = job + q * stride
+                admitted_pieces = sorted(
+                    (m, seg.start, seg.end)
+                    for m, seg in result.schedule.job_segments(iid)
+                )
+                unrolled_pieces = sorted(
+                    (m, seg.start, seg.end)
+                    for m, seg in unrolled.job_segments(iid)
+                )
+                assert admitted_pieces == unrolled_pieces
+                assert (
+                    job_transitions(result.schedule, iid).migrations
+                    == job_transitions(unrolled, iid).migrations
+                )
+
+    def test_wrap_template(self, wrap_template):
+        self._compare(wrap_template)
+
+    def test_migrating_template(self, migrating_template):
+        self._compare(migrating_template)
+
+    def test_response_times_match_the_cyclic_reading(self, wrap_template):
+        stream = PeriodicArrivals(n_jobs=3, period=4).arrivals_until(16)
+        result = admit(wrap_template, stream, 4)
+        unrolled = unroll(wrap_template, 4, relabel=True)
+        for inst in result.admitted:
+            if inst.window >= self.PERIODS - 1:
+                continue  # unroll truncates the last period's tail
+            completion = max(
+                seg.end for _m, seg in unrolled.job_segments(inst.instance_id)
+            )
+            assert inst.completion == completion
+            assert inst.response_time == completion - inst.release
+
+
+class TestSporadicPeriodicBitForBit:
+    """Satellite 2: interarrival == period ⇒ the sporadic admission is the
+    periodic reading, exactly — Fractions all the way down."""
+
+    def _results(self, template):
+        T = template.T
+        jobs = template.jobs()
+        n = (max(jobs) + 1) if jobs else 1
+        horizon = 4 * T
+        sporadic = SporadicArrivals(
+            n_jobs=n, min_interarrival=T, max_slack=0, seed=3
+        ).arrivals_until(horizon)
+        periodic = PeriodicArrivals(n_jobs=n, period=T).arrivals_until(horizon)
+        return (
+            admit(template, sporadic, 4),
+            admit(template, periodic, 4),
+        )
+
+    def test_streams_and_admissions_identical(self, wrap_template):
+        sp, pe = self._results(wrap_template)
+        assert sp.admitted == pe.admitted  # dataclass equality: every field
+        assert sp.pending == pe.pending
+        assert sp.schedule.as_table() == pe.schedule.as_table()
+
+    def test_response_times_exact_fractions(self, wrap_template):
+        sp, pe = self._results(wrap_template)
+        for a, b in zip(sp.admitted, pe.admitted):
+            assert isinstance(a.response_time, Fraction)
+            assert a.response_time == b.response_time
+            assert a.migrations == b.migrations
+
+    def test_fractional_horizon_template(self):
+        s = Schedule([0, 1], Fraction(7, 2))
+        s.add_segment(0, 0, Fraction(5, 2), Fraction(7, 2))
+        s.add_segment(0, 0, 0, Fraction(1, 2))
+        s.add_segment(1, 1, Fraction(1, 3), 3)
+        sp, pe = self._results(s)
+        assert sp.admitted == pe.admitted
+        assert all(isinstance(i.completion, Fraction) for i in sp.admitted)
+
+
+# ---------------------------------------------------------------------------
+# property fuzz: random workloads × arrival families
+# ---------------------------------------------------------------------------
+
+
+def _no_self_overlap(schedule, instance_id):
+    segs = sorted(
+        (seg.start, seg.end) for _m, seg in schedule.job_segments(instance_id)
+    )
+    return all(a_end <= b_start for (_s, a_end), (b_start, _e) in zip(segs, segs[1:]))
+
+
+class TestAdmissionPropertiesFuzz:
+    """Seeded fuzz loops over random instances + arrival streams."""
+
+    TRIALS = 8
+    T_REF = 10
+    WINDOWS = 3
+
+    def _template(self, seed):
+        from repro.core.exact import find_assignment_within
+        from repro.core.hierarchical import schedule_hierarchical
+        from repro.simulation import Topology
+
+        topo = Topology.clustered(4, 2)
+        rng = rng_from_seed(derive_seed(seed, "fuzz-instance"))
+        u = 0.55 + 0.1 * (seed % 4)
+        instance = utilization_workload(rng, topo.family, u, self.T_REF)
+        ext = instance.with_singletons()
+        witness = find_assignment_within(ext, self.T_REF)
+        if witness is None:
+            return None, None
+        return topo, schedule_hierarchical(ext, witness, self.T_REF)
+
+    def test_never_executes_before_release_and_never_self_overlaps(self):
+        checked = 0
+        for seed in range(self.TRIALS):
+            topo, template = self._template(seed)
+            if template is None:
+                continue
+            n = len(template.jobs())
+            for family in sorted(ARRIVAL_FAMILIES):
+                model = make_arrivals(family, seed, n, template.T)
+                stream = model.arrivals_until(self.WINDOWS * template.T)
+                result = admit(template, stream, self.WINDOWS)
+                assert check_releases(result.schedule, result.releases()) == []
+                for inst in result.admitted:
+                    assert inst.start >= inst.release
+                    assert _no_self_overlap(result.schedule, inst.instance_id)
+                checked += 1
+        assert checked >= self.TRIALS  # the fuzz actually exercised cases
+
+    def test_admitted_instances_receive_full_template_work(self):
+        for seed in range(self.TRIALS):
+            topo, template = self._template(seed)
+            if template is None:
+                continue
+            work = {j: template.work_of(j) for j in template.jobs()}
+            n = len(template.jobs())
+            stream = PeriodicArrivals(n_jobs=n, period=template.T).arrivals_until(
+                self.WINDOWS * template.T
+            )
+            result = admit(template, stream, self.WINDOWS)
+            for inst in result.admitted:
+                assert result.schedule.work_of(inst.instance_id) == work[inst.job]
+
+    def test_zero_offset_migration_counts_match_unroll_fuzz(self):
+        for seed in range(self.TRIALS):
+            _topo, template = self._template(seed)
+            if template is None:
+                continue
+            jobs = template.jobs()
+            stride = (max(jobs) + 1) if jobs else 1
+            stream = PeriodicArrivals(
+                n_jobs=stride, period=template.T
+            ).arrivals_until(self.WINDOWS * template.T)
+            result = admit(template, stream, self.WINDOWS)
+            unrolled = unroll(template, self.WINDOWS, relabel=True)
+            for q in range(self.WINDOWS - 1):
+                for job in jobs:
+                    iid = job + q * stride
+                    assert (
+                        job_transitions(result.schedule, iid).migrations
+                        == job_transitions(unrolled, iid).migrations
+                    )
+
+
+# ---------------------------------------------------------------------------
+# response metrics
+# ---------------------------------------------------------------------------
+
+
+class _Inst:
+    def __init__(self, release, completion, deadline):
+        self.release = release
+        self.completion = completion
+        self.deadline = deadline
+
+
+class TestResponseMetrics:
+    def test_tardiness_clamps_at_zero(self):
+        assert tardiness(5, 7) == 0
+        assert tardiness(7, 7) == 0
+        assert tardiness(Fraction(15, 2), 7) == Fraction(1, 2)
+
+    def test_stats_exact_rationals(self):
+        stats = response_stats(
+            [
+                _Inst(0, Fraction(7, 3), 3),
+                _Inst(1, 4, Fraction(7, 2)),
+            ]
+        )
+        assert stats.completed == 2
+        assert stats.misses == 1
+        assert stats.miss_ratio == Fraction(1, 2)
+        assert stats.max_response == 3
+        assert stats.mean_response == (Fraction(7, 3) + 3) / 2
+        assert stats.max_tardiness == Fraction(1, 2)
+        assert stats.total_tardiness == Fraction(1, 2)
+
+    def test_completion_at_deadline_is_met(self):
+        stats = response_stats([_Inst(0, 4, 4)])
+        assert stats.misses == 0 and stats.miss_ratio == 0
+
+    def test_empty_iterable(self):
+        stats = response_stats([])
+        assert stats.completed == 0
+        assert stats.max_response is None
+        assert stats.mean_response is None
+        assert stats.miss_ratio is None
+
+
+# ---------------------------------------------------------------------------
+# arrival families + wrapped_tail helper
+# ---------------------------------------------------------------------------
+
+
+class TestArrivalFamilies:
+    def test_registry_contents(self):
+        assert set(ARRIVAL_FAMILIES) == {
+            "synchronous", "bursty", "harmonic", "jittered", "sporadic",
+        }
+
+    @pytest.mark.parametrize("name", sorted(ARRIVAL_FAMILIES))
+    def test_every_family_builds_exact_streams(self, name):
+        model = make_arrivals(name, 17, 4, Fraction(6))
+        stream = model.arrivals_until(24)
+        assert stream
+        for a in stream:
+            assert isinstance(a.release, Fraction)
+            assert isinstance(a.deadline, Fraction)
+            assert a.deadline > a.release
+        again = make_arrivals(name, 17, 4, Fraction(6)).arrivals_until(24)
+        assert stream == again
+
+    def test_synchronous_is_zero_offset(self):
+        stream = make_arrivals("synchronous", 0, 2, 4).arrivals_until(8)
+        assert all(a.release % 4 == 0 for a in stream)
+
+    def test_bursty_groups_share_offsets_inside_half_window(self):
+        model = make_arrivals("bursty", 3, 8, Fraction(8))
+        offsets = set(model.offsets)
+        assert len(offsets) <= 2  # two bursts by default
+        assert all(0 <= o < 4 for o in offsets)  # first half of the window
+
+    def test_harmonic_periods_are_window_multiples(self):
+        model = make_arrivals("harmonic", 3, 6, Fraction(6))
+        for p in model.periods:
+            assert p % 6 == 0 and p >= 6
+
+    def test_sporadic_interarrival_at_least_window(self):
+        model = make_arrivals("sporadic", 3, 2, Fraction(5))
+        rels = model.job_releases(0, Fraction(60))
+        assert all(b - a >= 5 for a, b in zip(rels, rels[1:]))
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            make_arrivals("nope", 0, 1, 4)
+
+
+class TestWrappedTailHelper:
+    def test_detects_wrap(self, wrap_template):
+        tail = wrapped_tail(wrap_template, 0)
+        assert [(m, s.start, s.end) for m, s in tail] == [(0, 0, 1)]
+
+    def test_no_wrap_without_boundary_pieces(self, migrating_template):
+        assert wrapped_tail(migrating_template, 0) == []
+        assert wrapped_tail(migrating_template, 1) == []
+
+    def test_single_full_window_piece_is_not_a_tail(self):
+        s = Schedule([0], 4)
+        s.add_segment(0, 0, 0, 4)
+        assert wrapped_tail(s, 0) == []
+
+
+# ---------------------------------------------------------------------------
+# E18
+# ---------------------------------------------------------------------------
+
+
+class TestE18:
+    def test_tiny_run_produces_phase_rows(self):
+        from repro.experiments.e18_online_arrivals import run
+
+        res = run(
+            utilizations=(0.5, 0.95),
+            arrival_families=("synchronous",),
+            topologies=("flat4",),
+            trials=1,
+        )
+        assert len(res.rows) == 2
+        assert res.table.headers[0] == "topology"
+        low = res.row("flat4", "synchronous", 0.5)
+        high = res.row("flat4", "synchronous", 0.95)
+        assert low is not None and high is not None
+        assert low.admitted > 0 and high.admitted > 0
+        # phase-diagram shape: the high-utilization point misses at least
+        # as often as the low one (templates wrap more as u → 1)
+        assert high.miss_ratio >= low.miss_ratio
+
+    def test_deadline_factor_two_absorbs_the_wrap(self):
+        from repro.experiments.e18_online_arrivals import run
+
+        tight = run(
+            utilizations=(0.95,), arrival_families=("synchronous",),
+            topologies=("flat4",), trials=1, deadline_factor=1,
+        )
+        loose = run(
+            utilizations=(0.95,), arrival_families=("synchronous",),
+            topologies=("flat4",), trials=1, deadline_factor=2,
+        )
+        assert tight.rows[0].misses > 0  # wrap-induced misses exist…
+        assert loose.rows[0].misses == 0  # …and one extra window absorbs them
+
+    def test_spec_registered_and_sweepable(self):
+        from repro.runner import get_spec
+
+        spec = get_spec("e18")
+        assert spec.seedable
+        points = spec.points()
+        assert len(points) == 6  # 3 family groups × 2 topologies
+        assert all("arrival_families" in p and "topologies" in p for p in points)
+
+    def test_run_rejects_bad_parameters(self):
+        from repro.experiments.e18_online_arrivals import run
+
+        with pytest.raises(ValueError):
+            run(windows=1)
+        with pytest.raises(ValueError):
+            run(deadline_factor=0)

@@ -39,9 +39,9 @@ TINY = {"machine_counts": (2,), "trials": 2, "n_jobs": 4}
 
 
 class TestRegistry:
-    def test_all_seventeen_registered(self):
+    def test_all_eighteen_registered(self):
         ids = [s.id for s in all_specs()]
-        assert ids == [f"e{k:02d}" for k in range(1, 18)]
+        assert ids == [f"e{k:02d}" for k in range(1, 19)]
 
     def test_summaries_come_from_docstrings(self):
         for spec in all_specs():
@@ -294,6 +294,136 @@ class TestSweep:
             assert len(everything) == 2
             table = assemble_table(store, "e01")
             assert len(table.rows) == 3  # one generation's three rows, not six
+
+
+class TestStoreTornWrites:
+    """Crash-resilience of the JSONL payloads (a writer killed mid-append).
+
+    The index is the source of truth: a torn trailing line belongs to a
+    task that was never committed, so readers must skip it and a resumed
+    sweep must re-execute that task and append a clean copy — without the
+    fragment corrupting the fresh record.
+    """
+
+    E01_PARAMS: dict = {}
+
+    def _store_with_torn_tail(self, tmp_path, fragment: str):
+        store = ResultsStore(str(tmp_path / "store"))
+        run_sweep(["e01"], store, jobs=1)
+        payload = tmp_path / "store" / "payloads" / "e01.jsonl"
+        with open(payload, "a", encoding="utf-8") as fh:
+            fh.write(fragment)  # no trailing newline: a torn write
+        return store, payload
+
+    def test_records_skip_truncated_last_line(self, tmp_path):
+        store, payload = self._store_with_torn_tail(
+            tmp_path, '{"key": "deadbeef", "experiment": "e01", "tab'
+        )
+        records = list(store.records("e01"))
+        assert len(records) == 1  # the committed task, not the fragment
+        assert records[0]["key"] != "deadbeef"
+        store.close()
+
+    def test_records_skip_unindexed_but_parseable_line(self, tmp_path):
+        # A complete JSON line whose key never made it into the index (the
+        # crash happened between fsync and commit) is equally uncommitted.
+        store, payload = self._store_with_torn_tail(
+            tmp_path, '{"key": "deadbeef", "experiment": "e01"}\n'
+        )
+        assert len(list(store.records("e01"))) == 1
+        store.close()
+
+    def test_resume_repairs_torn_tail_and_reexecutes_nothing_extra(self, tmp_path):
+        store, payload = self._store_with_torn_tail(tmp_path, '{"key": "de')
+        store.close()
+        # The crashed writer is gone; the resume opens a *fresh* store.
+        store = ResultsStore(str(tmp_path / "store"))
+        # The completed task is still indexed, so resume executes nothing…
+        stats = run_sweep(["e01"], store, jobs=1)
+        assert stats.executed == 0 and stats.skipped == 1
+        # …and a *new* task appended after the torn tail is sealed off on
+        # its own line, readable alongside the original record.
+        record, elapsed = execute_task(
+            "e01", {}, task_key("e01", {"v": 2}, code_fingerprint()),
+            code_fingerprint(),
+        )
+        store.add(record, elapsed)
+        records = list(store.records("e01"))
+        assert len(records) == 2
+        lines = payload.read_text(encoding="utf-8").splitlines()
+        assert lines[-1].startswith('{"experiment"') or lines[-1].startswith('{"')
+        assert json.loads(lines[-1])["key"] == record["key"]
+        store.close()
+
+    def test_ends_mid_line_detection(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        assert not ResultsStore._ends_mid_line(str(path))  # missing
+        path.write_text("")
+        assert not ResultsStore._ends_mid_line(str(path))  # empty
+        path.write_text('{"a": 1}\n')
+        assert not ResultsStore._ends_mid_line(str(path))  # clean
+        path.write_text('{"a": 1}\n{"b"')
+        assert ResultsStore._ends_mid_line(str(path))  # torn
+
+    def test_blank_and_non_dict_lines_skipped(self, tmp_path):
+        store, payload = self._store_with_torn_tail(tmp_path, "\n\n[1, 2]\n42\n")
+        assert len(list(store.records("e01"))) == 1
+        store.close()
+
+
+class TestMixedExperimentStore:
+    """One store holding both e16 and e18 rows — the `repro report` path
+    the sweep smoke misses."""
+
+    E16_TINY = {"cycles": (3,), "rho_percents": (100,), "jitter_denom": 16}
+    E18_TINY = {
+        "utilizations": (0.6,),
+        "arrival_families": ("synchronous",),
+        "topologies": ("flat4",),
+        "trials": 1,
+    }
+
+    def _populated_store(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "store"))
+        s16 = run_sweep(["e16"], store, jobs=1, overrides=self.E16_TINY)
+        s18 = run_sweep(["e18"], store, jobs=1, overrides=self.E18_TINY)
+        assert s16.failed == 0 and s18.failed == 0
+        assert s16.executed >= 1 and s18.executed >= 1
+        return store
+
+    def test_store_lists_both_experiments(self, tmp_path):
+        store = self._populated_store(tmp_path)
+        assert store.experiments() == ["e16", "e18"]
+        store.close()
+
+    def test_assemble_each_experiment_independently(self, tmp_path):
+        store = self._populated_store(tmp_path)
+        t16 = assemble_table(store, "e16")
+        t18 = assemble_table(store, "e18")
+        assert t16 is not None and "cycle" in t16.headers
+        assert t18 is not None and "miss ratio" in t18.headers
+        # Rows never leak across experiments: headers stay disjoint shapes.
+        assert "miss ratio" not in t16.headers
+        assert "cycle" not in t18.headers
+        store.close()
+
+    def test_cli_report_renders_both(self, tmp_path, capsys):
+        store = self._populated_store(tmp_path)
+        store.close()
+        assert cli_main(["report", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "e16 — accumulated sweep" in out
+        assert "e18 — accumulated sweep" in out
+
+    def test_e18_parallel_payload_byte_identical(self, tmp_path):
+        overrides = dict(self.E18_TINY, arrival_families=("synchronous", "sporadic"))
+        for jobs, name in ((1, "serial"), (2, "parallel")):
+            with ResultsStore(str(tmp_path / name)) as store:
+                stats = run_sweep(["e18"], store, jobs=jobs, overrides=overrides)
+                assert stats.failed == 0
+        serial = (tmp_path / "serial" / "payloads" / "e18.jsonl").read_bytes()
+        parallel = (tmp_path / "parallel" / "payloads" / "e18.jsonl").read_bytes()
+        assert serial == parallel and serial
 
 
 class TestCli:

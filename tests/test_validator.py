@@ -119,3 +119,136 @@ class TestIntegralityOption:
         assert ok.valid
         strict = validate_schedule(inst, assign, s, require_integral_times=True)
         assert any(v.kind == "integrality" for v in strict.violations)
+
+
+class TestReleaseFeasibility:
+    """Condition 6 (online arrivals): no piece before its job's release."""
+
+    def test_releases_satisfied(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 4)
+        s.add_segment(0, 0, 1, 3)
+        s.add_segment(1, 1, 2, 4)
+        report = validate_schedule(inst, assign, s, releases={0: 1, 1: 2})
+        assert report.valid
+
+    def test_release_violation_detected(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 4)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 1, 0, 2)
+        report = validate_schedule(
+            inst, assign, s, releases={0: Fraction(1, 2)}
+        )
+        assert not report.valid
+        (v,) = [v for v in report.violations if v.kind == "release"]
+        assert "job 0" in v.detail
+
+    def test_jobs_absent_from_mapping_unconstrained(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 2)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 1, 0, 2)
+        assert validate_schedule(inst, assign, s, releases={}).valid
+        assert validate_schedule(inst, assign, s, releases={1: 0}).valid
+
+    def test_check_releases_standalone_with_instance_ids(self):
+        """check_releases works on admission schedules whose job ids are
+        instance labels, not 0…n−1 template jobs."""
+        from repro.schedule import check_releases
+
+        s = Schedule([0], 10)
+        s.add_segment(0, 107, 4, 6)  # an instance-id label
+        assert check_releases(s, {107: 4}) == []
+        violations = check_releases(s, {107: 5})
+        assert len(violations) == 1
+        assert violations[0].kind == "release"
+
+
+class TestStructuredViolationPayloads:
+    """Regression tests for the error payloads (satellite 3): every field
+    the structured violation promises is populated."""
+
+    def test_release_payload_names_job_piece_and_time(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 4)
+        s.add_segment(0, 0, 1, 3)
+        s.add_segment(1, 1, 0, 2)
+        report = validate_schedule(inst, assign, s, releases={0: 2})
+        (v,) = [v for v in report.violations if v.kind == "release"]
+        assert v.job == 0
+        assert v.machine == 0
+        assert v.start == 1 and v.end == 3
+        assert v.limit == 2  # the release it violated
+        payload = v.as_payload()
+        assert payload["kind"] == "release"
+        assert payload["job"] == 0 and payload["limit"] == 2
+
+    def test_horizon_payload_carries_limit(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 10)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 1, 0, 2)
+        report = validate_schedule(inst, assign, s, T=1)
+        v = next(v for v in report.violations if v.kind == "horizon")
+        assert v.limit == 1
+        assert v.job in (0, 1)
+        assert v.start == 0 and v.end == 2
+
+    def test_work_payload_carries_required_amount(self, tiny):
+        inst, assign = tiny
+        s = Schedule([0, 1], 2)
+        s.add_segment(0, 0, 0, 1)  # needs 2
+        s.add_segment(1, 1, 0, 2)
+        report = validate_schedule(inst, assign, s)
+        v = next(v for v in report.violations if v.kind == "work")
+        assert v.job == 0
+        assert v.limit == 2
+
+    def test_self_parallel_payload_locates_the_overlap(self):
+        inst = Instance.semi_partitioned(p_local=[[4, 4]], p_global=[4])
+        assign = Assignment({0: frozenset({0, 1})})
+        s = Schedule([0, 1], 4)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 0, 1, 3)
+        report = validate_schedule(inst, assign, s)
+        v = next(v for v in report.violations if v.kind == "self-parallel")
+        assert v.job == 0
+        assert v.start == 1 and v.end == 2  # the overlapping slice
+
+    def test_raise_if_invalid_attaches_structured_violations(self, tiny):
+        from repro.exceptions import ScheduleValidationError
+
+        inst, assign = tiny
+        s = Schedule([0, 1], 4)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 1, 0, 2)
+        report = validate_schedule(inst, assign, s, releases={0: 1})
+        with pytest.raises(ScheduleValidationError) as excinfo:
+            report.raise_if_invalid()
+        exc = excinfo.value
+        assert isinstance(exc, InvalidScheduleError)  # back-compat catch
+        assert exc.violations == report.violations
+        assert any(v.kind == "release" for v in exc.violations)
+        assert "invalid schedule" in str(exc)
+
+    def test_structured_error_survives_pickling(self, tiny):
+        """Sweep workers raise through a process pool — structure must
+        survive the round-trip."""
+        import pickle
+
+        from repro.exceptions import ScheduleValidationError
+
+        inst, assign = tiny
+        s = Schedule([0, 1], 4)
+        s.add_segment(0, 0, 0, 2)
+        s.add_segment(1, 1, 0, 2)
+        report = validate_schedule(inst, assign, s, releases={0: 1})
+        try:
+            report.raise_if_invalid()
+        except ScheduleValidationError as exc:
+            back = pickle.loads(pickle.dumps(exc))
+            assert back.violations == exc.violations
+            assert back.violations[0].kind == "release"
+        else:  # pragma: no cover
+            pytest.fail("expected ScheduleValidationError")
