@@ -32,8 +32,16 @@ Orthogonal to the backend, ``--kernel revised|tableau`` (on ``experiments``
 and ``solve``) selects the exact pivoting engine — ``revised`` (default) is
 the factorized-basis simplex, ``tableau`` the dense fraction-free tableau —
 and ``--profile`` prints aggregated solver counters (solves, pivots,
-refactorizations, warm-start hits, probe shortcuts) after the run, so perf
-claims can cite counters instead of wall-clock.
+refactorizations, warm-start hits, probe shortcuts, cache hits/misses)
+after the run, so perf claims can cite counters instead of wall-clock.
+
+``--cache PATH`` (on ``experiments`` and ``solve``) opens a persistent
+solve cache at PATH and makes it the process default: every
+:class:`repro.session.Session` the run constructs looks solves up by
+content key before computing.  A warm second run performs **zero** LP
+solves — ``--profile`` shows only cache hits.  The store format is the
+sweep store's (SQLite index + JSONL payloads), so a cache directory can be
+inspected with the same tooling.
 """
 
 from __future__ import annotations
@@ -191,11 +199,9 @@ def _run_report(store_path: str, ids: List[str], timings: bool) -> int:
     return 0
 
 
-def _solve_demo(name: str, backend: str = "hybrid") -> int:
+def _solve_demo(name: str, backend: str = "hybrid", kernel: Optional[str] = None) -> int:
     from .analysis.gantt import render_gantt
-    from .core.approx import two_approximation
-    from .core.exact import solve_exact
-    from .core.hierarchical import schedule_hierarchical
+    from .session import Session
 
     if name == "ii1":
         from .workloads import example_ii1
@@ -220,15 +226,16 @@ def _solve_demo(name: str, backend: str = "hybrid") -> int:
         return 2
 
     print(f"instance: {instance}")
-    exact = solve_exact(instance)
-    schedule = schedule_hierarchical(instance, exact.assignment, exact.optimum)
-    print(f"\nexact optimum: {exact.optimum}")
-    print(render_gantt(schedule))
-    approx = two_approximation(instance, backend=backend)
-    print(f"\n2-approximation: makespan {approx.makespan} "
-          f"(T* = {approx.T_lp}, guarantee ≤ {approx.bound}, "
-          f"backend = {backend})")
-    print(render_gantt(approx.schedule))
+    with Session(backend=backend, kernel=kernel) as session:
+        exact = session.solve_exact(instance)
+        schedule = session.template(instance, exact.assignment, exact.optimum)
+        print(f"\nexact optimum: {exact.optimum}")
+        print(render_gantt(schedule))
+        approx = session.two_approximation(instance)
+        print(f"\n2-approximation: makespan {approx.makespan} "
+              f"(T* = {approx.T_lp}, guarantee ≤ {approx.bound}, "
+              f"backend = {backend})")
+        print(render_gantt(approx.schedule))
     return 0
 
 
@@ -259,6 +266,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     exp.add_argument(
         "--profile", action="store_true",
         help="print aggregated solver counters after the run",
+    )
+    exp.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persistent solve cache directory; a warm run does zero LP solves",
     )
     sweep = sub.add_parser(
         "sweep", help="shard experiment sweeps across a process pool"
@@ -313,6 +324,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--profile", action="store_true",
         help="print aggregated solver counters after the run",
     )
+    solve.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persistent solve cache directory; a warm run does zero LP solves",
+    )
     sub.add_parser("version", help="print the package version")
 
     args = parser.parse_args(argv)
@@ -320,15 +335,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .lp.simplex import set_default_kernel
 
         set_default_kernel(args.kernel)
-    if getattr(args, "profile", False):
-        from .lp.stats import collect_stats
+    cache = None
+    if getattr(args, "cache", None):
+        from .session import set_default_cache
 
-        with collect_stats() as profile:
-            code = _dispatch(args, parser)
-        print()
-        print(profile.render())
-        return code
-    return _dispatch(args, parser)
+        cache = set_default_cache(args.cache)
+    try:
+        if getattr(args, "profile", False):
+            from .lp.stats import collect_stats
+
+            with collect_stats() as profile:
+                code = _dispatch(args, parser)
+            print()
+            print(profile.render())
+            return code
+        return _dispatch(args, parser)
+    finally:
+        if cache is not None:
+            from .session import set_default_cache
+
+            set_default_cache(None)
+            cache.close()
 
 
 def _dispatch(args, parser) -> int:
@@ -342,7 +369,7 @@ def _dispatch(args, parser) -> int:
     if args.command == "report":
         return _run_report(args.store, args.ids, args.timings)
     if args.command == "solve":
-        return _solve_demo(args.demo, backend=args.backend)
+        return _solve_demo(args.demo, backend=args.backend, kernel=args.kernel)
     if args.command == "version":
         print(__version__)
         return 0

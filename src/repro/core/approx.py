@@ -92,6 +92,7 @@ def two_approximation(
     backend: str = "hybrid",
     verify: bool = True,
     use_pushdown_certificate: bool = False,
+    kernel: Optional[str] = None,
 ) -> TwoApproxResult:
     """Run the Theorem V.2 algorithm on a hierarchical instance.
 
@@ -112,12 +113,16 @@ def two_approximation(
         solution at ``T*`` and check it lands on singletons.  This is the
         proof's step 3; the pipeline itself only needs its *existence*, so
         the check is optional (tests enable it).
+    kernel:
+        Exact pivoting kernel for every solve in the pipeline (``None`` =
+        the process default); threaded so a
+        :class:`~repro.session.Session` can pin it without global state.
     """
     ext = instance.with_singletons()
-    T_star = minimal_fractional_T(ext, backend=backend)
+    T_star = minimal_fractional_T(ext, backend=backend, kernel=kernel)
 
     if use_pushdown_certificate:
-        x = feasible_lp_solution(ext, T_star, backend=backend)
+        x = feasible_lp_solution(ext, T_star, backend=backend, kernel=kernel)
         if x is None:  # pragma: no cover - minimal_fractional_T certified it
             raise RoundingError(f"LP infeasible at its own optimum T*={T_star}")
         pushed = push_down(ext, x, T_star)
@@ -134,7 +139,7 @@ def two_approximation(
                 row[i] = to_fraction(value)
         p_matrix[j] = row
 
-    mapping = lst_round(p_matrix, T_star, backend=backend)
+    mapping = lst_round(p_matrix, T_star, backend=backend, kernel=kernel)
     assignment = Assignment({j: frozenset([i]) for j, i in mapping.items()})
 
     T_schedule = min_T_for_assignment(ext, assignment)

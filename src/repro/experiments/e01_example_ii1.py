@@ -11,8 +11,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from ..analysis import Table
-from ..core.exact import solve_exact
-from ..core.programs import minimal_fractional_T
+from ..session import Session
 from ..workloads import example_ii1
 
 
@@ -27,9 +26,10 @@ class E01Result:
 def run() -> E01Result:
     """Reproduce Example II.1 and return the paper-vs-measured table."""
     inst = example_ii1()
-    opt_semi = solve_exact(inst).optimum
-    opt_collapse = solve_exact(inst.unrelated_collapse()).optimum
-    T_lp = minimal_fractional_T(inst)
+    session = Session()
+    opt_semi = session.solve_exact(inst).optimum
+    opt_collapse = session.solve_exact(inst.unrelated_collapse()).optimum
+    T_lp = session.minimal_fractional_T(inst)
     table = Table(
         "E01 — Example II.1: semi-partitioned vs unrelated collapse",
         ["quantity", "paper", "measured"],

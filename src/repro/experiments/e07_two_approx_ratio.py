@@ -14,8 +14,7 @@ from fractions import Fraction
 from typing import List, Optional
 
 from ..analysis import RatioStats, Table
-from ..core.approx import two_approximation
-from ..core.exact import solve_exact
+from ..session import Session
 from ..workloads import random_hierarchical, rng_from_seed
 
 
@@ -47,17 +46,18 @@ def run(
 ) -> E07Result:
     """Measure 2-approximation ratios vs T* (and vs OPT when affordable)."""
     rng = rng_from_seed(seed)
+    session = Session(backend=backend)
     rows: List[E07Row] = []
     for n, m in shapes:
         vs_lp: List[Fraction] = []
         vs_opt: List[Fraction] = []
         for _ in range(trials):
             inst = random_hierarchical(rng, n=n, m=m)
-            result = two_approximation(inst, backend=backend)
+            result = session.two_approximation(inst)
             if result.T_lp > 0:
                 vs_lp.append(result.makespan / result.T_lp)
             if n <= exact_job_limit:
-                opt = solve_exact(inst, upper_bound=result.makespan + 1).optimum
+                opt = session.solve_exact(inst, upper_bound=result.makespan + 1).optimum
                 if opt > 0:
                     vs_opt.append(result.makespan / opt)
         rows.append(

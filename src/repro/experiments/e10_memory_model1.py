@@ -14,9 +14,10 @@ from fractions import Fraction
 from typing import List
 
 from ..analysis import RatioStats, Table
-from ..core.memory import minimal_model1_T, solve_model1
+from ..core.memory import solve_model1
 from ..exceptions import InfeasibleError
 from ..schedule.validator import validate_schedule
+from ..session import Session
 from ..workloads import random_semi_partitioned, rng_from_seed
 from ..workloads.generators import monotone_instance
 from ..core.laminar import LaminarFamily
@@ -71,6 +72,7 @@ def run(
 ) -> E10Result:
     """Measure Model 1 bicriteria ratios against the 3x/3x guarantees."""
     rng = rng_from_seed(seed)
+    session = Session(backend=backend)
     rows: List[E10Row] = []
     for kind, n, m in shapes:
         mk_ratios = []
@@ -80,7 +82,7 @@ def run(
         for _ in range(trials):
             inst, space, budgets = _budgeted_instance(rng, kind, n, m)
             try:
-                T = minimal_model1_T(inst, space, budgets, backend=backend)
+                T = session.minimal_model1_T(inst, space, budgets)
                 result = solve_model1(inst, space, budgets, T, backend=backend)
             except InfeasibleError:
                 continue

@@ -16,8 +16,9 @@ from typing import List
 
 from ..analysis import RatioStats, Table
 from ..core.laminar import LaminarFamily
-from ..core.memory import minimal_model2_T, model2_rho, solve_model2
+from ..core.memory import model2_rho, solve_model2
 from ..exceptions import InfeasibleError
+from ..session import Session
 from ..workloads import rng_from_seed
 from ..workloads.generators import monotone_instance
 
@@ -79,6 +80,7 @@ def run(
 ) -> E11Result:
     """*configs* entries are ``(m, arity, n_jobs)``."""
     rng = rng_from_seed(seed)
+    session = Session(backend=backend)
     rows: List[E11Row] = []
     for m, arity, n in configs:
         family = _uniform_tree(m, arity)
@@ -92,7 +94,7 @@ def run(
             inst = monotone_instance(rng, family, n=n)
             sizes = [Fraction(int(rng.integers(1, 5)), 8) for _ in range(n)]
             try:
-                T = minimal_model2_T(inst, sizes, mu, backend=backend)
+                T = session.minimal_model2_T(inst, sizes, mu)
                 result = solve_model2(inst, sizes, mu, T, backend=backend)
             except InfeasibleError:
                 continue

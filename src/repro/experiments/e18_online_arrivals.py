@@ -40,9 +40,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis import Table
 from ..core.exact import find_assignment_within
-from ..core.hierarchical import schedule_hierarchical
 from ..exceptions import InfeasibleError, SolverError
 from ..schedule.validator import check_releases
+from ..session import Session
 from ..simulation.admission import admit
 from ..simulation.costs import CostModel
 from ..workloads import derive_seed, rng_from_seed
@@ -132,6 +132,7 @@ def run(
     if deadline_factor <= 0:
         raise ValueError("deadline_factor must be positive")
     cost_model = CostModel.numa_like()
+    session = Session()  # templates cache across repeat runs with --cache
     rows: List[E18Row] = []
     for topo_name in topologies:
         topology = make_topology(topo_name)
@@ -159,7 +160,7 @@ def run(
                     if witness is None:
                         infeasible += 1
                         continue
-                    template = schedule_hierarchical(ext, witness, T_ref)
+                    template = session.template(ext, witness, T_ref)
                     T = template.T
                     model = make_arrivals(
                         family_name, trial_seed, instance.n, T

@@ -250,6 +250,8 @@ def feasible_point(
     return {key: point[lp.index_of(key)] for key in lp.variable_keys}
 
 
-def is_feasible(lp: LinearProgram, backend: str = "exact") -> bool:
+def is_feasible(
+    lp: LinearProgram, backend: str = "exact", kernel: Optional[str] = None
+) -> bool:
     """Certified feasibility check (see :func:`feasible_point`)."""
-    return feasible_point(lp, backend=backend) is not None
+    return feasible_point(lp, backend=backend, kernel=kernel) is not None

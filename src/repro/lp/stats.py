@@ -45,6 +45,12 @@ class SolverStats:
     warm_start_hits: int = 0
     point_reuses: int = 0
     farkas_reuses: int = 0
+    #: Session-layer solve cache outcomes: a hit means a whole solve (or a
+    #: whole pipeline of solves) was answered from the content-addressed
+    #: store with zero pivots; a miss means the cold path ran and its
+    #: payload was recorded for next time.
+    cache_hits: int = 0
+    cache_misses: int = 0
     #: Solve count per kernel name ("revised", "tableau", "float").
     kernels: Dict[str, int] = field(default_factory=dict)
 
@@ -60,6 +66,8 @@ class SolverStats:
         self.warm_start_hits += other.warm_start_hits
         self.point_reuses += other.point_reuses
         self.farkas_reuses += other.farkas_reuses
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
         for kernel, count in other.kernels.items():
             self.kernels[kernel] = self.kernels.get(kernel, 0) + count
 
@@ -77,6 +85,8 @@ class SolverStats:
                 f"  warm starts       {self.warm_start_hits}/{self.warm_start_attempts} hits",
                 f"  probe shortcuts   {self.point_reuses} point reuses, "
                 f"{self.farkas_reuses} Farkas reuses",
+                f"  solve cache       {self.cache_hits} hits, "
+                f"{self.cache_misses} misses",
             ]
         )
 
@@ -100,4 +110,11 @@ def collect_stats() -> Iterator[SolverStats]:
     try:
         yield scope
     finally:
-        _scopes.remove(scope)
+        # Remove by identity, not ==: SolverStats is a value-comparing
+        # dataclass, and a nested scope can hold exactly the outer scope's
+        # counters (record() feeds both), so list.remove would pop the
+        # wrong — outermost equal — scope.
+        for i in range(len(_scopes) - 1, -1, -1):
+            if _scopes[i] is scope:
+                del _scopes[i]
+                break

@@ -1,220 +1,104 @@
-"""Persistent, resumable results store: SQLite index + JSONL payloads.
+"""Sweep results store — a thin bookkeeping client over the solve cache.
 
-Layout under the store root (default ``results/``)::
+The generic storage machinery (SQLite index + JSONL payloads, canonical
+JSON, content keys, the code fingerprint) lives in :mod:`repro.session`:
+:class:`~repro.session.cache.SolveCache` is the content-addressed KV layer,
+:mod:`repro.session.canon` the one canonicalization module.  What remains
+here is the sweep's *bookkeeping convention* on top of it:
 
-    results/
-      index.sqlite          # task index: key -> status + run metadata
-      payloads/
-        <experiment>.jsonl  # one deterministic JSON record per finished task
+* a task is keyed by :func:`task_key` — the content hash of ``(experiment
+  id, canonicalized params, code fingerprint)`` — so re-running an
+  identical sweep finds every key present and executes nothing ("skip
+  completed" is nothing but a cache hit);
+* each experiment id is one payload bucket, and
+  :meth:`ResultsStore.records` defaults to the **latest completed code
+  generation** per experiment (pass ``fingerprint="*"`` to see every
+  generation, e.g. results recorded before a code edit — ``repro report``
+  documents the same contract);
+* session buckets (``solve-*``, written when a :class:`~repro.session.
+  Session` shares the store directory) are excluded from
+  :meth:`experiments`, so sweep reports never try to tabulate raw solve
+  payloads.
 
-Each task is keyed by a **content hash** of ``(experiment id, canonicalized
-params, code fingerprint)``.  The fingerprint hashes every ``*.py`` file in
-the installed ``repro`` package, so editing the code invalidates old results
-instead of silently mixing incompatible runs; re-running an identical sweep
-finds every key already present and executes nothing.
-
-The split between the two halves is deliberate:
-
-* the JSONL payload holds only *reproducible* content (params, seed, the
-  table with volatile columns masked) — two sweeps with the same code and
-  params produce byte-identical payload files, whatever ``--jobs`` was;
-* the SQLite index holds the *measured* side (wall-clock per task,
-  timestamps) plus the fast key lookup that makes resume O(1) per task.
+Stores written before this split open unchanged: the index schema is
+migrated in place (one added index-only column) and payload bytes are never
+rewritten — see :class:`~repro.session.cache.SolveCache`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import sqlite3
-from functools import lru_cache
 from typing import Any, Dict, Iterator, List, Optional
 
-from ..analysis.tables import encode_cell
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS tasks (
-    key         TEXT PRIMARY KEY,
-    experiment  TEXT NOT NULL,
-    params_json TEXT NOT NULL,
-    seed        INTEGER,
-    fingerprint TEXT NOT NULL,
-    status      TEXT NOT NULL,
-    elapsed_s   REAL,
-    created_at  TEXT NOT NULL DEFAULT (datetime('now')),
-    payload_path TEXT
-);
-CREATE INDEX IF NOT EXISTS tasks_by_experiment ON tasks (experiment);
-"""
-
-
-def _canonical(obj: Any) -> Any:
-    """Reduce *obj* to a canonical strict-JSON-safe form for hashing/storage.
-
-    Tuples flatten to lists, dicts are emitted sorted; scalars delegate to
-    :func:`repro.analysis.tables.encode_cell` — the one place that knows how
-    to tag Fractions and non-finite floats exactly and to stringify anything
-    else (e.g. a Topology passed programmatically) deterministically.
-    """
-    if isinstance(obj, dict):
-        return {str(k): _canonical(obj[k]) for k in sorted(obj, key=str)}
-    if isinstance(obj, (list, tuple)):
-        return [_canonical(v) for v in obj]
-    return encode_cell(obj)
-
-
-def canonical_json(obj: Any) -> str:
-    """The canonical JSON string of *obj* (stable across processes/runs)."""
-    return json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
-
-
-@lru_cache(maxsize=1)
-def code_fingerprint() -> str:
-    """SHA-256 over every ``*.py`` source file of the ``repro`` package."""
-    import repro
-
-    root = os.path.dirname(os.path.abspath(repro.__file__))
-    digest = hashlib.sha256()
-    sources: List[str] = []
-    for dirpath, dirnames, filenames in os.walk(root):
-        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
-        for name in sorted(filenames):
-            if name.endswith(".py"):
-                sources.append(os.path.join(dirpath, name))
-    for path in sorted(sources):
-        digest.update(os.path.relpath(path, root).encode("utf-8"))
-        digest.update(b"\0")
-        with open(path, "rb") as fh:
-            digest.update(fh.read())
-        digest.update(b"\0")
-    return digest.hexdigest()
+from ..session.cache import SolveCache
+from ..session.canon import (  # noqa: F401 - canonical home is repro.session
+    canonical as _canonical,
+    canonical_json,
+    code_fingerprint,
+    content_key,
+)
 
 
 def task_key(experiment: str, params: Dict[str, Any], fingerprint: str) -> str:
     """Content hash identifying one (experiment, params, code) task."""
-    blob = "\n".join([experiment, canonical_json(params), fingerprint])
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return content_key(experiment, canonical_json(params), fingerprint)
 
 
 class ResultsStore:
-    """The on-disk store; one writer (the sweep orchestrator) at a time."""
+    """Sweep-facing view of a :class:`~repro.session.cache.SolveCache`.
 
-    def __init__(self, root: str):
-        self.root = os.path.abspath(root)
-        self.payload_dir = os.path.join(self.root, "payloads")
-        os.makedirs(self.payload_dir, exist_ok=True)
-        self.index_path = os.path.join(self.root, "index.sqlite")
-        self._db = sqlite3.connect(self.index_path)
-        self._db.executescript(_SCHEMA)
-        self._db.commit()
-        # Payload files this store object has already appended to cleanly:
-        # a torn tail is only possible before our first append, so the
-        # newline check runs once per (store, file).
-        self._clean_payloads: set = set()
+    One writer (the sweep orchestrator) at a time; accepts an open cache to
+    share a store directory with a :class:`~repro.session.Session`, or a
+    path to own one.
+    """
+
+    #: Torn-tail detection lives on the cache now; kept addressable here
+    #: because it is part of the store's documented crash-recovery contract.
+    _ends_mid_line = staticmethod(SolveCache._ends_mid_line)
+
+    def __init__(self, root_or_cache):
+        if isinstance(root_or_cache, SolveCache):
+            self.cache = root_or_cache
+            self._owns_cache = False
+        else:
+            self.cache = SolveCache(root_or_cache)
+            self._owns_cache = True
+
+    @property
+    def root(self) -> str:
+        return self.cache.root
 
     # -- lookup ----------------------------------------------------------
 
     def has(self, key: str) -> bool:
-        row = self._db.execute(
-            "SELECT 1 FROM tasks WHERE key = ? AND status = 'done'", (key,)
-        ).fetchone()
-        return row is not None
+        return self.cache.has(key)
 
     def task_meta(self, key: str) -> Optional[Dict[str, Any]]:
-        row = self._db.execute(
-            "SELECT key, experiment, params_json, seed, fingerprint, status,"
-            " elapsed_s, created_at, payload_path FROM tasks WHERE key = ?",
-            (key,),
-        ).fetchone()
-        if row is None:
-            return None
-        names = (
-            "key", "experiment", "params_json", "seed", "fingerprint",
-            "status", "elapsed_s", "created_at", "payload_path",
-        )
-        return dict(zip(names, row))
+        return self.cache.meta(key)
 
     def experiments(self) -> List[str]:
-        rows = self._db.execute(
-            "SELECT DISTINCT experiment FROM tasks WHERE status = 'done'"
-            " ORDER BY experiment"
-        ).fetchall()
-        return [r[0] for r in rows]
+        """Experiment buckets with completed tasks (session buckets hidden)."""
+        return [
+            name for name in self.cache.buckets()
+            if not name.startswith("solve-")
+        ]
 
     def latest_fingerprint(self, experiment: str) -> Optional[str]:
         """Fingerprint of the most recently completed task of *experiment*."""
-        row = self._db.execute(
-            "SELECT fingerprint FROM tasks WHERE experiment = ? AND"
-            " status = 'done' ORDER BY created_at DESC, rowid DESC LIMIT 1",
-            (experiment,),
-        ).fetchone()
-        return row[0] if row else None
-
-    def _done_keys(self, experiment: str) -> Dict[str, str]:
-        """Completed keys of *experiment* mapped to their fingerprint."""
-        rows = self._db.execute(
-            "SELECT key, fingerprint FROM tasks WHERE experiment = ? AND"
-            " status = 'done'",
-            (experiment,),
-        ).fetchall()
-        return dict(rows)
+        return self.cache.latest_fingerprint(experiment)
 
     # -- write -----------------------------------------------------------
 
-    @staticmethod
-    def _ends_mid_line(path: str) -> bool:
-        """Whether *path* exists, is non-empty, and lacks a final newline.
-
-        That is the signature of a writer killed mid-append: the torn last
-        line must be sealed off before new records are appended, or the
-        next record would concatenate onto the fragment and *two* results
-        would become unreadable instead of zero.
-        """
-        try:
-            size = os.path.getsize(path)
-        except OSError:
-            return False
-        if size == 0:
-            return False
-        with open(path, "rb") as fh:
-            fh.seek(-1, os.SEEK_END)
-            return fh.read(1) != b"\n"
-
     def add(self, record: Dict[str, Any], elapsed_s: float) -> None:
         """Persist one finished task: JSONL payload + index row."""
-        experiment = record["experiment"]
-        payload_rel = os.path.join("payloads", f"{experiment}.jsonl")
-        payload_path = os.path.join(self.root, payload_rel)
-        line = json.dumps(_canonical(record), sort_keys=True,
-                          separators=(",", ":"))
-        repair_newline = (
-            payload_path not in self._clean_payloads
-            and self._ends_mid_line(payload_path)
+        self.cache.put(
+            record["key"],
+            record["experiment"],
+            record,
+            params=record["params"],
+            seed=record.get("seed"),
+            fingerprint=record["fingerprint"],
+            elapsed_s=elapsed_s,
         )
-        with open(payload_path, "a", encoding="utf-8") as fh:
-            if repair_newline:
-                fh.write("\n")
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        self._clean_payloads.add(payload_path)
-        self._db.execute(
-            "INSERT OR REPLACE INTO tasks"
-            " (key, experiment, params_json, seed, fingerprint, status,"
-            "  elapsed_s, payload_path)"
-            " VALUES (?, ?, ?, ?, ?, 'done', ?, ?)",
-            (
-                record["key"],
-                experiment,
-                canonical_json(record["params"]),
-                record.get("seed"),
-                record["fingerprint"],
-                float(elapsed_s),
-                payload_rel,
-            ),
-        )
-        self._db.commit()
 
     # -- read back -------------------------------------------------------
 
@@ -225,49 +109,20 @@ class ResultsStore:
     ) -> Iterator[Dict[str, Any]]:
         """Yield stored payload records, restricted to keys in the index.
 
-        A JSONL line whose key is absent from the index (e.g. a crashed run
-        that appended the payload but died before committing the index row)
-        is skipped — the index is the source of truth for completion.  A
-        line that does not even parse (the crash tore the write mid-line)
-        is skipped for the same reason: its task was never committed, so
-        resuming re-executes it and appends a clean copy.
-
-        *fingerprint* selects one code generation; the default is each
-        experiment's **latest** completed generation, so results produced
-        before a code edit never mix into the same report as results
-        produced after it.  Pass ``fingerprint="*"`` to see everything.
+        Defaults to every experiment bucket (never session buckets) at its
+        latest completed code generation; ``fingerprint="*"`` disables the
+        generation filter.  See :meth:`SolveCache.records` for the
+        crash-consistency contract (unindexed and torn lines are skipped).
         """
-        experiments = [experiment] if experiment else self.experiments()
-        for exp in experiments:
-            path = os.path.join(self.payload_dir, f"{exp}.jsonl")
-            if not os.path.exists(path):
-                continue
-            done = self._done_keys(exp)
-            wanted = (
-                self.latest_fingerprint(exp) if fingerprint is None else fingerprint
-            )
-            seen: set = set()
-            with open(path, encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn write of an uncommitted task
-                    if not isinstance(record, dict):
-                        continue
-                    key = record.get("key", "")
-                    if key in seen or key not in done:
-                        continue
-                    if wanted != "*" and done[key] != wanted:
-                        continue
-                    seen.add(key)
-                    yield record
+        if experiment is None:
+            for exp in self.experiments():
+                yield from self.cache.records(exp, fingerprint=fingerprint)
+        else:
+            yield from self.cache.records(experiment, fingerprint=fingerprint)
 
     def close(self) -> None:
-        self._db.close()
+        if self._owns_cache:
+            self.cache.close()
 
     def __enter__(self) -> "ResultsStore":
         return self

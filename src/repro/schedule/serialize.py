@@ -2,27 +2,21 @@
 
 Times are stored as ``"num/den"`` strings so round-trips are lossless —
 required for replaying schedules through the simulator or re-validating a
-stored experiment artifact.
+stored experiment artifact.  The rational text encoding is the shared one
+from :mod:`repro.session.canon`, so schedule payloads and the solve cache
+can never disagree on how a Fraction serializes.
 """
 
 from __future__ import annotations
 
 import json
-from fractions import Fraction
 from typing import Dict
 
 from ..core.assignment import Assignment
 from ..exceptions import InvalidScheduleError
+from ..session.canon import frac_to_str as _frac_to_str
+from ..session.canon import str_to_frac as _str_to_frac
 from .schedule import Schedule
-
-
-def _frac_to_str(value: Fraction) -> str:
-    return f"{value.numerator}/{value.denominator}"
-
-
-def _str_to_frac(text: str) -> Fraction:
-    num, _, den = text.partition("/")
-    return Fraction(int(num), int(den or 1))
 
 
 def schedule_to_dict(schedule: Schedule) -> Dict:

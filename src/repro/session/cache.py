@@ -1,0 +1,310 @@
+"""Content-addressed solve cache: SQLite index + JSONL payloads.
+
+This is the generic storage half of what used to be ``runner/store.py``'s
+``ResultsStore`` — promoted to a first-class layer any entry point can
+consult, with the sweep bookkeeping left behind as a thin client
+(:class:`repro.runner.store.ResultsStore`).  Layout under the root::
+
+    <root>/
+      index.sqlite          # entry index: key -> status + run metadata
+      payloads/
+        <bucket>.jsonl      # one deterministic JSON record per entry
+
+Every entry is addressed by a **content key** — in practice the sha256 of
+``(what was solved, canonical params, code fingerprint)`` — and lives in a
+named *bucket* (one JSONL file).  Sweep tasks use their experiment id as the
+bucket; :class:`repro.session.Session` uses ``solve-*`` buckets, which the
+sweep reporter deliberately ignores (`repro report` only assembles
+experiment buckets), so one store directory can serve both.
+
+The index/payload split is deliberate and unchanged from the sweep store:
+
+* the JSONL payload holds only *reproducible* content — two runs with the
+  same code and params produce byte-identical payload files;
+* the SQLite index holds the *measured* side (wall-clock, timestamps) plus
+  the fast key lookup that makes a hit O(1).
+
+On-disk compatibility: the schema is the sweep store's ``tasks`` table.
+Opening a store written before this split transparently migrates it by
+adding the (index-only) ``payload_offset`` column — payload files are never
+rewritten, so old stores stay readable and their bytes stay authoritative.
+Entries recorded without an offset fall back to a bucket scan on
+:meth:`SolveCache.get`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Any, Dict, Iterator, List, Optional
+
+from .canon import canonical_bytes, canonical_json
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tasks (
+    key         TEXT PRIMARY KEY,
+    experiment  TEXT NOT NULL,
+    params_json TEXT NOT NULL,
+    seed        INTEGER,
+    fingerprint TEXT NOT NULL,
+    status      TEXT NOT NULL,
+    elapsed_s   REAL,
+    created_at  TEXT NOT NULL DEFAULT (datetime('now')),
+    payload_path TEXT,
+    payload_offset INTEGER
+);
+CREATE INDEX IF NOT EXISTS tasks_by_experiment ON tasks (experiment);
+"""
+
+_META_COLUMNS = (
+    "key", "experiment", "params_json", "seed", "fingerprint",
+    "status", "elapsed_s", "created_at", "payload_path",
+)
+
+
+class SolveCache:
+    """The on-disk content-addressed store; one writer at a time."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.payload_dir = os.path.join(self.root, "payloads")
+        os.makedirs(self.payload_dir, exist_ok=True)
+        self.index_path = os.path.join(self.root, "index.sqlite")
+        self._db = sqlite3.connect(self.index_path)
+        self._db.executescript(_SCHEMA)
+        self._migrate()
+        self._db.commit()
+        # Payload files this cache object has already appended to cleanly:
+        # a torn tail is only possible before our first append, so the
+        # newline check runs once per (cache, file).
+        self._clean_payloads: set = set()
+
+    def _migrate(self) -> None:
+        """Bring a pre-split store's index up to the current schema.
+
+        The only schema delta since the sweep-only store is the index-side
+        ``payload_offset`` column; adding it never touches payload bytes.
+        """
+        columns = {
+            row[1] for row in self._db.execute("PRAGMA table_info(tasks)")
+        }
+        if "payload_offset" not in columns:
+            self._db.execute(
+                "ALTER TABLE tasks ADD COLUMN payload_offset INTEGER"
+            )
+
+    # -- lookup ----------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        row = self._db.execute(
+            "SELECT 1 FROM tasks WHERE key = ? AND status = 'done'", (key,)
+        ).fetchone()
+        return row is not None
+
+    def meta(self, key: str) -> Optional[Dict[str, Any]]:
+        row = self._db.execute(
+            f"SELECT {', '.join(_META_COLUMNS)} FROM tasks WHERE key = ?",
+            (key,),
+        ).fetchone()
+        if row is None:
+            return None
+        return dict(zip(_META_COLUMNS, row))
+
+    def buckets(self) -> List[str]:
+        rows = self._db.execute(
+            "SELECT DISTINCT experiment FROM tasks WHERE status = 'done'"
+            " ORDER BY experiment"
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def latest_fingerprint(self, bucket: str) -> Optional[str]:
+        """Fingerprint of the most recently completed entry of *bucket*."""
+        row = self._db.execute(
+            "SELECT fingerprint FROM tasks WHERE experiment = ? AND"
+            " status = 'done' ORDER BY created_at DESC, rowid DESC LIMIT 1",
+            (bucket,),
+        ).fetchone()
+        return row[0] if row else None
+
+    def done_keys(self, bucket: str) -> Dict[str, str]:
+        """Completed keys of *bucket* mapped to their fingerprint."""
+        rows = self._db.execute(
+            "SELECT key, fingerprint FROM tasks WHERE experiment = ? AND"
+            " status = 'done'",
+            (bucket,),
+        ).fetchall()
+        return dict(rows)
+
+    # -- write -----------------------------------------------------------
+
+    @staticmethod
+    def _ends_mid_line(path: str) -> bool:
+        """Whether *path* exists, is non-empty, and lacks a final newline.
+
+        That is the signature of a writer killed mid-append: the torn last
+        line must be sealed off before new records are appended, or the
+        next record would concatenate onto the fragment and *two* results
+        would become unreadable instead of zero.
+        """
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return False
+        if size == 0:
+            return False
+        with open(path, "rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            return fh.read(1) != b"\n"
+
+    def put(
+        self,
+        key: str,
+        bucket: str,
+        record: Dict[str, Any],
+        params: Any = None,
+        seed: Optional[int] = None,
+        fingerprint: str = "",
+        elapsed_s: float = 0.0,
+    ) -> None:
+        """Persist one entry: canonical JSONL payload line + index row.
+
+        *record* is written in canonical form (sorted keys, exact Fraction
+        tags), so re-running the same computation appends byte-identical
+        lines.  The measured *elapsed_s* goes into the index only.
+        """
+        if "/" in bucket or "\\" in bucket or bucket in ("", ".", ".."):
+            raise ValueError(f"bucket name {bucket!r} is not filename-safe")
+        payload_rel = os.path.join("payloads", f"{bucket}.jsonl")
+        payload_path = os.path.join(self.root, payload_rel)
+        line = canonical_bytes(record)
+        repair_newline = (
+            payload_path not in self._clean_payloads
+            and self._ends_mid_line(payload_path)
+        )
+        with open(payload_path, "ab") as fh:
+            if repair_newline:
+                fh.write(b"\n")
+            # O_APPEND writes always land at EOF, but the *reported* initial
+            # position is platform-dependent — resolve it explicitly.
+            fh.seek(0, os.SEEK_END)
+            offset = fh.tell()
+            fh.write(line + b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._clean_payloads.add(payload_path)
+        self._db.execute(
+            "INSERT OR REPLACE INTO tasks"
+            " (key, experiment, params_json, seed, fingerprint, status,"
+            "  elapsed_s, payload_path, payload_offset)"
+            " VALUES (?, ?, ?, ?, ?, 'done', ?, ?, ?)",
+            (
+                key,
+                bucket,
+                canonical_json(params if params is not None else {}),
+                seed,
+                fingerprint,
+                float(elapsed_s),
+                payload_rel,
+                offset,
+            ),
+        )
+        self._db.commit()
+
+    # -- read back -------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload record stored under *key*, or ``None`` on a miss.
+
+        Fast path: seek to the offset the index recorded.  Entries written
+        by a pre-split store carry no offset and fall back to scanning
+        their bucket file — correctness never depends on the offset.
+        """
+        row = self._db.execute(
+            "SELECT experiment, payload_path, payload_offset FROM tasks"
+            " WHERE key = ? AND status = 'done'",
+            (key,),
+        ).fetchone()
+        if row is None:
+            return None
+        bucket, payload_rel, offset = row
+        path = (
+            os.path.join(self.root, payload_rel)
+            if payload_rel
+            else os.path.join(self.payload_dir, f"{bucket}.jsonl")
+        )
+        if offset is not None:
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(offset)
+                    record = json.loads(fh.readline().decode("utf-8"))
+                if isinstance(record, dict) and record.get("key") == key:
+                    return record
+            except (OSError, ValueError):
+                pass  # stale offset: fall through to the scan
+        for record in self._scan(path):
+            if record.get("key") == key:
+                return record
+        return None
+
+    @staticmethod
+    def _scan(path: str) -> Iterator[Dict[str, Any]]:
+        """Parseable dict records of one bucket file, torn lines skipped."""
+        if not os.path.exists(path):
+            return
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write of an uncommitted entry
+                if isinstance(record, dict):
+                    yield record
+
+    def records(
+        self,
+        bucket: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield stored payload records, restricted to keys in the index.
+
+        A JSONL line whose key is absent from the index (e.g. a crashed run
+        that appended the payload but died before committing the index row)
+        is skipped — the index is the source of truth for completion.  A
+        line that does not even parse (the crash tore the write mid-line)
+        is skipped for the same reason: its entry was never committed, so
+        resuming re-executes it and appends a clean copy.
+
+        *fingerprint* selects one code generation; the default is each
+        bucket's **latest** completed generation, so results produced
+        before a code edit never mix into the same report as results
+        produced after it.  Pass ``fingerprint="*"`` to see everything.
+        """
+        buckets = [bucket] if bucket else self.buckets()
+        for name in buckets:
+            path = os.path.join(self.payload_dir, f"{name}.jsonl")
+            done = self.done_keys(name)
+            wanted = (
+                self.latest_fingerprint(name) if fingerprint is None else fingerprint
+            )
+            seen: set = set()
+            for record in self._scan(path):
+                key = record.get("key", "")
+                if key in seen or key not in done:
+                    continue
+                if wanted != "*" and done[key] != wanted:
+                    continue
+                seen.add(key)
+                yield record
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "SolveCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

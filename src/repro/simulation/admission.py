@@ -177,6 +177,7 @@ def admit(
     windows: int,
     topology: Optional[Topology] = None,
     cost_model: Optional[CostModel] = None,
+    _pieces=None,
 ) -> AdmissionResult:
     """Run *windows* planning windows of *template* against *arrivals*.
 
@@ -188,6 +189,9 @@ def admit(
     With a *topology* (and optional *cost_model*, default
     :meth:`~repro.simulation.costs.CostModel.numa_like`), each admitted
     instance is charged its distance-priced migration overhead.
+
+    *_pieces* is the precomputed :func:`_template_pieces` decomposition —
+    :func:`admit_batch` passes it so many streams share one template scan.
     """
     if windows < 1:
         raise InvalidScheduleError(f"need ≥ 1 window, got {windows}")
@@ -207,7 +211,7 @@ def admit(
     max_job = max((a.job for a in ordered), default=-1)
     if max_job >= stride:
         stride = max_job + 1
-    pieces = _template_pieces(template)
+    pieces = _template_pieces(template) if _pieces is None else _pieces
 
     result_schedule = Schedule(template.machines, T * (windows + 1))
     queues: Dict[int, Deque[JobArrival]] = {}
@@ -289,3 +293,36 @@ def admit(
         windows=windows,
         max_backlog=max_backlog,
     )
+
+
+def admit_batch(
+    template: Schedule,
+    streams: Sequence[Sequence[JobArrival]],
+    windows: int,
+    topology: Optional[Topology] = None,
+    cost_model: Optional[CostModel] = None,
+) -> List[AdmissionResult]:
+    """Admit many independent arrival *streams* against one template.
+
+    The batch entry point of the scheduling-as-a-service layer: the
+    template's per-job piece decomposition (the only per-template scan in
+    :func:`admit`) is computed **once** and shared, so ``k`` streams cost
+    one template analysis plus ``k`` linear admission passes.  Results are
+    returned in stream order and are identical to calling :func:`admit`
+    per stream — the streams are independent workload scenarios (e.g. the
+    arrival-family axis of E18), not one merged arrival set.
+    """
+    if not streams:
+        return []
+    if windows < 1:
+        raise InvalidScheduleError(f"need ≥ 1 window, got {windows}")
+    if template.T <= 0:
+        raise InvalidScheduleError("cannot run windows of a zero-horizon template")
+    pieces = _template_pieces(template)
+    return [
+        admit(
+            template, stream, windows,
+            topology=topology, cost_model=cost_model, _pieces=pieces,
+        )
+        for stream in streams
+    ]
