@@ -96,20 +96,21 @@ def run(
                         totals[backend] += elapsed
                     kernel_seconds.setdefault((backend, kernel), []).append(elapsed)
                     makespan[(backend, kernel)] = str(result.makespan)
-                    rows.append(
-                        {
-                            "n": n,
-                            "m": m,
-                            "backend": backend,
-                            "kernel": kernel,
-                            "seconds": round(elapsed, 4),
-                            "T_star": str(result.T_lp),
-                            "makespan": str(result.makespan),
-                            "ratio_vs_lp": float(result.ratio_vs_lp),
-                            "pivots": stats.pivots,
-                            "refactorizations": stats.refactorizations,
-                        }
-                    )
+                    row = {
+                        "n": n,
+                        "m": m,
+                        "backend": backend,
+                        "kernel": kernel,
+                        "seconds": round(elapsed, 4),
+                        "T_star": str(result.T_lp),
+                        "makespan": str(result.makespan),
+                        "ratio_vs_lp": float(result.ratio_vs_lp),
+                    }
+                    # Full counter record, not hand-picked fields: the exact
+                    # to_json round-trip keeps bench rows and the sweep
+                    # hand-back on one schema (the perf gate reads both).
+                    row.update(stats.to_json())
+                    rows.append(row)
                     print(
                         f"n={n:3d} m={m:3d} backend={backend:7s} kernel={kernel:8s} "
                         f"{elapsed:8.3f}s  T*={result.T_lp}  pivots={stats.pivots}"

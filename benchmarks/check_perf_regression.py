@@ -19,10 +19,19 @@ It also re-checks the certification invariant: where both files share a
 shape, they must agree on the exact ``T*`` string — a perf artifact from a
 solver that changed its answers is worse than useless.
 
+Orthogonal to wall-clock, the gate compares **solver counters** per
+(backend, kernel, n, m) row: pivot counts and basis refactorizations are
+deterministic for a given code generation and instance, so — unlike
+seconds — they compare exactly across machines.  A fresh row may exceed
+its baseline by at most ``--max-counter-growth`` (ratio) plus
+``--counter-slack`` (absolute, so a 0-refactorization baseline doesn't
+forbid 1).  Rows whose baseline predates counter recording are skipped.
+
 Usage::
 
     python benchmarks/check_perf_regression.py BASELINE.json FRESH.json \
-        [--max-slowdown 1.5] [--backend hybrid] [--absolute]
+        [--max-slowdown 1.5] [--backend hybrid] [--absolute] \
+        [--max-counter-growth 1.1] [--counter-slack 4]
 """
 
 from __future__ import annotations
@@ -77,6 +86,67 @@ def _metric(
     }
 
 
+#: Counters gated per row.  Deterministic given (code, instance), so the
+#: comparison is exact — no normalization needed.
+_GATED_COUNTERS = ("pivots", "refactorizations")
+
+
+def _counter_rows(payload: Dict) -> Dict[Tuple, Dict[str, int]]:
+    """``(backend, kernel, n, m) → {counter: value}`` for rows that carry
+    counters (older baselines without them are silently absent)."""
+    out: Dict[Tuple, Dict[str, int]] = {}
+    for row in payload.get("rows", []):
+        if "pivots" not in row:
+            continue
+        key = (
+            str(row.get("backend")),
+            str(row.get("kernel")),
+            int(row["n"]),
+            int(row["m"]),
+        )
+        out[key] = {
+            counter: int(row.get(counter, 0)) for counter in _GATED_COUNTERS
+        }
+    return out
+
+
+def check_counters(
+    baseline: Dict, fresh: Dict, max_growth: float, slack: int
+) -> int:
+    """Gate pivot/refactorization counts per (backend, kernel, shape) row.
+
+    Returns the number of violations (0 = pass).  A fresh value passes when
+    ``fresh <= baseline * max_growth + slack``.
+    """
+    base = _counter_rows(baseline)
+    new = _counter_rows(fresh)
+    common = sorted(set(base) & set(new))
+    if not common:
+        print("counter gate: no common rows carry counters — skipped")
+        return 0
+    failures = 0
+    for key in common:
+        backend, kernel, n, m = key
+        for counter in _GATED_COUNTERS:
+            b, f = base[key][counter], new[key][counter]
+            allowed = b * max_growth + slack
+            ok = f <= allowed
+            marker = "ok" if ok else "FAIL"
+            if not ok or f != b:
+                print(
+                    f"  {marker}: n={n:3d} m={m:3d} {backend}/{kernel} "
+                    f"{counter}: baseline {b}, fresh {f} "
+                    f"(allowed ≤ {allowed:.1f})"
+                )
+            failures += 0 if ok else 1
+    print(
+        f"counter gate: {len(common)} (backend, kernel, shape) rows, "
+        f"{failures} violation(s) "
+        f"(growth ≤ {max_growth}x + {slack})"
+    )
+    return failures
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed BENCH_lp_backends.json")
@@ -88,6 +158,16 @@ def main(argv: List[str] = None) -> int:
         "--absolute", action="store_true",
         help="compare raw seconds (only meaningful when baseline and fresh "
         "ran on the same machine)",
+    )
+    parser.add_argument(
+        "--max-counter-growth", type=float, default=1.1,
+        help="allowed pivot/refactorization growth ratio per row "
+        "(default 1.1)",
+    )
+    parser.add_argument(
+        "--counter-slack", type=int, default=4,
+        help="absolute slack added to the counter bound (default 4; keeps "
+        "tiny baselines from gating on ±1)",
     )
     args = parser.parse_args(argv)
 
@@ -137,6 +217,12 @@ def main(argv: List[str] = None) -> int:
     )
     if median > args.max_slowdown:
         print("FAIL: perf regression gate tripped")
+        return 1
+    counter_failures = check_counters(
+        baseline, fresh, args.max_counter_growth, args.counter_slack
+    )
+    if counter_failures:
+        print("FAIL: solver-counter regression gate tripped")
         return 1
     print("OK")
     return 0

@@ -21,6 +21,9 @@ Commands
     Solve one of the built-in demo instances (``ii1``, ``v1``, ``smp``) with
     the exact solver and the 2-approximation, printing schedules as Gantt
     charts.
+``store stats <store>``
+    Inspect a store/cache directory: bucket entry counts and payload sizes,
+    solve-cache hit rates, per-experiment solver counters.
 ``version``
     Print the package version.
 
@@ -42,6 +45,17 @@ content key before computing.  A warm second run performs **zero** LP
 solves — ``--profile`` shows only cache hits.  The store format is the
 sweep store's (SQLite index + JSONL payloads), so a cache directory can be
 inspected with the same tooling.
+
+``--trace FILE`` (on ``experiments``, ``sweep`` and ``solve``) records the
+run's span tree — LP solves with phase boundaries, binary-search probes,
+session cache lookups, admission windows, sweep tasks — through
+:mod:`repro.obs`.  A ``.jsonl`` suffix streams one canonical JSON span per
+line; any other suffix writes a Chrome ``trace_event`` file that opens in
+``chrome://tracing`` or https://ui.perfetto.dev.  Sweeps merge worker span
+trees into the driver's trace.  ``repro report --profile <store>`` and
+``repro store stats <store>`` read the measured side back from a store
+index: per-experiment and fleet-wide solver counters, bucket sizes, cache
+hit rates.
 """
 
 from __future__ import annotations
@@ -123,6 +137,7 @@ def _run_sweep(
     seed0: Optional[int],
     params: List[str],
     shard: Optional[str] = None,
+    trace: bool = False,
 ) -> int:
     from .runner import ResultsStore, experiment_ids, get_spec, run_sweep
 
@@ -166,6 +181,7 @@ def _run_sweep(
             seed0=seed0,
             shard=shard_kn,
             echo=print,
+            trace=trace,
         )
     shard_note = f", shard {shard}" if shard_kn else ""
     print(
@@ -176,7 +192,9 @@ def _run_sweep(
     return 1 if stats.failed else 0
 
 
-def _run_report(store_path: str, ids: List[str], timings: bool) -> int:
+def _run_report(
+    store_path: str, ids: List[str], timings: bool, profile: bool = False
+) -> int:
     import os
 
     from .runner import ResultsStore, assemble_table
@@ -186,7 +204,7 @@ def _run_report(store_path: str, ids: List[str], timings: bool) -> int:
         return 2
     with ResultsStore(store_path) as store:
         chosen = ids or store.experiments()
-        if not chosen:
+        if not chosen and not profile:
             print(f"store {store_path!r} holds no completed tasks yet")
             return 0
         for exp_id in chosen:
@@ -196,6 +214,89 @@ def _run_report(store_path: str, ids: List[str], timings: bool) -> int:
                 continue
             print()
             print(table.render())
+        if profile:
+            print()
+            _render_store_profile(store, ids or None)
+    return 0
+
+
+def _render_store_profile(store, ids: Optional[List[str]] = None) -> None:
+    """Per-experiment and fleet-wide solver counters from a store index."""
+    from .lp.stats import SolverStats
+
+    totals = store.stats_totals()
+    if ids:
+        totals = {name: totals[name] for name in ids if name in totals}
+    if not totals:
+        print(
+            "no solver counters in the store index (tasks recorded before "
+            "the observability layer carry none; re-run the sweep to fill "
+            "them in)"
+        )
+        return
+    print("per-experiment solver counters (store index):")
+    for name in sorted(totals):
+        s = totals[name]
+        kernels = ", ".join(
+            f"{k}×{v}" for k, v in sorted(s.kernels.items())
+        ) or "none"
+        print(
+            f"  {name}: solves={s.solves} ({kernels}) pivots={s.pivots} "
+            f"refactorizations={s.refactorizations} "
+            f"cache={s.cache_hits}h/{s.cache_misses}m"
+        )
+    fleet = SolverStats()
+    for s in totals.values():
+        fleet.add(s)
+    print()
+    print("fleet-wide " + fleet.render())
+
+
+def _store_stats(store_path: str) -> int:
+    """``repro store stats``: bucket sizes, hit rates, solver counters."""
+    import os
+
+    from .lp.stats import SolverStats
+    from .session.cache import SolveCache
+
+    if not os.path.isdir(store_path):
+        print(f"no store at {store_path!r}")
+        return 2
+    with SolveCache(store_path) as cache:
+        summary = cache.bucket_summary()
+        if not summary:
+            print(f"store {store_path!r} holds no completed entries yet")
+            return 0
+        totals = cache.stats_totals()
+        print(f"store: {cache.root}")
+        print()
+        header = (
+            f"{'bucket':<24} {'entries':>7} {'payload':>10} {'elapsed':>9} "
+            f"{'solves':>7} {'pivots':>8} {'refac':>6} {'cache h/m':>10}"
+        )
+        print(header)
+        print("-" * len(header))
+        for name in sorted(summary):
+            info = summary[name]
+            s = totals.get(name, SolverStats())
+            print(
+                f"{name:<24} {info['entries']:>7} "
+                f"{info['payload_bytes']:>9}B {info['elapsed_s']:>8.2f}s "
+                f"{s.solves:>7} {s.pivots:>8} {s.refactorizations:>6} "
+                f"{f'{s.cache_hits}/{s.cache_misses}':>10}"
+            )
+        fleet = SolverStats()
+        for s in totals.values():
+            fleet.add(s)
+        lookups = fleet.cache_hits + fleet.cache_misses
+        print()
+        if lookups:
+            rate = 100.0 * fleet.cache_hits / lookups
+            print(
+                f"solve-cache lookups: {lookups} "
+                f"({fleet.cache_hits} hits, {rate:.0f}% hit rate)"
+            )
+        print("fleet-wide " + fleet.render())
     return 0
 
 
@@ -271,6 +372,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cache", default=None, metavar="PATH",
         help="persistent solve cache directory; a warm run does zero LP solves",
     )
+    exp.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span trace (.jsonl = JSONL spans, else Chrome "
+        "trace_event for chrome://tracing / Perfetto)",
+    )
     sweep = sub.add_parser(
         "sweep", help="shard experiment sweeps across a process pool"
     )
@@ -297,6 +403,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--params", nargs="*", default=[], metavar="K=V",
         help="axis overrides applied to every experiment accepting them",
     )
+    sweep.add_argument(
+        "--profile", action="store_true",
+        help="print aggregated solver counters after the sweep (worker "
+        "counters included)",
+    )
+    sweep.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span trace of the sweep; worker span trees are "
+        "merged into the driver's trace",
+    )
     report = sub.add_parser(
         "report", help="reassemble accumulated sweep tables from a store"
     )
@@ -305,6 +421,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     report.add_argument(
         "--timings", action="store_true",
         help="append per-task wall-clock from the store index",
+    )
+    report.add_argument(
+        "--profile", action="store_true",
+        help="render per-experiment and fleet-wide solver counters from "
+        "the store index",
     )
     solve = sub.add_parser("solve", help="solve a built-in demo instance")
     solve.add_argument("--demo", default="ii1", help="ii1 | v1 | smp")
@@ -328,6 +449,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cache", default=None, metavar="PATH",
         help="persistent solve cache directory; a warm run does zero LP solves",
     )
+    solve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span trace (.jsonl = JSONL spans, else Chrome "
+        "trace_event for chrome://tracing / Perfetto)",
+    )
+    store_cmd = sub.add_parser(
+        "store", help="inspect a results/cache store directory"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command")
+    store_stats = store_sub.add_parser(
+        "stats",
+        help="bucket sizes, cache hit rates, per-experiment solver counters",
+    )
+    store_stats.add_argument("store", help="store directory")
     sub.add_parser("version", help="print the package version")
 
     args = parser.parse_args(argv)
@@ -341,15 +476,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         cache = set_default_cache(args.cache)
     try:
-        if getattr(args, "profile", False):
-            from .lp.stats import collect_stats
-
-            with collect_stats() as profile:
-                code = _dispatch(args, parser)
-            print()
-            print(profile.render())
-            return code
-        return _dispatch(args, parser)
+        return _run_instrumented(args, parser)
     finally:
         if cache is not None:
             from .session import set_default_cache
@@ -358,18 +485,66 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache.close()
 
 
+def _run_instrumented(args, parser) -> int:
+    """Dispatch under the requested ``--profile`` scope and ``--trace``
+    tracer (``report --profile`` reads a store instead — no live scope)."""
+    from contextlib import ExitStack
+
+    trace_path = getattr(args, "trace", None)
+    want_profile = (
+        bool(getattr(args, "profile", False)) and args.command != "report"
+    )
+    tracer = None
+    profile = None
+    with ExitStack() as stack:
+        if want_profile:
+            from .lp.stats import collect_stats
+
+            profile = stack.enter_context(collect_stats())
+        if trace_path:
+            from .obs import JsonlSpanSink, Tracer, span, tracing
+
+            if trace_path.endswith(".jsonl"):
+                sink = stack.enter_context(JsonlSpanSink(trace_path))
+                tracer = Tracer(sink=sink)
+            else:
+                tracer = Tracer()
+            stack.enter_context(tracing(tracer))
+            stack.enter_context(span(f"repro.{args.command}"))
+        code = _dispatch(args, parser)
+    if tracer is not None:
+        if not trace_path.endswith(".jsonl"):
+            from .obs import write_chrome_trace
+
+            write_chrome_trace(
+                trace_path, tracer.spans, label=f"repro {args.command}"
+            )
+        print(f"\ntrace: {len(tracer.spans)} spans -> {trace_path}")
+    if profile is not None:
+        print()
+        print(profile.render())
+    return code
+
+
 def _dispatch(args, parser) -> int:
     if args.command == "experiments":
         return _run_experiments(args.ids, backend=args.backend)
     if args.command == "sweep":
         return _run_sweep(
             args.ids, args.jobs, args.store, args.seeds, args.seed0,
-            args.params, shard=args.shard,
+            args.params, shard=args.shard, trace=bool(args.trace),
         )
     if args.command == "report":
-        return _run_report(args.store, args.ids, args.timings)
+        return _run_report(
+            args.store, args.ids, args.timings, profile=args.profile
+        )
     if args.command == "solve":
         return _solve_demo(args.demo, backend=args.backend, kernel=args.kernel)
+    if args.command == "store":
+        if getattr(args, "store_command", None) == "stats":
+            return _store_stats(args.store)
+        parser.parse_args(["store", "--help"])
+        return 1
     if args.command == "version":
         print(__version__)
         return 0

@@ -42,6 +42,7 @@ from ..lp.certificates import farkas_certifies
 from ..lp.model import LinearProgram
 from ..lp.solve import check_standard_rows, feasible_point, feasible_point_rows, solve_lp
 from ..lp.stats import SolverStats, record
+from ..obs.trace import span as trace_span
 from .assignment import FractionalAssignment
 from .instance import Instance
 from .laminar import MachineSet
@@ -258,38 +259,49 @@ class _ProbeSession:
         """
         builder = self.builder
         var_p = builder.var_p
-        # A job with no admissible pair at T is an unsatisfiable {} == 1
-        # row; decide it structurally instead of building the LP.
-        for j in range(builder.instance.n):
-            if not any(var_p[gi] <= T for gi in builder.assign_template[j]):
-                return None
-        coeff_rows, senses, rhs, active = builder.probe_rows(T)
-        if self.farkas is not None and farkas_certifies(
-            coeff_rows, senses, rhs, self.farkas
-        ):
-            record(SolverStats(farkas_reuses=1))
-            return None
-        masked: Optional[List[Fraction]] = None
-        if self.point is not None:
-            masked = [self.point.get(gi, Fraction(0)) for gi in active]
-            support_survives = all(var_p[gi] <= T for gi in self.point)
-            if support_survives and check_standard_rows(
-                coeff_rows, senses, rhs, masked
+        with trace_span("search.probe", T=str(T)) as probe_sp:
+            # A job with no admissible pair at T is an unsatisfiable {} == 1
+            # row; decide it structurally instead of building the LP.
+            for j in range(builder.instance.n):
+                if not any(var_p[gi] <= T for gi in builder.assign_template[j]):
+                    if probe_sp:
+                        probe_sp.attrs["outcome"] = "structurally-infeasible"
+                    return None
+            coeff_rows, senses, rhs, active = builder.probe_rows(T)
+            if self.farkas is not None and farkas_certifies(
+                coeff_rows, senses, rhs, self.farkas
             ):
-                record(SolverStats(point_reuses=1))
+                record(SolverStats(farkas_reuses=1))
+                if probe_sp:
+                    probe_sp.attrs["outcome"] = "farkas-reuse"
+                return None
+            masked: Optional[List[Fraction]] = None
+            if self.point is not None:
+                masked = [self.point.get(gi, Fraction(0)) for gi in active]
+                support_survives = all(var_p[gi] <= T for gi in self.point)
+                if support_survives and check_standard_rows(
+                    coeff_rows, senses, rhs, masked
+                ):
+                    record(SolverStats(point_reuses=1))
+                    if probe_sp:
+                        probe_sp.attrs["outcome"] = "point-reuse"
+                    return self.point
+            point, farkas = feasible_point_rows(
+                coeff_rows, senses, rhs, len(active),
+                backend=self.backend, warm_point=masked, kernel=self.kernel,
+            )
+            if point is not None:
+                self.point = {
+                    active[li]: v for li, v in enumerate(point) if v
+                }
+                if probe_sp:
+                    probe_sp.attrs["outcome"] = "solved-feasible"
                 return self.point
-        point, farkas = feasible_point_rows(
-            coeff_rows, senses, rhs, len(active),
-            backend=self.backend, warm_point=masked, kernel=self.kernel,
-        )
-        if point is not None:
-            self.point = {
-                active[li]: v for li, v in enumerate(point) if v
-            }
-            return self.point
-        if farkas is not None:
-            self.farkas = farkas
-        return None
+            if farkas is not None:
+                self.farkas = farkas
+            if probe_sp:
+                probe_sp.attrs["outcome"] = "solved-infeasible"
+            return None
 
     def keyed_point(
         self, gpoint: Optional[Dict[int, Fraction]]
@@ -421,17 +433,26 @@ def _min_T_with_fixed_R(
     the exact/hybrid backends start from a feasible basis.
     """
     builder = builder or IP3Builder(instance)
-    lp = builder.min_T_lp(r_anchor, t_low)
-    if lp is None:
-        return None
-    warm = None
-    if warm_values:
-        warm = dict(warm_values)
-        warm.setdefault(T_KEY, max(t_low, r_anchor))
-    solution = solve_lp(lp, backend=backend, warm_values=warm, kernel=kernel)
-    if not solution.is_optimal:
-        return None
-    return to_fraction(solution.value(T_KEY))
+    with trace_span(
+        "search.min_T", anchor=str(r_anchor), warm=warm_values is not None,
+    ) as min_sp:
+        lp = builder.min_T_lp(r_anchor, t_low)
+        if lp is None:
+            if min_sp:
+                min_sp.attrs["outcome"] = "trivially-infeasible"
+            return None
+        warm = None
+        if warm_values:
+            warm = dict(warm_values)
+            warm.setdefault(T_KEY, max(t_low, r_anchor))
+        solution = solve_lp(lp, backend=backend, warm_values=warm, kernel=kernel)
+        if not solution.is_optimal:
+            if min_sp:
+                min_sp.attrs["outcome"] = "infeasible"
+            return None
+        if min_sp:
+            min_sp.attrs["outcome"] = "optimal"
+        return to_fraction(solution.value(T_KEY))
 
 
 def minimal_fractional_T(
@@ -468,51 +489,55 @@ def minimal_fractional_T(
         # Every finite time is 0 and every job has one: T* = 0 exactly.
         return Fraction(0)
 
-    session = _ProbeSession(builder, backend, kernel=kernel)
-    lo_idx, hi_idx = 0, len(points) - 1
-    top_point = session.probe(points[hi_idx])
-    if top_point is None:
-        # The optimum lies above every processing time (the load bound
-        # dominates); R is maximal there, so one min-T LP settles it.
-        top = points[hi_idx]
-        t_above = _min_T_with_fixed_R(
-            instance, top, top, backend, builder=builder, kernel=kernel
-        )
-        if t_above is None:
-            raise InfeasibleError(
-                "LP relaxation infeasible at every horizon; some job cannot "
-                "be placed"
+    with trace_span(
+        "search.minimal_fractional_T",
+        n=instance.n, backend=backend, breakpoints=len(points),
+    ):
+        session = _ProbeSession(builder, backend, kernel=kernel)
+        lo_idx, hi_idx = 0, len(points) - 1
+        top_point = session.probe(points[hi_idx])
+        if top_point is None:
+            # The optimum lies above every processing time (the load bound
+            # dominates); R is maximal there, so one min-T LP settles it.
+            top = points[hi_idx]
+            t_above = _min_T_with_fixed_R(
+                instance, top, top, backend, builder=builder, kernel=kernel
             )
-        return t_above
-    # Find the smallest breakpoint index at which the LP becomes feasible.
-    feasible_points: Dict[Fraction, Dict] = {points[hi_idx]: top_point}
-    while lo_idx < hi_idx:
-        mid = (lo_idx + hi_idx) // 2
-        mid_point = session.probe(points[mid])
-        if mid_point is not None:
-            feasible_points[points[mid]] = mid_point
-            hi_idx = mid
-        else:
-            lo_idx = mid + 1
-    anchor = points[lo_idx]
-    anchor_point = session.keyed_point(feasible_points.get(anchor))
-    # Below `anchor`, R is strictly smaller.  The optimum lies either in the
-    # previous bracket [prev, anchor) with R(prev), or at/above anchor with
-    # R(anchor).
-    candidates: List[Fraction] = []
-    if lo_idx > 0:
-        prev = points[lo_idx - 1]
-        t_prev = _min_T_with_fixed_R(
-            instance, prev, prev, backend, builder=builder, kernel=kernel
+            if t_above is None:
+                raise InfeasibleError(
+                    "LP relaxation infeasible at every horizon; some job cannot "
+                    "be placed"
+                )
+            return t_above
+        # Find the smallest breakpoint index at which the LP becomes feasible.
+        feasible_points: Dict[Fraction, Dict] = {points[hi_idx]: top_point}
+        while lo_idx < hi_idx:
+            mid = (lo_idx + hi_idx) // 2
+            mid_point = session.probe(points[mid])
+            if mid_point is not None:
+                feasible_points[points[mid]] = mid_point
+                hi_idx = mid
+            else:
+                lo_idx = mid + 1
+        anchor = points[lo_idx]
+        anchor_point = session.keyed_point(feasible_points.get(anchor))
+        # Below `anchor`, R is strictly smaller.  The optimum lies either in
+        # the previous bracket [prev, anchor) with R(prev), or at/above anchor
+        # with R(anchor).
+        candidates: List[Fraction] = []
+        if lo_idx > 0:
+            prev = points[lo_idx - 1]
+            t_prev = _min_T_with_fixed_R(
+                instance, prev, prev, backend, builder=builder, kernel=kernel
+            )
+            if t_prev is not None and t_prev < anchor:
+                candidates.append(t_prev)
+        t_here = _min_T_with_fixed_R(
+            instance, anchor, anchor, backend, builder=builder,
+            warm_values=anchor_point, kernel=kernel,
         )
-        if t_prev is not None and t_prev < anchor:
-            candidates.append(t_prev)
-    t_here = _min_T_with_fixed_R(
-        instance, anchor, anchor, backend, builder=builder,
-        warm_values=anchor_point, kernel=kernel,
-    )
-    if t_here is not None:
-        candidates.append(t_here)
-    if not candidates:  # pragma: no cover - guarded by the binary search
-        raise InfeasibleError("bracket search failed to certify feasibility")
-    return min(candidates)
+        if t_here is not None:
+            candidates.append(t_here)
+        if not candidates:  # pragma: no cover - guarded by the binary search
+            raise InfeasibleError("bracket search failed to certify feasibility")
+        return min(candidates)

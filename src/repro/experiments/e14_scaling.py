@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List
 
 from ..analysis import Table
+from ..obs.trace import suspended
 from ..session import Session
 from ..workloads import random_hierarchical, rng_from_seed
 
@@ -47,9 +48,12 @@ def run(
             session = Session(backend=backend, cache=False)
             rng = rng_from_seed(seed)  # same instances per backend
             inst = random_hierarchical(rng, n=n, m=m)
-            start = time.perf_counter()
-            result = session.two_approximation(inst)
-            elapsed = time.perf_counter() - start
+            # suspended(): the timed region must not pay span bookkeeping —
+            # E14 stays trace-off by design even under `--trace`.
+            with suspended():
+                start = time.perf_counter()
+                result = session.two_approximation(inst)
+                elapsed = time.perf_counter() - start
             rows.append(
                 E14Row(
                     n=n,

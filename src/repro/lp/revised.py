@@ -481,67 +481,88 @@ def solve_standard_revised(
         _tight_rows,
         standard_form,
     )
+    from ..obs.trace import span as trace_span
     from .stats import record
 
-    std = standard_form(coeff_rows, senses, rhs, objective)
-    solver = _RevisedSolver(
-        std,
-        objective,
-        bland_threshold if bland_threshold is not None else BLAND_THRESHOLD_DEFAULT,
-        max_pivots if max_pivots is not None else MAX_PIVOTS_DEFAULT,
-        pricing,
-    )
-    has_artificials = any(std.needs_artificial)
+    with trace_span(
+        "lp.solve", kernel="revised", rows=len(coeff_rows), cols=len(objective),
+    ) as solve_sp:
+        std = standard_form(coeff_rows, senses, rhs, objective)
+        solver = _RevisedSolver(
+            std,
+            objective,
+            bland_threshold if bland_threshold is not None else BLAND_THRESHOLD_DEFAULT,
+            max_pivots if max_pivots is not None else MAX_PIVOTS_DEFAULT,
+            pricing,
+        )
+        has_artificials = any(std.needs_artificial)
 
-    eligible: Optional[List[bool]] = None
-    if warm_point is not None and len(warm_point) == std.n:
-        point = [to_fraction(v) for v in warm_point]
-        warm_hints = _point_hints(point) + list(warm_hints or [])
-        eligible = _tight_rows(coeff_rows, senses, rhs, point)
+        eligible: Optional[List[bool]] = None
+        if warm_point is not None and len(warm_point) == std.n:
+            point = [to_fraction(v) for v in warm_point]
+            warm_hints = _point_hints(point) + list(warm_hints or [])
+            eligible = _tight_rows(coeff_rows, senses, rhs, point)
 
-    crashed = False
-    if warm_hints:
-        solver.stats.warm_start_attempts += 1
-        crashed = solver.crash_factorize(warm_hints, eligible)
-        if crashed:
-            solver.stats.warm_start_hits += 1
-        else:
-            # The crash landed on an infeasible dictionary; restart from the
-            # identity basis and fall back to ratio-test pushes.
-            solver.reset()
-            solver.push_hints(warm_hints)
+        crashed = False
+        if warm_hints:
+            solver.stats.warm_start_attempts += 1
+            with trace_span("lp.crash", hints=len(warm_hints)) as crash_sp:
+                crashed = solver.crash_factorize(warm_hints, eligible)
+                if crashed:
+                    solver.stats.warm_start_hits += 1
+                else:
+                    # The crash landed on an infeasible dictionary; restart
+                    # from the identity basis and fall back to ratio-test
+                    # pushes.
+                    solver.reset()
+                    solver.push_hints(warm_hints)
+                if crash_sp:
+                    crash_sp.attrs["hit"] = crashed
+                    crash_sp.attrs["pivots"] = solver.pivots
 
-    # ---------------- Phase 1: minimize the sum of artificials -------------
-    if has_artificials and not crashed:
-        status = solver.run_phase(1)
-        if status == "unbounded":  # pragma: no cover - impossible: cost ≥ 0
-            raise SolverError("phase-1 objective unbounded")
-        if solver.artificial_level_positive():
-            farkas = (
-                solver.farkas_certificate(coeff_rows, senses, rhs)
-                if want_farkas
-                else None
-            )
-            solver.stats.pivots = solver.pivots
-            record(solver.stats)
+        # ------------- Phase 1: minimize the sum of artificials ------------
+        if has_artificials and not crashed:
+            with trace_span("lp.phase1") as phase_sp:
+                status = solver.run_phase(1)
+                if phase_sp:
+                    phase_sp.attrs["pivots"] = solver.stats.phase1_pivots
+            if status == "unbounded":  # pragma: no cover - impossible: cost ≥ 0
+                raise SolverError("phase-1 objective unbounded")
+            if solver.artificial_level_positive():
+                farkas = (
+                    solver.farkas_certificate(coeff_rows, senses, rhs)
+                    if want_farkas
+                    else None
+                )
+                solver.stats.pivots = solver.pivots
+                record(solver.stats)
+                if solve_sp:
+                    solve_sp.attrs["status"] = "infeasible"
+                return SimplexResult(
+                    "infeasible", [], None, None, solver.pivots,
+                    stats=solver.stats, farkas=farkas,
+                )
+        if has_artificials:
+            solver.clear_artificials()
+
+        # ------------- Phase 2: original objective -------------------------
+        phase1_total = solver.pivots
+        with trace_span("lp.phase2") as phase_sp:
+            status = solver.run_phase(2)
+            if phase_sp:
+                phase_sp.attrs["pivots"] = solver.pivots - phase1_total
+        solver.stats.pivots = solver.pivots
+        record(solver.stats)
+        if solve_sp:
+            solve_sp.attrs["status"] = status
+            solve_sp.attrs["pivots"] = solver.pivots
+        if status == "unbounded":
             return SimplexResult(
-                "infeasible", [], None, None, solver.pivots,
-                stats=solver.stats, farkas=farkas,
+                "unbounded", [], None, list(solver.basis), solver.pivots,
+                stats=solver.stats,
             )
-    if has_artificials:
-        solver.clear_artificials()
-
-    # ---------------- Phase 2: original objective --------------------------
-    status = solver.run_phase(2)
-    solver.stats.pivots = solver.pivots
-    record(solver.stats)
-    if status == "unbounded":
+        x, value = solver.extract(objective)
         return SimplexResult(
-            "unbounded", [], None, list(solver.basis), solver.pivots,
+            "optimal", x, value, list(solver.basis), solver.pivots,
             stats=solver.stats,
         )
-    x, value = solver.extract(objective)
-    return SimplexResult(
-        "optimal", x, value, list(solver.basis), solver.pivots,
-        stats=solver.stats,
-    )

@@ -568,87 +568,109 @@ def solve_standard(
             f"kernel always prices with Dantzig→Bland)"
         )
 
+    from ..obs.trace import span as trace_span
+
     bland_threshold = (
         BLAND_THRESHOLD_DEFAULT if bland_threshold is None else bland_threshold
     )
     max_pivots = MAX_PIVOTS_DEFAULT if max_pivots is None else max_pivots
     stats = SolverStats(solves=1)
     stats.count_kernel("tableau")
-    std = standard_form(coeff_rows, senses, rhs, objective)
-    tab, has_artificials = _build_tableau(std, objective, bland_threshold, max_pivots)
-    r = std.num_rows
+    with trace_span(
+        "lp.solve", kernel="tableau", rows=len(coeff_rows), cols=len(objective),
+    ) as solve_sp:
+        std = standard_form(coeff_rows, senses, rhs, objective)
+        tab, has_artificials = _build_tableau(std, objective, bland_threshold, max_pivots)
+        r = std.num_rows
 
-    eligible: Optional[List[bool]] = None
-    if warm_point is not None and len(warm_point) == std.n:
-        point = [to_fraction(v) for v in warm_point]
-        warm_hints = _point_hints(point) + list(warm_hints or [])
-        eligible = _tight_rows(coeff_rows, senses, rhs, point)
+        eligible: Optional[List[bool]] = None
+        if warm_point is not None and len(warm_point) == std.n:
+            point = [to_fraction(v) for v in warm_point]
+            warm_hints = _point_hints(point) + list(warm_hints or [])
+            eligible = _tight_rows(coeff_rows, senses, rhs, point)
 
-    crashed = False
-    if warm_hints:
-        stats.warm_start_attempts += 1
-        crashed = tab.crash_basis(warm_hints, std, eligible)
-        if crashed:
-            stats.warm_start_hits += 1
-        else:
-            # The crash left an infeasible dictionary; rebuild and fall back
-            # to ratio-test pushes (always legal, merely less direct).
-            tab, has_artificials = _build_tableau(
-                std, objective, bland_threshold, max_pivots
+        crashed = False
+        if warm_hints:
+            stats.warm_start_attempts += 1
+            with trace_span("lp.crash", hints=len(warm_hints)) as crash_sp:
+                crashed = tab.crash_basis(warm_hints, std, eligible)
+                if crashed:
+                    stats.warm_start_hits += 1
+                else:
+                    # The crash left an infeasible dictionary; rebuild and
+                    # fall back to ratio-test pushes (always legal, merely
+                    # less direct).
+                    tab, has_artificials = _build_tableau(
+                        std, objective, bland_threshold, max_pivots
+                    )
+                    tab.push_hints(warm_hints)
+                if crash_sp:
+                    crash_sp.attrs["hit"] = crashed
+                    crash_sp.attrs["pivots"] = tab.pivots
+
+        # ------------- Phase 1: minimize the sum of artificials ------------
+        if has_artificials:
+            if not crashed:
+                before = tab.pivots
+                with trace_span("lp.phase1") as phase_sp:
+                    status = tab.run_phase(r + 1)
+                    if phase_sp:
+                        phase_sp.attrs["pivots"] = tab.pivots - before
+                stats.phase1_pivots += tab.pivots - before
+                if status == "unbounded":  # pragma: no cover - impossible: cost ≥ 0
+                    raise SolverError("phase-1 objective unbounded")
+                if tab.rows[r + 1][-1] < 0:  # objective −rhs/den still positive
+                    stats.pivots = tab.pivots
+                    record(stats)
+                    if solve_sp:
+                        solve_sp.attrs["status"] = "infeasible"
+                    return SimplexResult(
+                        "infeasible", [], None, None, tab.pivots, stats=stats
+                    )
+            # Drive any zero-level artificials out of the basis.  This is
+            # load-bearing, not cosmetic: a basic artificial at level 0 whose
+            # row has non-zero structural entries could be lifted off zero by
+            # a later phase-2 pivot, silently voiding an equality row.
+            for i in range(r):
+                if tab.basis[i] >= std.art_start:
+                    pivot_col = None
+                    row_i = tab.rows[i]
+                    for j in range(std.art_start):
+                        if row_i[j] != 0:
+                            pivot_col = j
+                            break
+                    if pivot_col is not None:
+                        tab.pivot(i, pivot_col)
+                    # else: the row is all-zero outside its artificial column
+                    # (redundant constraint); the artificial stays basic at 0
+                    # and nothing can move it.
+            tab.rows.pop()  # drop the phase-1 cost row
+            tab.drop_artificials()
+
+        # ------------- Phase 2: original objective -------------------------
+        phase1_total = tab.pivots
+        with trace_span("lp.phase2") as phase_sp:
+            status = tab.run_phase(r)
+            if phase_sp:
+                phase_sp.attrs["pivots"] = tab.pivots - phase1_total
+        stats.pivots = tab.pivots
+        record(stats)
+        if solve_sp:
+            solve_sp.attrs["status"] = status
+            solve_sp.attrs["pivots"] = tab.pivots
+        if status == "unbounded":
+            return SimplexResult(
+                "unbounded", [], None, list(tab.basis), tab.pivots, stats=stats
             )
-            tab.push_hints(warm_hints)
 
-    # ---------------- Phase 1: minimize the sum of artificials -------------
-    if has_artificials:
-        if not crashed:
-            before = tab.pivots
-            status = tab.run_phase(r + 1)
-            stats.phase1_pivots += tab.pivots - before
-            if status == "unbounded":  # pragma: no cover - impossible: cost ≥ 0
-                raise SolverError("phase-1 objective unbounded")
-            if tab.rows[r + 1][-1] < 0:  # objective −rhs/den still positive
-                stats.pivots = tab.pivots
-                record(stats)
-                return SimplexResult(
-                    "infeasible", [], None, None, tab.pivots, stats=stats
-                )
-        # Drive any zero-level artificials out of the basis.  This is load-
-        # bearing, not cosmetic: a basic artificial at level 0 whose row has
-        # non-zero structural entries could be lifted off zero by a later
-        # phase-2 pivot, silently voiding an equality row.
+        n = std.n
+        x = [Fraction(0)] * n
         for i in range(r):
-            if tab.basis[i] >= std.art_start:
-                pivot_col = None
-                row_i = tab.rows[i]
-                for j in range(std.art_start):
-                    if row_i[j] != 0:
-                        pivot_col = j
-                        break
-                if pivot_col is not None:
-                    tab.pivot(i, pivot_col)
-                # else: the row is all-zero outside its artificial column
-                # (redundant constraint); the artificial stays basic at 0
-                # and nothing can move it.
-        tab.rows.pop()  # drop the phase-1 cost row
-        tab.drop_artificials()
-
-    # ---------------- Phase 2: original objective --------------------------
-    status = tab.run_phase(r)
-    stats.pivots = tab.pivots
-    record(stats)
-    if status == "unbounded":
-        return SimplexResult(
-            "unbounded", [], None, list(tab.basis), tab.pivots, stats=stats
+            if tab.basis[i] < n:
+                x[tab.basis[i]] = tab.value(i, -1)
+        objective_value = sum(
+            (to_fraction(objective[j]) * x[j] for j in range(n) if x[j]), Fraction(0)
         )
-
-    n = std.n
-    x = [Fraction(0)] * n
-    for i in range(r):
-        if tab.basis[i] < n:
-            x[tab.basis[i]] = tab.value(i, -1)
-    objective_value = sum(
-        (to_fraction(objective[j]) * x[j] for j in range(n) if x[j]), Fraction(0)
-    )
-    return SimplexResult(
-        "optimal", x, objective_value, list(tab.basis), tab.pivots, stats=stats
-    )
+        return SimplexResult(
+            "optimal", x, objective_value, list(tab.basis), tab.pivots, stats=stats
+        )

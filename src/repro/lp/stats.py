@@ -17,13 +17,25 @@ can cite counters, not just seconds.
 
 Scopes are per-process (module state, not shared across a sweep's worker
 pool) and nestable — an inner scope does not steal counts from an outer one.
+The sweep runner closes the per-process gap by running every task inside a
+scope and handing the aggregate back to the driver (see
+:mod:`repro.runner.executor`), where it is persisted in the store index.
+
+Besides scopes, :func:`record` notifies registered **sinks** — callbacks the
+tracing layer (:mod:`repro.obs`) uses to attach counter deltas to the open
+spans.  Sinks observe the same stream the scopes aggregate; they must never
+influence it, so a sink that itself calls :func:`record` re-entrantly only
+updates scopes (the sink fan-out is suppressed while a sink is running —
+otherwise one badly-written sink could recurse forever), and both scopes and
+sinks are iterated over snapshots so a callback that opens or closes scopes
+mid-record cannot corrupt the dispatch.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Any, Callable, Dict, Iterator, List
 
 
 @dataclass
@@ -71,6 +83,48 @@ class SolverStats:
         for kernel, count in other.kernels.items():
             self.kernels[kernel] = self.kernels.get(kernel, 0) + count
 
+    def to_json(self) -> Dict[str, Any]:
+        """Exact JSON-ready form (plain ints; ``kernels`` copied).
+
+        The wire format of the sweep hand-back: workers serialize their
+        per-task aggregate, the driver and ``repro report --profile``
+        rebuild it with :meth:`from_json`.  Round-trip is exact — every
+        counter is an int and the ``kernels`` dict is copied, not shared.
+        """
+        return {
+            "solves": self.solves,
+            "pivots": self.pivots,
+            "phase1_pivots": self.phase1_pivots,
+            "refactorizations": self.refactorizations,
+            "warm_start_attempts": self.warm_start_attempts,
+            "warm_start_hits": self.warm_start_hits,
+            "point_reuses": self.point_reuses,
+            "farkas_reuses": self.farkas_reuses,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "kernels": dict(self.kernels),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "SolverStats":
+        """Inverse of :meth:`to_json`; unknown keys are ignored, missing
+        ones default to 0 (an older artifact stays readable)."""
+        stats = cls(
+            **{
+                name: int(payload.get(name, 0))
+                for name in (
+                    "solves", "pivots", "phase1_pivots", "refactorizations",
+                    "warm_start_attempts", "warm_start_hits",
+                    "point_reuses", "farkas_reuses",
+                    "cache_hits", "cache_misses",
+                )
+            }
+        )
+        stats.kernels = {
+            str(k): int(v) for k, v in dict(payload.get("kernels", {})).items()
+        }
+        return stats
+
     def render(self) -> str:
         """One human-readable block (the ``--profile`` output)."""
         kernels = ", ".join(
@@ -95,16 +149,62 @@ class SolverStats:
 #: solver hot path must not pay for collection when nothing listens.
 _scopes: List[SolverStats] = []
 
+#: Registered observer callbacks (the tracing layer's span attachment).
+_sinks: List[Callable[[SolverStats], None]] = []
+
+#: True while sink callbacks are running: a sink that re-enters record()
+#: must not fan out to sinks again (scopes still aggregate normally).
+_in_sinks = False
+
+
+def add_sink(sink: Callable[[SolverStats], None]) -> None:
+    """Register *sink* to observe every :func:`record` call.
+
+    Sinks are observers, not aggregators: they receive the same
+    :class:`SolverStats` deltas the scopes sum, and must not mutate them.
+    """
+    _sinks.append(sink)
+
+
+def remove_sink(sink: Callable[[SolverStats], None]) -> None:
+    """Unregister *sink* (by identity; a no-op if it is not registered)."""
+    for i in range(len(_sinks) - 1, -1, -1):
+        if _sinks[i] is sink:
+            del _sinks[i]
+            break
+
 
 def record(stats: SolverStats) -> None:
-    """Add *stats* to every active aggregation scope (no-op when none)."""
-    for scope in _scopes:
+    """Add *stats* to every active scope and notify sinks (no-op when none).
+
+    Both fan-outs iterate over snapshots: a sink (or a re-entrant caller)
+    that opens or closes scopes mid-dispatch cannot corrupt the iteration,
+    and a scope torn down concurrently simply stops receiving.  Re-entrant
+    ``record`` calls made *from* a sink update scopes but skip the sink
+    fan-out — tracing a span must never recurse into tracing.
+    """
+    global _in_sinks
+    for scope in tuple(_scopes):
         scope.add(stats)
+    if _sinks and not _in_sinks:
+        _in_sinks = True
+        try:
+            for sink in tuple(_sinks):
+                sink(stats)
+        finally:
+            _in_sinks = False
 
 
 @contextmanager
 def collect_stats() -> Iterator[SolverStats]:
-    """Aggregate the stats of every solve performed inside the scope."""
+    """Aggregate the stats of every solve performed inside the scope.
+
+    Teardown is exception-safe and order-independent: the scope is removed
+    by identity wherever it sits in the stack, so scopes unwound out of
+    order (e.g. generators closed late, or exceptions propagating through
+    several nested scopes at once) each remove exactly themselves and never
+    leak — re-entrant :func:`record` calls from sink callbacks included.
+    """
     scope = SolverStats()
     _scopes.append(scope)
     try:

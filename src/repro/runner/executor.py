@@ -27,6 +27,16 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..lp.stats import SolverStats, collect_stats, record as record_stats
+from ..obs.trace import (
+    Tracer,
+    adopt_spans,
+    install,
+    reset as obs_reset,
+    span as trace_span,
+    tracing_enabled,
+    uninstall,
+)
 from .registry import get_spec
 from .store import ResultsStore, _canonical
 
@@ -56,18 +66,44 @@ class SweepStats:
 
 
 def execute_task(
-    experiment: str, params: Dict[str, Any], key: str, fingerprint: str
-) -> Tuple[Dict[str, Any], float]:
-    """Run one task and return ``(store record, elapsed seconds)``.
+    experiment: str,
+    params: Dict[str, Any],
+    key: str,
+    fingerprint: str,
+    trace: bool = False,
+) -> Tuple[Dict[str, Any], float, Dict[str, Any]]:
+    """Run one task; return ``(store record, elapsed seconds, profile)``.
 
     Module-level so it pickles for the process pool; workers re-resolve the
     spec through the registry, which re-imports the experiment module under
     spawn-style start methods.
+
+    The *profile* dict is the measured side of the task: ``"stats"`` holds
+    the aggregated :class:`~repro.lp.stats.SolverStats` of the run (always
+    collected — it feeds the store index and ``--profile``), and, when
+    *trace* is set **in a worker process** (no ambient tracer), ``"spans"``
+    holds the task's span tree as ``Span.to_json()`` payloads for the
+    driver to :func:`~repro.obs.trace.adopt_spans`.  When the task runs in
+    the driver itself, spans flow into the ambient tracer directly and
+    ``"spans"`` stays absent.
     """
     spec = get_spec(experiment)
-    start = time.perf_counter()
-    result = spec.run(**params)
-    elapsed = time.perf_counter() - start
+    local_tracer: Optional[Tracer] = None
+    if trace and not tracing_enabled():
+        local_tracer = Tracer()
+        install(local_tracer)
+    try:
+        with collect_stats() as scope:
+            with trace_span("sweep.task", experiment=experiment, key=key[:12]):
+                start = time.perf_counter()
+                result = spec.run(**params)
+                elapsed = time.perf_counter() - start
+    finally:
+        if local_tracer is not None:
+            uninstall(local_tracer)
+    profile: Dict[str, Any] = {"stats": scope.to_json()}
+    if local_tracer is not None:
+        profile["spans"] = [sp.to_json() for sp in local_tracer.spans]
     payload = result.table.to_json()
     volatile = set(spec.volatile_columns) & set(payload["headers"])
     if volatile:
@@ -83,10 +119,14 @@ def execute_task(
         "fingerprint": fingerprint,
         "table": payload,
     }
-    return record, elapsed
+    return record, elapsed, profile
 
 
-def _execute_tuple(args: Tuple[str, Dict[str, Any], str, str]):
+def _execute_tuple(args: Tuple[str, Dict[str, Any], str, str, bool]):
+    # Pool-worker entry: a fork-started worker inherits the driver's
+    # installed tracer; reset so execute_task installs a worker-local one
+    # whose span tree ships back in the profile instead of vanishing.
+    obs_reset()
     return execute_task(*args)
 
 
@@ -96,8 +136,16 @@ def run_tasks(
     fingerprint: str,
     jobs: int = 1,
     echo: Optional[Callable[[str], None]] = None,
+    trace: bool = False,
 ) -> SweepStats:
-    """Execute every task not already in *store*; flush in task order."""
+    """Execute every task not already in *store*; flush in task order.
+
+    Each executed task's solver counters land in the store index
+    (``stats_json``) next to its wall-clock.  With *trace* set and a tracer
+    installed in the driver, worker span trees are shipped back and grafted
+    under the driver's current span, so ``--jobs N`` still yields one
+    merged trace.
+    """
     say = echo or (lambda _msg: None)
     stats = SweepStats(total=len(tasks))
     pending: List[Tuple[int, Task]] = []
@@ -113,15 +161,16 @@ def run_tasks(
     if jobs <= 1:
         for _idx, task in pending:
             try:
-                record, elapsed = execute_task(
-                    task.experiment, task.params, task.key, fingerprint
+                record, elapsed, profile = execute_task(
+                    task.experiment, task.params, task.key, fingerprint,
+                    trace=trace,
                 )
             except Exception as exc:  # noqa: BLE001 - reported per task
                 stats.failed += 1
                 stats.errors.append(f"{task.label()}: {exc!r}")
                 say(f"FAIL {task.label()}: {exc!r}")
                 continue
-            store.add(record, elapsed)
+            store.add(record, elapsed, stats=profile.get("stats"))
             stats.executed += 1
             say(f"done {task.label()}  ({elapsed:.2f}s)")
         return stats
@@ -133,12 +182,13 @@ def run_tasks(
         order: List[int] = []
         for idx, task in pending:
             fut = pool.submit(
-                _execute_tuple, (task.experiment, task.params, task.key, fingerprint)
+                _execute_tuple,
+                (task.experiment, task.params, task.key, fingerprint, trace),
             )
             futures[fut] = idx
             order.append(idx)
         by_index = {idx: task for idx, task in pending}
-        ready: Dict[int, Tuple[Dict[str, Any], float]] = {}
+        ready: Dict[int, Tuple[Dict[str, Any], float, Dict[str, Any]]] = {}
         errors: Dict[int, BaseException] = {}
         cursor = 0  # next position in `order` eligible to flush
         not_done = set(futures)
@@ -160,8 +210,15 @@ def run_tasks(
                     stats.errors.append(f"{task.label()}: {errors[idx]!r}")
                     say(f"FAIL {task.label()}: {errors[idx]!r}")
                 else:
-                    record, elapsed = ready.pop(idx)
-                    store.add(record, elapsed)
+                    record, elapsed, profile = ready.pop(idx)
+                    store.add(record, elapsed, stats=profile.get("stats"))
+                    # The work happened in a worker: replay its counter
+                    # aggregate into the driver's ambient scopes/spans and
+                    # graft its span tree under the driver's current span.
+                    worker_stats = profile.get("stats")
+                    if worker_stats:
+                        record_stats(SolverStats.from_json(worker_stats))
+                    adopt_spans(profile.get("spans", ()))
                     stats.executed += 1
                     say(f"done {task.label()}  ({elapsed:.2f}s)")
                 cursor += 1

@@ -88,8 +88,18 @@ class ResultsStore:
 
     # -- write -----------------------------------------------------------
 
-    def add(self, record: Dict[str, Any], elapsed_s: float) -> None:
-        """Persist one finished task: JSONL payload + index row."""
+    def add(
+        self,
+        record: Dict[str, Any],
+        elapsed_s: float,
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Persist one finished task: JSONL payload + index row.
+
+        *stats*, when given, is the task's aggregated solver-counter dict
+        (``SolverStats.to_json()`` shape); it lands in the index only —
+        payload bytes stay a pure function of (experiment, params, code).
+        """
         self.cache.put(
             record["key"],
             record["experiment"],
@@ -98,7 +108,20 @@ class ResultsStore:
             seed=record.get("seed"),
             fingerprint=record["fingerprint"],
             elapsed_s=elapsed_s,
+            stats=stats,
         )
+
+    def stats_totals(self, experiment: Optional[str] = None):
+        """Aggregated solver counters per experiment bucket (see
+        :meth:`SolveCache.stats_totals`); session buckets included only
+        when named explicitly."""
+        totals = self.cache.stats_totals(experiment)
+        if experiment is None:
+            totals = {
+                name: stats for name, stats in totals.items()
+                if not name.startswith("solve-")
+            }
+        return totals
 
     # -- read back -------------------------------------------------------
 

@@ -91,12 +91,14 @@ def run_sweep(
     seed0: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
     echo: Optional[Callable[[str], None]] = None,
+    trace: bool = False,
 ) -> SweepStats:
     """Run (the missing part of) a sweep against *store*; returns stats.
 
     *shard* restricts execution to slice ``(K, N)`` of the deterministic
     task list (see :func:`shard_tasks`) so independent machines can split
-    one sweep.
+    one sweep.  *trace* ships worker span trees back to the driver's
+    tracer (see :func:`~repro.runner.executor.run_tasks`).
     """
     fingerprint = code_fingerprint()
     tasks = build_tasks(
@@ -105,7 +107,7 @@ def run_sweep(
     )
     if shard is not None:
         tasks = shard_tasks(tasks, shard)
-    return run_tasks(tasks, store, fingerprint, jobs=jobs, echo=echo)
+    return run_tasks(tasks, store, fingerprint, jobs=jobs, echo=echo, trace=trace)
 
 
 def _sortable(obj: Any):

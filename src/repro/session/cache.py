@@ -52,7 +52,8 @@ CREATE TABLE IF NOT EXISTS tasks (
     elapsed_s   REAL,
     created_at  TEXT NOT NULL DEFAULT (datetime('now')),
     payload_path TEXT,
-    payload_offset INTEGER
+    payload_offset INTEGER,
+    stats_json  TEXT
 );
 CREATE INDEX IF NOT EXISTS tasks_by_experiment ON tasks (experiment);
 """
@@ -81,10 +82,11 @@ class SolveCache:
         self._clean_payloads: set = set()
 
     def _migrate(self) -> None:
-        """Bring a pre-split store's index up to the current schema.
+        """Bring an older store's index up to the current schema.
 
-        The only schema delta since the sweep-only store is the index-side
-        ``payload_offset`` column; adding it never touches payload bytes.
+        Schema deltas are index-only columns (``payload_offset`` from the
+        store/cache split, ``stats_json`` from the observability layer);
+        adding them never touches payload bytes.
         """
         columns = {
             row[1] for row in self._db.execute("PRAGMA table_info(tasks)")
@@ -93,6 +95,8 @@ class SolveCache:
             self._db.execute(
                 "ALTER TABLE tasks ADD COLUMN payload_offset INTEGER"
             )
+        if "stats_json" not in columns:
+            self._db.execute("ALTER TABLE tasks ADD COLUMN stats_json TEXT")
 
     # -- lookup ----------------------------------------------------------
 
@@ -136,6 +140,71 @@ class SolveCache:
         ).fetchall()
         return dict(rows)
 
+    # -- measured-side aggregation (``--profile`` / ``store stats``) ------
+
+    def stats_totals(self, bucket: Optional[str] = None) -> Dict[str, Any]:
+        """Aggregated solver counters per bucket, from the index.
+
+        Sums the ``stats_json`` column (``SolverStats.to_json()`` shape)
+        over every completed entry that recorded one — entries written
+        before the observability layer, or by code paths that do not
+        collect stats, simply contribute nothing.  Returns ``bucket →
+        SolverStats``.
+        """
+        from ..lp.stats import SolverStats
+
+        if bucket is None:
+            rows = self._db.execute(
+                "SELECT experiment, stats_json FROM tasks"
+                " WHERE status = 'done' AND stats_json IS NOT NULL"
+            )
+        else:
+            rows = self._db.execute(
+                "SELECT experiment, stats_json FROM tasks"
+                " WHERE status = 'done' AND stats_json IS NOT NULL"
+                " AND experiment = ?",
+                (bucket,),
+            )
+        totals: Dict[str, Any] = {}
+        for name, stats_json in rows:
+            try:
+                payload = json.loads(stats_json)
+            except (TypeError, ValueError):
+                continue
+            if not isinstance(payload, dict):
+                continue
+            totals.setdefault(name, SolverStats()).add(
+                SolverStats.from_json(payload)
+            )
+        return totals
+
+    def bucket_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-bucket bookkeeping: entry count, elapsed total, disk usage.
+
+        ``entries``/``elapsed_s``/``with_stats`` come from the index;
+        ``payload_bytes`` is the current on-disk size of the bucket's JSONL
+        file (0 when missing).
+        """
+        rows = self._db.execute(
+            "SELECT experiment, COUNT(*), COALESCE(SUM(elapsed_s), 0),"
+            " COUNT(stats_json) FROM tasks WHERE status = 'done'"
+            " GROUP BY experiment ORDER BY experiment"
+        ).fetchall()
+        summary: Dict[str, Dict[str, Any]] = {}
+        for name, entries, elapsed, with_stats in rows:
+            path = os.path.join(self.payload_dir, f"{name}.jsonl")
+            try:
+                payload_bytes = os.path.getsize(path)
+            except OSError:
+                payload_bytes = 0
+            summary[name] = {
+                "entries": entries,
+                "elapsed_s": float(elapsed),
+                "with_stats": with_stats,
+                "payload_bytes": payload_bytes,
+            }
+        return summary
+
     # -- write -----------------------------------------------------------
 
     @staticmethod
@@ -166,12 +235,16 @@ class SolveCache:
         seed: Optional[int] = None,
         fingerprint: str = "",
         elapsed_s: float = 0.0,
+        stats: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Persist one entry: canonical JSONL payload line + index row.
 
         *record* is written in canonical form (sorted keys, exact Fraction
         tags), so re-running the same computation appends byte-identical
-        lines.  The measured *elapsed_s* goes into the index only.
+        lines.  The measured side — *elapsed_s* and the optional *stats*
+        counter dict (``SolverStats.to_json()`` shape) — goes into the
+        index only, never into the payload, so recording it cannot perturb
+        byte-identity.
         """
         if "/" in bucket or "\\" in bucket or bucket in ("", ".", ".."):
             raise ValueError(f"bucket name {bucket!r} is not filename-safe")
@@ -196,8 +269,8 @@ class SolveCache:
         self._db.execute(
             "INSERT OR REPLACE INTO tasks"
             " (key, experiment, params_json, seed, fingerprint, status,"
-            "  elapsed_s, payload_path, payload_offset)"
-            " VALUES (?, ?, ?, ?, ?, 'done', ?, ?, ?)",
+            "  elapsed_s, payload_path, payload_offset, stats_json)"
+            " VALUES (?, ?, ?, ?, ?, 'done', ?, ?, ?, ?)",
             (
                 key,
                 bucket,
@@ -207,6 +280,7 @@ class SolveCache:
                 float(elapsed_s),
                 payload_rel,
                 offset,
+                canonical_json(stats) if stats is not None else None,
             ),
         )
         self._db.commit()

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.instance import Instance
 from ..lp.stats import SolverStats, collect_stats, record
+from ..obs.trace import span as trace_span
 from .cache import SolveCache
 from .canon import code_fingerprint, frac_to_str, str_to_frac
 from .request import SolveRequest
@@ -123,38 +124,48 @@ class Session:
     ) -> Any:
         """Cache-through execution of one request."""
         cache = self.cache
-        if cache is not None:
-            key = request.key()
-            stored = cache.get(key)
-            if stored is not None:
-                hit = SolverStats(cache_hits=1)
-                self.stats.add(hit)
-                record(hit)
-                return decode(stored["result"])
-        with collect_stats() as scope:
-            start = time.perf_counter()
-            value = compute()
-            elapsed = time.perf_counter() - start
-        self.stats.add(scope)
-        if cache is not None:
-            miss = SolverStats(cache_misses=1)
-            self.stats.add(miss)
-            record(miss)
-            fingerprint = code_fingerprint()
-            cache.put(
-                key,
-                request.bucket,
-                {
-                    "key": key,
-                    "request": request.canonical(),
-                    "fingerprint": fingerprint,
-                    "result": encode(value),
-                },
-                params=dict(request.params),
-                fingerprint=fingerprint,
-                elapsed_s=elapsed,
-            )
-        return value
+        with trace_span(
+            f"session.{request.algorithm}",
+            backend=self.backend,
+            kernel=self.kernel,
+        ) as session_sp:
+            if cache is not None:
+                key = request.key()
+                stored = cache.get(key)
+                if stored is not None:
+                    hit = SolverStats(cache_hits=1)
+                    self.stats.add(hit)
+                    record(hit)
+                    if session_sp:
+                        session_sp.attrs["cache"] = "hit"
+                    return decode(stored["result"])
+            if session_sp:
+                session_sp.attrs["cache"] = "miss" if cache is not None else "off"
+            with collect_stats() as scope:
+                start = time.perf_counter()
+                value = compute()
+                elapsed = time.perf_counter() - start
+            self.stats.add(scope)
+            if cache is not None:
+                miss = SolverStats(cache_misses=1)
+                self.stats.add(miss)
+                record(miss)
+                fingerprint = code_fingerprint()
+                cache.put(
+                    key,
+                    request.bucket,
+                    {
+                        "key": key,
+                        "request": request.canonical(),
+                        "fingerprint": fingerprint,
+                        "result": encode(value),
+                    },
+                    params=dict(request.params),
+                    fingerprint=fingerprint,
+                    elapsed_s=elapsed,
+                    stats=scope.to_json(),
+                )
+            return value
 
     # -- cacheable entry points ------------------------------------------
 

@@ -40,6 +40,7 @@ from fractions import Fraction
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import InvalidScheduleError
+from ..obs.trace import span as trace_span
 from ..schedule.arrivals import JobArrival
 from ..schedule.metrics import (
     merge_piece_runs,
@@ -193,6 +194,25 @@ def admit(
     *_pieces* is the precomputed :func:`_template_pieces` decomposition —
     :func:`admit_batch` passes it so many streams share one template scan.
     """
+    with trace_span(
+        "sim.admit", windows=windows, arrivals=len(arrivals)
+    ) as admit_sp:
+        result = _admit(template, arrivals, windows, topology, cost_model, _pieces)
+        if admit_sp:
+            admit_sp.attrs["admitted"] = len(result.admitted)
+            admit_sp.attrs["pending"] = len(result.pending)
+            admit_sp.attrs["max_backlog"] = result.max_backlog
+        return result
+
+
+def _admit(
+    template: Schedule,
+    arrivals: Sequence[JobArrival],
+    windows: int,
+    topology: Optional[Topology],
+    cost_model: Optional[CostModel],
+    _pieces,
+) -> AdmissionResult:
     if windows < 1:
         raise InvalidScheduleError(f"need ≥ 1 window, got {windows}")
     T = template.T
@@ -318,11 +338,14 @@ def admit_batch(
         raise InvalidScheduleError(f"need ≥ 1 window, got {windows}")
     if template.T <= 0:
         raise InvalidScheduleError("cannot run windows of a zero-horizon template")
-    pieces = _template_pieces(template)
-    return [
-        admit(
-            template, stream, windows,
-            topology=topology, cost_model=cost_model, _pieces=pieces,
-        )
-        for stream in streams
-    ]
+    with trace_span(
+        "sim.admit_batch", streams=len(streams), windows=windows
+    ):
+        pieces = _template_pieces(template)
+        return [
+            admit(
+                template, stream, windows,
+                topology=topology, cost_model=cost_model, _pieces=pieces,
+            )
+            for stream in streams
+        ]

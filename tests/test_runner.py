@@ -154,7 +154,7 @@ class TestStoreAndKeys:
 
     def test_store_round_trip(self, tmp_path):
         with ResultsStore(str(tmp_path / "store")) as store:
-            record, elapsed = execute_task(
+            record, elapsed, _profile = execute_task(
                 "e01", {}, task_key("e01", {}, code_fingerprint()), code_fingerprint()
             )
             store.add(record, elapsed)
@@ -242,7 +242,7 @@ class TestSweep:
 
     def test_volatile_columns_masked_in_payload(self):
         params = {"shapes": ((4, 2),), "backends": ("exact",)}
-        record, _elapsed = execute_task(
+        record, _elapsed, _profile = execute_task(
             "e14", params, task_key("e14", params, "fp"), "fp"
         )
         headers = record["table"]["headers"]
@@ -283,7 +283,7 @@ class TestSweep:
         """After a (simulated) code edit, only the latest generation shows."""
         with ResultsStore(str(tmp_path / "store")) as store:
             for fp in ("old" * 21 + "x", "new" * 21 + "x"):
-                record, elapsed = execute_task(
+                record, elapsed, _profile = execute_task(
                     "e01", {}, task_key("e01", {}, fp), fp
                 )
                 store.add(record, elapsed)
@@ -343,7 +343,7 @@ class TestStoreTornWrites:
         assert stats.executed == 0 and stats.skipped == 1
         # …and a *new* task appended after the torn tail is sealed off on
         # its own line, readable alongside the original record.
-        record, elapsed = execute_task(
+        record, elapsed, _profile = execute_task(
             "e01", {}, task_key("e01", {"v": 2}, code_fingerprint()),
             code_fingerprint(),
         )
