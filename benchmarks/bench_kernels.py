@@ -205,6 +205,92 @@ def _time_lu_ops(solver, basis_columns, rounds=3):
     return {op: round(min(vals), 4) for op, vals in times.items() if vals}
 
 
+def _time_repr_ops(solver, basis_columns, rounds=3):
+    """Sparse rows (as factorized) vs dense-forced rows for ftran/btran.
+
+    The sparse representation is whatever :class:`LUBasis` chose per row
+    under :data:`~repro.lp.basis.DENSIFY_THRESHOLD`; the dense twin is the
+    same factorization with every row expanded, so the delta is purely the
+    representation's doing.
+    """
+    import time
+
+    from repro.lp.basis import LUBasis, _to_dense
+
+    m = solver.m
+    sparse = LUBasis.factorize(m, basis_columns, solver.b_int)
+    dense = LUBasis.factorize(m, basis_columns, solver.b_int)
+    assert sparse is not None and dense is not None
+    for i in range(m):
+        row = dense.inv[i]
+        if type(row) is dict:
+            dense.inv[i] = _to_dense(row, m)
+    sample = solver.cols[: min(len(solver.cols), 128)]
+    cb = {i: 1 for i in range(0, m, 3)}
+    out = {
+        "sparse_row_fraction": round(
+            sum(1 for i in range(m) if type(sparse.inv[i]) is dict) / m, 4
+        ),
+        "mean_row_density": round(
+            sum(sparse.row_density(i) for i in range(m)) / m, 4
+        ),
+    }
+    for name, lub in (("sparse", sparse), ("dense", dense)):
+        ftran_best = btran_best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for col in sample:
+                lub.ftran(col)
+            ftran_best = min(
+                ftran_best, (time.perf_counter() - start) * 1e6 / len(sample)
+            )
+            start = time.perf_counter()
+            for _ in range(16):
+                lub.btran(cb)
+            btran_best = min(
+                btran_best, (time.perf_counter() - start) * 1e6 / 16
+            )
+        out[f"ftran_{name}_us"] = round(ftran_best, 4)
+        out[f"btran_{name}_us"] = round(btran_best, 4)
+    return out
+
+
+def _pricing_pivots(n, m, seed=140):
+    """Cold-solve pivot counts per pricing rule on the assignment LP at T*.
+
+    The LST assignment LP is the hardest single cold solve of the E14
+    pipeline (wide, degenerate), so it is where the pricing rules actually
+    diverge.  Non-canonical solves (vertex identity irrelevant), so each
+    rule runs free — the point of the column is the pivot-count spread,
+    with ``dantzig`` as the tableau-identical reference.
+    """
+    from repro._fraction import is_inf, to_fraction
+    from repro.core.programs import minimal_fractional_T
+    from repro.lp.revised import PRICINGS, solve_standard_revised
+    from repro.rounding.lst import build_unrelated_lp
+
+    inst = random_hierarchical(rng_from_seed(seed), n=n, m=m).with_singletons()
+    T = minimal_fractional_T(inst, backend="exact")
+    p_matrix = {}
+    for j in range(inst.n):
+        row = {}
+        for i in sorted(inst.machines):
+            value = inst.p(j, frozenset([i]))
+            if not is_inf(value):
+                row[i] = to_fraction(value)
+        p_matrix[j] = row
+    lp = build_unrelated_lp(p_matrix, T)
+    coeff, senses, rhs, objective = lp.to_standard_rows()
+    out = {}
+    for pricing in PRICINGS:
+        result = solve_standard_revised(
+            coeff, senses, rhs, objective, pricing=pricing, canonical=False
+        )
+        assert result.status == "optimal"
+        out[f"pivots_{pricing}"] = result.pivots
+    return out
+
+
 def test_kernel_lu_basis_ops(benchmark):
     solver, basis_columns = _lu_fixture(*LU_SHAPES[0])
     from repro.lp.basis import LUBasis
@@ -232,6 +318,8 @@ def lu_main(argv=None):
     for n, m in shapes:
         solver, basis_columns = _lu_fixture(n, m)
         ops = _time_lu_ops(solver, basis_columns)
+        ops.update(_time_repr_ops(solver, basis_columns))
+        ops.update(_pricing_pivots(n, m))
         row = {
             "n": n,
             "m": m,

@@ -265,23 +265,28 @@ def _minimal_memory_T(
     *rows_at(T)* returns ``(groups, rows)`` — the probe LP *and* the min-T
     refinement both build from it.  Mirroring the incremental pipeline of
     :func:`repro.core.programs.minimal_fractional_T`, the previous feasible
-    probe's point is threaded into the next probe as warm values (variable
-    keys are stable across horizons), so a probe that must solve starts
-    from a crash-factorized feasible basis instead of phase 1.
+    probe's **basis** (a keyed :class:`~repro.lp.warm.WarmState`) is carried
+    into the next probe — variable keys are stable across horizons, so when
+    the admissible set is unchanged the solver refactorizes the carried
+    basic columns and skips phase 1 outright; when it changed, the state
+    degrades to its vertex as warm values and from there to a cold start.
     """
     from ..lp.solve import feasible_point
 
     warm: Dict = {}
+    carried: List = [None]  # the last solve's WarmState (closure cell)
 
     def feasible_at(T: Fraction) -> bool:
         try:
             groups, rows = rows_at(T)
         except InfeasibleError:
             return False
-        point = feasible_point(
+        point, state = feasible_point(
             _memory_lp(groups, rows), backend=backend, warm_values=warm or None,
-            kernel=kernel,
+            kernel=kernel, warm_state=carried[0], want_state=True,
         )
+        if state is not None:
+            carried[0] = state
         if point is not None:
             warm.clear()
             warm.update({k: v for k, v in point.items() if v})

@@ -41,7 +41,8 @@ from ..exceptions import InfeasibleError, InvalidInstanceError
 from ..lp.certificates import farkas_certifies
 from ..lp.model import LinearProgram
 from ..lp.solve import check_standard_rows, feasible_point, feasible_point_rows, solve_lp
-from ..lp.stats import SolverStats, record
+from ..lp.stats import SolverStats, collect_stats, record
+from ..lp.warm import WarmState
 from ..obs.trace import span as trace_span
 from .assignment import FractionalAssignment
 from .instance import Instance
@@ -235,6 +236,17 @@ class _ProbeSession:
     previous point.  Shortcut hits are recorded as
     ``point_reuses``/``farkas_reuses`` in any active
     :func:`repro.lp.stats.collect_stats` scope.
+
+    Probes that do solve additionally carry the solver's **basis**
+    (:class:`~repro.lp.warm.WarmState`) to the next probe.  The state is
+    stored in the local column space of the producing probe together with
+    its ``active`` mask; a consumer with the *same* active set hands it to
+    the solver unchanged (the structure token then authorizes verbatim
+    ``W`` reuse whenever the row scales also agree), while a different
+    active set relabels through the shared global indexing — dropping the
+    token, so the solver refactorizes the surviving basis (``O(m³)``, still
+    skipping phase 1 and the warm-point push).  A basis whose basic
+    structural columns were masked away degrades to the point path.
     """
 
     def __init__(
@@ -250,6 +262,36 @@ class _ProbeSession:
         self.point: Optional[Dict[int, Fraction]] = None
         #: Last verified Farkas certificate, in probe-row order.
         self.farkas: Optional[List[Fraction]] = None
+        #: Basis of the last probe that actually solved (local labels).
+        self.state: Optional[WarmState] = None
+        #: The ``active`` mask (local→global) the state was produced under.
+        self.state_active: Optional[Tuple[int, ...]] = None
+
+    def _token(self, active: Tuple[int, ...]) -> Tuple:
+        """Structure witness: same builder + same active mask ⇒ identical
+        probe columns (row order and unscaled coefficients are functions of
+        the templates and the mask; scale equality is checked separately by
+        the solver)."""
+        return (id(self.builder), active)
+
+    def _carried_state(
+        self, active: List[int]
+    ) -> Tuple[Optional[WarmState], object]:
+        """The carried basis relabelled for a probe over *active*."""
+        if self.state is None or self.state_active is None:
+            return None, None
+        key = tuple(active)
+        if self.state_active == key:
+            return self.state, self._token(key)
+        old_active = self.state_active
+        new_local = {gi: li for li, gi in enumerate(active)}
+
+        def mapper(li_old: object) -> Optional[int]:
+            if not isinstance(li_old, int) or not 0 <= li_old < len(old_active):
+                return None  # pragma: no cover - labels are self-produced
+            return new_local.get(old_active[li_old])
+
+        return self.state.relabel(mapper, new_n=len(active)), None
 
     def probe(self, T: Fraction) -> Optional[Dict[int, Fraction]]:
         """Certified feasibility verdict at horizon *T*.
@@ -286,10 +328,19 @@ class _ProbeSession:
                     if probe_sp:
                         probe_sp.attrs["outcome"] = "point-reuse"
                     return self.point
-            point, farkas = feasible_point_rows(
-                coeff_rows, senses, rhs, len(active),
-                backend=self.backend, warm_point=masked, kernel=self.kernel,
-            )
+            carried, token = self._carried_state(active)
+            with collect_stats() as probe_stats:
+                point, farkas, state = feasible_point_rows(
+                    coeff_rows, senses, rhs, len(active),
+                    backend=self.backend, warm_point=masked, kernel=self.kernel,
+                    warm_state=carried, structure_token=token,
+                    want_state=True,
+                )
+            if probe_sp:
+                probe_sp.attrs["basis_reuse"] = bool(probe_stats.basis_reuses)
+            if state is not None:
+                self.state = state
+                self.state_active = tuple(active)
             if point is not None:
                 self.point = {
                     active[li]: v for li, v in enumerate(point) if v
@@ -313,6 +364,27 @@ class _ProbeSession:
         return {
             ("x", finite[gi][1], finite[gi][0]): v for gi, v in gpoint.items()
         }
+
+    def keyed_state(self) -> Optional[WarmState]:
+        """The carried basis relabelled onto ``("x", α, j)`` variable keys.
+
+        This is the form :func:`repro.lp.solve.solve_lp` consumes (e.g. the
+        min-T re-solve).  Consumers whose standard form has different
+        dimensions — the min-T LP adds the ``T`` column and the bracket
+        row — reject the basis exactly and degrade to its carried vertex.
+        """
+        if self.state is None or self.state_active is None:
+            return None
+        finite = self.builder.finite
+        active = self.state_active
+
+        def mapper(li: object) -> Optional[Tuple]:
+            if isinstance(li, int) and 0 <= li < len(active):
+                j, alpha, _p = finite[active[li]]
+                return ("x", alpha, j)
+            return None  # pragma: no cover - labels are self-produced
+
+        return self.state.relabel(mapper)
 
 
 def build_ip3(
@@ -424,13 +496,17 @@ def _min_T_with_fixed_R(
     builder: Optional[IP3Builder] = None,
     warm_values: Optional[Dict] = None,
     kernel: Optional[str] = None,
+    warm_state: Optional[WarmState] = None,
 ) -> Optional[Fraction]:
     """Minimize T over the LP with ``R = R(r_anchor)`` and ``T ≥ t_low``.
 
     Returns the optimal T or ``None`` when infeasible.  Caller must ensure
     the returned value stays inside the bracket where ``R`` is constant.
     *warm_values* (a feasible point of the decision LP at *r_anchor*) lets
-    the exact/hybrid backends start from a feasible basis.
+    the exact/hybrid backends start from a feasible basis; *warm_state* (a
+    keyed carried basis, see :meth:`_ProbeSession.keyed_state`) is offered
+    first and degrades to the point path when stale.  The optimum ``T`` is
+    vertex-invariant, so the vertex is not canonicalized.
     """
     builder = builder or IP3Builder(instance)
     with trace_span(
@@ -445,7 +521,10 @@ def _min_T_with_fixed_R(
         if warm_values:
             warm = dict(warm_values)
             warm.setdefault(T_KEY, max(t_low, r_anchor))
-        solution = solve_lp(lp, backend=backend, warm_values=warm, kernel=kernel)
+        solution = solve_lp(
+            lp, backend=backend, warm_values=warm, kernel=kernel,
+            warm_state=warm_state, canonical=False,
+        )
         if not solution.is_optimal:
             if min_sp:
                 min_sp.attrs["outcome"] = "infeasible"
@@ -527,14 +606,25 @@ def minimal_fractional_T(
         candidates: List[Fraction] = []
         if lo_idx > 0:
             prev = points[lo_idx - 1]
+            # The anchor's feasible point, restricted to R(prev)'s variables
+            # (absent keys are dropped and counted by the solver), with
+            # ``T = anchor`` is the best available seed: often feasible for
+            # the previous bracket's LP, and its support still crashes most
+            # of the basis when it is not.
+            prev_warm = None
+            if anchor_point:
+                prev_warm = dict(anchor_point)
+                prev_warm[T_KEY] = anchor
             t_prev = _min_T_with_fixed_R(
-                instance, prev, prev, backend, builder=builder, kernel=kernel
+                instance, prev, prev, backend, builder=builder,
+                warm_values=prev_warm, kernel=kernel,
             )
             if t_prev is not None and t_prev < anchor:
                 candidates.append(t_prev)
         t_here = _min_T_with_fixed_R(
             instance, anchor, anchor, backend, builder=builder,
             warm_values=anchor_point, kernel=kernel,
+            warm_state=session.keyed_state(),
         )
         if t_here is not None:
             candidates.append(t_here)

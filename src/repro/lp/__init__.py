@@ -10,16 +10,19 @@ from .branch_and_bound import BnBResult, solve_binary_ilp
 from .certificates import farkas_certifies
 from .hybrid import HAVE_SCIPY, solve_standard_hybrid
 from .model import LinearProgram, LPSolution, Row
-from .revised import solve_standard_revised
+from .revised import PRICINGS, solve_standard_revised
 from .simplex import (
     KERNELS,
     SimplexResult,
     get_default_kernel,
+    get_default_pricing,
     set_default_kernel,
+    set_default_pricing,
     solve_standard,
 )
 from .solve import BACKENDS, feasible_point, feasible_point_rows, is_feasible, solve_lp
 from .stats import SolverStats, collect_stats
+from .warm import WarmState
 
 if HAVE_SCIPY:
     from .scipy_backend import solve_standard_float
@@ -33,16 +36,20 @@ __all__ = [
     "LPSolution",
     "LUBasis",
     "LinearProgram",
+    "PRICINGS",
     "Row",
     "SimplexResult",
     "SolverStats",
+    "WarmState",
     "collect_stats",
     "farkas_certifies",
     "feasible_point",
     "feasible_point_rows",
     "get_default_kernel",
+    "get_default_pricing",
     "is_feasible",
     "set_default_kernel",
+    "set_default_pricing",
     "solve_binary_ilp",
     "solve_lp",
     "solve_standard",

@@ -24,9 +24,14 @@ certificates in this one format.
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd
 from typing import Dict, List, Sequence
 
 from .._fraction import to_fraction
+
+
+def _lcm(a: int, b: int) -> int:
+    return a // gcd(a, b) * b
 
 
 def farkas_certifies(
@@ -38,22 +43,35 @@ def farkas_certifies(
     """Exactly verify the certificate conditions above (``True`` = proof)."""
     if len(y) != len(coeff_rows):
         return False
-    for yi, sense in zip(y, senses):
+    fy = [to_fraction(yi) for yi in y]
+    for yi, sense in zip(fy, senses):
         if sense == "<=" and yi > 0:
             return False
         if sense == ">=" and yi < 0:
             return False
-    column_sums: Dict[int, Fraction] = {}
-    for yi, row in zip(y, coeff_rows):
-        if yi == 0:
+    # Scale y by the (positive) lcm of its denominators: every condition
+    # below is a sign test, so the scaling changes nothing — but it turns
+    # the column sums into (mostly) pure integer arithmetic, an order of
+    # magnitude cheaper than Fraction accumulation on the probe hot path.
+    scale = 1
+    for yi in fy:
+        scale = _lcm(scale, yi.denominator)
+    y_int = [yi.numerator * (scale // yi.denominator) for yi in fy]
+    column_sums: Dict[int, object] = {}
+    for yi, row in zip(y_int, coeff_rows):
+        if not yi:
             continue
         for j, v in row.items():
-            column_sums[j] = column_sums.get(j, Fraction(0)) + yi * v
+            term = yi * v.numerator if v.denominator == 1 else yi * v
+            acc = column_sums.get(j)
+            column_sums[j] = term if acc is None else acc + term
     if any(total > 0 for total in column_sums.values()):
         return False
-    gain = sum(
-        (yi * to_fraction(b) for yi, b in zip(y, rhs) if yi), Fraction(0)
-    )
+    gain = 0
+    for yi, b in zip(y_int, rhs):
+        if yi:
+            fb = to_fraction(b)
+            gain += yi * fb.numerator if fb.denominator == 1 else yi * fb
     return gain > 0
 
 

@@ -156,6 +156,9 @@ def solve_standard_hybrid(
     warm_hints: Optional[Sequence[int]] = None,
     warm_point: Optional[Sequence[Fraction]] = None,
     kernel: Optional[str] = None,
+    warm_state=None,
+    structure_token: object = None,
+    canonical: "bool | str" = True,
 ) -> SimplexResult:
     """Certified solve: float candidate first, exact verification always.
 
@@ -168,6 +171,11 @@ def solve_standard_hybrid(
     being pushed in through full-width tableau pivots.  A claimed
     infeasibility is accepted only with an exact Farkas certificate, which
     is attached to the result for reuse.
+
+    A carried *warm_state* (see :mod:`repro.lp.warm`) is handed through to
+    the exact solve, where it takes precedence over any point-based seed —
+    a resolvable carried basis beats re-pushing the float candidate's
+    support.
     """
     n = len(objective)
     size = n * max(len(coeff_rows), 1)
@@ -184,4 +192,6 @@ def solve_standard_hybrid(
     return solve_standard(
         coeff_rows, senses, rhs, objective,
         warm_hints=warm_hints, warm_point=warm_point, kernel=kernel,
+        warm_state=warm_state, structure_token=structure_token,
+        canonical=canonical,
     )

@@ -222,6 +222,10 @@ class LPSolution:
     objective: Optional[Fraction]
     #: Per-solve performance counters (``None`` for the float backend).
     stats: Optional["SolverStats"] = None
+    #: Carried solver basis (:class:`~repro.lp.warm.WarmState`) with
+    #: structural labels mapped to this program's variable keys; process-
+    #: local ephemera — never serialized (``None`` for non-exact backends).
+    warm_state: Optional[object] = None
 
     @property
     def is_optimal(self) -> bool:

@@ -46,15 +46,28 @@ from fractions import Fraction
 from math import gcd
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .._fraction import to_fraction
+from .._fraction import bigint, to_fraction
 from ..exceptions import PivotLimitError, SolverError
 from .basis import LUBasis
 from .certificates import denormalize_farkas, farkas_certifies
 from .stats import SolverStats
+from .warm import WarmState
+
+#: Pricing rules the revised kernel implements.  ``dantzig`` replicates the
+#: tableau kernel pivot for pivot; ``partial`` scans rotating blocks (the
+#: default for non-canonical solves, and safe under ``canonical`` because
+#: the optimal vertex is lexicographically canonicalized — see
+#: ``canonicalize``); ``steepest`` is projected steepest edge with exact
+#: reference weights (fewest pivots, but each pricing step is dense — best
+#: when pivots are expensive relative to pricing).
+PRICINGS: Tuple[str, ...] = ("dantzig", "partial", "steepest")
 
 
 def _lcm(a: int, b: int) -> int:
     return a // gcd(a, b) * b
+
+
+_ONE = Fraction(1)
 
 
 class _RevisedSolver:
@@ -72,9 +85,13 @@ class _RevisedSolver:
         self.m = std.num_rows
         self.bland_threshold = bland_threshold
         self.max_pivots = max_pivots
-        if pricing not in ("partial", "dantzig"):
+        if pricing not in PRICINGS:
             raise SolverError(f"unknown pricing rule {pricing!r}")
         self.pricing = pricing
+        #: Steepest-edge reference weights, sparse (absent = 1).  Reset
+        #: whenever the basis is replaced wholesale (crash, reset): the
+        #: reference framework re-anchors at the new basis.
+        self._gamma: Dict[int, Fraction] = {}
         self.stats = SolverStats(solves=1)
         self.stats.count_kernel("revised")
         self.phase = 2
@@ -91,8 +108,17 @@ class _RevisedSolver:
                 scale = _lcm(scale, v.denominator)
             scale = _lcm(scale, std.rhs[i].denominator)
             self.scales.append(scale)
+        # Kernel integers go through the active bigint backend (gmpy2 when
+        # available): products/sums inside ftran/btran/update then stay in
+        # the fast type automatically.  Each row scale is a multiple of
+        # every denominator in its row, so the scaled entries come from
+        # pure integer arithmetic — no Fraction multiply (whose gcd
+        # normalization used to dominate solver construction).
         self.b_int: List[int] = [
-            int(std.rhs[i] * self.scales[i]) for i in range(m)
+            bigint(
+                std.rhs[i].numerator * (self.scales[i] // std.rhs[i].denominator)
+            )
+            for i in range(m)
         ]
 
         # Sparse integer columns of [A | S | I].
@@ -100,7 +126,7 @@ class _RevisedSolver:
         for i in range(m):
             scale = self.scales[i]
             for j, v in std.rows[i].items():
-                cols[j][i] = int(v * scale)
+                cols[j][i] = bigint(v.numerator * (scale // v.denominator))
         art_index = std.art_start
         self.art_of_row: List[Optional[int]] = [None] * m
         for i in range(m):
@@ -121,7 +147,9 @@ class _RevisedSolver:
         fr_obj = [to_fraction(c) for c in objective]
         for c in fr_obj:
             obj_scale = _lcm(obj_scale, c.denominator)
-        self.c_int: List[int] = [int(c * obj_scale) for c in fr_obj]
+        self.c_int: List[int] = [
+            bigint(c.numerator * (obj_scale // c.denominator)) for c in fr_obj
+        ]
 
         # Slack-or-artificial starting basis (identity in the scaled system).
         self.basis: List[int] = [
@@ -179,6 +207,8 @@ class _RevisedSolver:
                 if self._reduced(j, y_num, den) < 0:
                     return j
             return None
+        if self.pricing == "steepest":
+            return self._entering_steepest(y_num, den, limit)
         if self.pricing == "dantzig":
             best_j: Optional[int] = None
             best = 0
@@ -208,6 +238,85 @@ class _RevisedSolver:
         if best_j is not None:
             self._cursor = (best_j + 1) % limit
         return best_j
+
+    # -- steepest edge (projected, exact reference weights) -------------
+
+    def _entering_steepest(
+        self, y_num: List[int], den: int, limit: int
+    ) -> Optional[int]:
+        """Maximize ``rc_j² / γ_j`` over improving columns (ties → smallest).
+
+        ``rc`` is den-scaled; the common ``den²`` factor cancels in the
+        argmax.  Weights γ are exact Fractions relative to the reference
+        framework anchored at the last wholesale basis change (γ = 1 there,
+        the projected-steepest-edge convention); the comparison is done by
+        cross-multiplication, so selection is exact.
+        """
+        best_j: Optional[int] = None
+        best_num = 0  # rc², integer
+        best_gam = Fraction(1)
+        gamma = self._gamma
+        for j in range(limit):
+            rc = self._reduced(j, y_num, den)
+            if rc >= 0:
+                continue
+            gam = gamma.get(j)
+            if gam is None:
+                gam = _ONE
+            num = rc * rc
+            # num / gam > best_num / best_gam  ⟺  num·best_gam > best_num·gam
+            if best_j is None or (
+                num * best_gam.numerator * gam.denominator
+                > best_num * gam.numerator * best_gam.denominator
+            ):
+                best_j, best_num, best_gam = j, num, gam
+        return best_j
+
+    def _update_steepest(self, q: int, row: int, alpha: Sequence[int]) -> None:
+        """Goldfarb weight recurrence for the pivot (enter *q* at *row*).
+
+        Called **before** the basis update — it needs the pre-pivot ``W``,
+        ``den`` and the transformed entering column α.  For every nonbasic
+        column *j* with ᾱ_rj ≠ 0::
+
+            t_j = ᾱ_rj / ᾱ_rq
+            γ_j ← γ_j − 2·t_j·(a_j·v) + t_j²·γ_q,   v = B⁻ᵀB⁻¹a_q
+
+        and the leaving variable re-enters the nonbasic pool with
+        ``γ = γ_q / ᾱ_rq²``.  All quantities are exact: ᾱ entries are
+        ``row_dot/den``, ``v = Wᵀα/den²``.
+        """
+        lub = self.lub
+        den = lub.den
+        piv = alpha[row]
+        gamma = self._gamma
+        gamma_q = gamma.pop(q, _ONE)
+        v_num = lub.btran({i: a for i, a in enumerate(alpha) if a})
+        den2 = den * den
+        in_basis = set(self.basis)
+        limit = self.std.art_start
+        for j in range(limit):
+            if j == q or j in in_basis:
+                continue
+            arj = lub.row_dot(row, self.cols[j])
+            if arj == 0:
+                continue
+            t = Fraction(int(arj), int(piv))
+            ajv_num = 0
+            for i, v in self.col_items[j]:
+                vi = v_num[i]
+                if vi:
+                    ajv_num += vi * v
+            g = (
+                gamma.get(j, _ONE)
+                - 2 * t * Fraction(int(ajv_num), int(den2))
+                + t * t * gamma_q
+            )
+            if g <= 0:  # pragma: no cover - exact recurrence keeps γ > 0
+                g = t * t
+            gamma[j] = g
+        t_leave = Fraction(int(den), int(piv))
+        gamma[self.basis[row]] = gamma_q * t_leave * t_leave
 
     def _dual_row(self) -> List[int]:
         """den-scaled duals ``c_B·W`` for the current phase's costs."""
@@ -259,6 +368,8 @@ class _RevisedSolver:
             row = self._leaving(alpha)
             if row is None:
                 return "unbounded"
+            if self.pricing == "steepest" and not bland:
+                self._update_steepest(col, row, alpha)
             self._pivot(row, alpha, col)
 
     # ------------------------------------------------------------------
@@ -344,6 +455,7 @@ class _RevisedSolver:
                         in_basis.discard(self.basis[r])
                         self._pivot(r, alpha, s)
                         in_basis.add(s)
+        self._gamma = {}  # pivots above bypass weight maintenance: re-anchor
         for r in range(m):
             if self.lub.rhs[r] < 0:
                 return False
@@ -364,6 +476,104 @@ class _RevisedSolver:
             in_basis.discard(self.basis[row])
             self._pivot(row, alpha, col)
             in_basis.add(col)
+        self._gamma = {}  # same: reference framework re-anchors here
+
+    def crash_from_state(
+        self, state: WarmState, token: object
+    ) -> bool:
+        """Install a carried :class:`WarmState` basis; ``True`` iff feasible.
+
+        Two tiers (see :mod:`repro.lp.warm`): when the caller's structure
+        *token* matches the state's and the row scales are identical, the
+        factorized ``W`` is reinstalled verbatim — ``rhs = W·b`` is the only
+        arithmetic (``crash_skips``).  Otherwise the labelled columns are
+        factorized directly, ``O(m³)`` but self-validating against the
+        *current* columns.  Either way the resulting dictionary must be
+        exactly feasible with every artificial at level 0, or the state is
+        rejected with the solver untouched (stale bases degrade cleanly).
+        """
+        std, m = self.std, self.m
+        if state.m != m or len(state.labels) != m:
+            return False
+        resolved: List[int] = []
+        for kind, payload in state.labels:
+            col: Optional[int] = None
+            if kind == "x":
+                if isinstance(payload, int) and 0 <= payload < std.n:
+                    col = payload
+            elif kind == "s":
+                if isinstance(payload, int) and 0 <= payload < m:
+                    col = std.slack_of_row[payload]
+            elif kind == "a":
+                if isinstance(payload, int) and 0 <= payload < m:
+                    col = self.art_of_row[payload]
+            if col is None:
+                return False
+            resolved.append(col)
+        if len(set(resolved)) != m:
+            return False
+
+        # Tier 1: verbatim W reinstall.  Sound only when the caller vouches
+        # (token equality) that its basis columns are identical to the
+        # producer's — a feasibility check alone cannot validate W as B⁻¹.
+        if (
+            state.lub is not None
+            and token is not None
+            and state.token is not None
+            and state.token == token
+            and state.scales == tuple(self.scales)
+            and state.lub.m == m
+        ):
+            cand = state.lub.rebind(self.b_int)
+            if self._dictionary_feasible(cand, resolved):
+                cand.updates = self.lub.updates
+                cand.refactorizations = self.lub.refactorizations
+                cand.sparse_btrans = self.lub.sparse_btrans
+                self.lub = cand
+                self.basis = resolved
+                self._gamma = {}
+                self.stats.crash_skips += 1
+                return True
+
+        # Tier 2: factorize the labelled columns against the current system
+        # (self-validating — no token needed), tracking which row each
+        # column claims so basis membership stays positional.
+        prior_updates = self.lub.updates
+        prior_refacts = self.lub.refactorizations
+        self.stats.refactorizations += 1
+        fresh = LUBasis(m, self.b_int)
+        claimed = [False] * m
+        assign: List[int] = [-1] * m
+        for col in resolved:
+            alpha = fresh.ftran(self.cols[col])
+            row = next(
+                (r for r in range(m) if not claimed[r] and alpha[r] != 0), None
+            )
+            if row is None:
+                return False  # singular against the current columns
+            fresh.update(row, alpha)
+            claimed[row] = True
+            assign[row] = col
+        if not self._dictionary_feasible(fresh, assign):
+            return False
+        fresh.updates = prior_updates  # a crash is a refactorization, not pivots
+        fresh.refactorizations = prior_refacts + 1
+        fresh.sparse_btrans += self.lub.sparse_btrans
+        self.lub = fresh
+        self.basis = assign
+        self._gamma = {}
+        return True
+
+    def _dictionary_feasible(self, lub: LUBasis, basis: Sequence[int]) -> bool:
+        """Non-negative basics, artificials (if basic) exactly at zero."""
+        art_start = self.std.art_start
+        for r in range(self.m):
+            v = lub.rhs[r]
+            if v < 0:
+                return False
+            if basis[r] >= art_start and v != 0:
+                return False
+        return True
 
     def reset(self) -> None:
         """Back to the slack/artificial identity basis (crash fallback)."""
@@ -374,9 +584,112 @@ class _RevisedSolver:
             for i in range(self.m)
         ]
         updates, refact = self.lub.updates, self.lub.refactorizations
+        sparse_btrans = self.lub.sparse_btrans
         self.lub = LUBasis(self.m, self.b_int)
         self.lub.updates = updates  # pivot budget covers the failed crash
         self.lub.refactorizations = refact
+        self.lub.sparse_btrans = sparse_btrans
+        self._gamma = {}
+
+    # ------------------------------------------------------------------
+    # Lexicographic canonicalization
+    # ------------------------------------------------------------------
+
+    def canonicalize(self) -> None:
+        """Pivot within the optimal face to the **lex-min** optimal vertex.
+
+        Runs Bland's rule on the ε-perturbed objective ``c·x + Σ εᵏ·x_k``
+        over Q(ε): among the zero-reduced-cost columns, enter the smallest
+        *j* whose lex reduced-cost vector is lex-negative.  The component of
+        that vector at structural index ``k`` (ascending) is 0 when *k* is
+        nonbasic (≠ j), +1 when ``k == j`` (structural *j* itself), and
+        ``−(W·a_j)[r(k)]/den`` when *k* is basic at row ``r(k)`` — so the
+        scan below stops at the first basic ``k < j`` whose row entry is
+        non-zero (positive entry ⟹ improving, negative ⟹ not), and a
+        structural *j* surviving the scan hits its own +1 (not improving)
+        while a slack *j* with an all-zero scan moves no structural at all.
+
+        Pivots on zero-reduced-cost columns leave the phase-2 reduced costs
+        unchanged, so optimality is preserved throughout; Bland's rule
+        cannot cycle, and the lex-min optimum is **unique**, so the vertex
+        reached is independent of the pivot path (and hence of the pricing
+        rule) — what makes partial/steepest pricing safe defaults for
+        output-facing solves.
+        """
+        n = self.std.n
+        limit = self.std.art_start
+        while True:
+            y_num = self._dual_row()
+            den = self.lub.den
+            basics = sorted(
+                (self.basis[r], r) for r in range(self.m) if self.basis[r] < n
+            )
+            in_basis = set(self.basis)
+            enter: Optional[int] = None
+            for j in range(limit):
+                if j in in_basis:
+                    continue
+                if self._reduced(j, y_num, den) != 0:
+                    continue
+                improving = False
+                for k, r in basics:
+                    if k >= j:
+                        break  # j's own +1 component decides: not improving
+                    d = self.lub.row_dot(r, self.cols[j])
+                    if d > 0:
+                        improving = True
+                        break
+                    if d < 0:
+                        break
+                if improving:
+                    enter = j
+                    break
+            if enter is None:
+                return
+            alpha = self.lub.ftran(self.cols[enter])
+            row = self._leaving(alpha)
+            if row is None:  # pragma: no cover - lex objective bounded on x≥0
+                return
+            if self.pricing == "steepest":
+                self._update_steepest(enter, row, alpha)
+            self._pivot(row, alpha, enter)
+
+    # ------------------------------------------------------------------
+    # WarmState extraction
+    # ------------------------------------------------------------------
+
+    def build_warm_state(
+        self, x: Sequence[Fraction], token: object
+    ) -> WarmState:
+        """Package the final basis as a carried :class:`WarmState`.
+
+        The live :class:`LUBasis` is *moved* (rows are copy-on-write, so a
+        future consumer cloning it never aliases mutations); labels encode
+        basis membership positionally in this solve's index space.
+        """
+        std = self.std
+        labels: List[Tuple[str, object]] = []
+        slack_row = {
+            s: r for r, s in enumerate(std.slack_of_row) if s is not None
+        }
+        art_row = {a: r for r, a in enumerate(self.art_of_row) if a is not None}
+        for b in self.basis:
+            if b < std.n:
+                labels.append(("x", b))
+            elif b >= std.art_start:
+                labels.append(("a", art_row[b]))
+            else:
+                labels.append(("s", slack_row[b]))
+        point = {j: x[j] for j in range(std.n) if x[j]}
+        return WarmState(
+            labels,
+            self.m,
+            std.n,
+            tuple(self.scales),
+            lub=self.lub,
+            token=token,
+            point=point,
+        )
 
     # ------------------------------------------------------------------
     # Phase-1 bookkeeping
@@ -463,6 +776,9 @@ def solve_standard_revised(
     max_pivots: Optional[int] = None,
     pricing: str = "dantzig",
     want_farkas: bool = True,
+    warm_state: Optional[WarmState] = None,
+    structure_token: object = None,
+    canonical: "bool | str" = True,
 ):
     """Solve ``min c·x  s.t.  rows, x ≥ 0`` exactly via the revised simplex.
 
@@ -471,6 +787,21 @@ def solve_standard_revised(
     solutions, warm starts never change the result.  Additionally fills
     ``SimplexResult.stats`` and, for infeasible programs (when
     *want_farkas*), ``SimplexResult.farkas`` with a verified certificate.
+
+    *warm_state* is a carried :class:`~repro.lp.warm.WarmState` (labels in
+    **this** LP's index space); when its basis resolves and is feasible,
+    phase 1 and the ratio-test push are skipped outright.  A stale state
+    degrades to its carried point, then to a cold start — never changes the
+    result.  *structure_token* authorizes verbatim ``W`` reuse (see
+    :mod:`repro.lp.warm`).  *canonical* picks the vertex-identity contract:
+    ``True`` (the default) yields the deterministic kernel-invariant vertex
+    — with Dantzig pricing nothing extra is needed (the tableau kernel
+    pivots identically), while any other pricing rule gets a lexicographic
+    cleanup so the vertex never depends on scan order; ``"lex"`` always
+    post-processes the optimum to the lex-min vertex (independent of
+    pricing *and* warm start); ``False`` skips all cleanup for probe-style
+    callers that only need feasibility/values.  Optimal results carry the
+    final basis on ``SimplexResult.warm_state``.
     """
     # Imported late: simplex dispatches into this module (kernel switch).
     from .simplex import (
@@ -497,14 +828,32 @@ def solve_standard_revised(
         )
         has_artificials = any(std.needs_artificial)
 
+        crashed = False
+        if warm_state is not None:
+            solver.stats.warm_start_attempts += 1
+            with trace_span("lp.crash", state=True) as crash_sp:
+                crashed = solver.crash_from_state(warm_state, structure_token)
+                if crash_sp:
+                    crash_sp.attrs["hit"] = crashed
+                    crash_sp.attrs["verbatim"] = bool(solver.stats.crash_skips)
+            if crashed:
+                solver.stats.warm_start_hits += 1
+                solver.stats.basis_reuses += 1
+            elif warm_point is None and warm_state.point:
+                # Stale basis: degrade to the carried vertex as a point hint.
+                pt = [Fraction(0)] * std.n
+                for payload, value in warm_state.point.items():
+                    if isinstance(payload, int) and 0 <= payload < std.n:
+                        pt[payload] = to_fraction(value)
+                warm_point = pt
+
         eligible: Optional[List[bool]] = None
-        if warm_point is not None and len(warm_point) == std.n:
+        if not crashed and warm_point is not None and len(warm_point) == std.n:
             point = [to_fraction(v) for v in warm_point]
             warm_hints = _point_hints(point) + list(warm_hints or [])
             eligible = _tight_rows(coeff_rows, senses, rhs, point)
 
-        crashed = False
-        if warm_hints:
+        if not crashed and warm_hints:
             solver.stats.warm_start_attempts += 1
             with trace_span("lp.crash", hints=len(warm_hints)) as crash_sp:
                 crashed = solver.crash_factorize(warm_hints, eligible)
@@ -535,6 +884,7 @@ def solve_standard_revised(
                     else None
                 )
                 solver.stats.pivots = solver.pivots
+                solver.stats.sparse_btrans = solver.lub.sparse_btrans
                 record(solver.stats)
                 if solve_sp:
                     solve_sp.attrs["status"] = "infeasible"
@@ -551,7 +901,12 @@ def solve_standard_revised(
             status = solver.run_phase(2)
             if phase_sp:
                 phase_sp.attrs["pivots"] = solver.pivots - phase1_total
+        if status == "optimal" and (
+            canonical == "lex" or (canonical is True and pricing != "dantzig")
+        ):
+            solver.canonicalize()
         solver.stats.pivots = solver.pivots
+        solver.stats.sparse_btrans = solver.lub.sparse_btrans
         record(solver.stats)
         if solve_sp:
             solve_sp.attrs["status"] = status
@@ -565,4 +920,5 @@ def solve_standard_revised(
         return SimplexResult(
             "optimal", x, value, list(solver.basis), solver.pivots,
             stats=solver.stats,
+            warm_state=solver.build_warm_state(x, structure_token),
         )

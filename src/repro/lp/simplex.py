@@ -43,7 +43,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .._fraction import to_fraction
 from ..exceptions import PivotLimitError, SolverError
+from .revised import PRICINGS
 from .stats import SolverStats, record
+from .warm import WarmState
 
 #: After this many pivots the pivot rule switches to Bland's (anti-cycling).
 #: Overridable per solve via ``solve_standard(bland_threshold=…)``.
@@ -59,6 +61,16 @@ KERNELS = ("revised", "tableau")
 #: Process-wide default kernel (the CLI's ``--kernel`` flag sets it).
 _default_kernel = "revised"
 
+#: Process-wide default pricing for the revised kernel when callers pass
+#: ``pricing=None`` on a **non-canonical** solve (probes, min-T bisection —
+#: the hot paths, where any optimal vertex will do).  ``partial`` is safe
+#: there, and safe even under ``canonical`` because an explicit non-Dantzig
+#: pricing gets its optimal vertex lexicographically canonicalized (see
+#: ``_RevisedSolver.canonicalize``).  Canonical solves with ``pricing=None``
+#: pin Dantzig instead, which is deterministic and kernel-invariant by
+#: construction.  The tableau kernel always prices Dantzig→Bland.
+_default_pricing = "partial"
+
 
 def set_default_kernel(kernel: str) -> None:
     """Set the kernel used when callers pass ``kernel=None`` (the default)."""
@@ -70,6 +82,20 @@ def set_default_kernel(kernel: str) -> None:
 
 def get_default_kernel() -> str:
     return _default_kernel
+
+
+def set_default_pricing(pricing: str) -> None:
+    """Set the revised-kernel pricing used when callers pass ``pricing=None``."""
+    global _default_pricing
+    if pricing not in PRICINGS:
+        raise SolverError(
+            f"unknown pricing {pricing!r}; choose from {PRICINGS}"
+        )
+    _default_pricing = pricing
+
+
+def get_default_pricing() -> str:
+    return _default_pricing
 
 
 @dataclass
@@ -85,6 +111,10 @@ class SimplexResult:
     #: kernel; row-indexed in the caller's row order, see
     #: :mod:`repro.lp.certificates`).
     farkas: Optional[List[Fraction]] = None
+    #: Carried solver state for the *next* solve (optimal results only):
+    #: the final basis as labels, the live factorized basis (revised
+    #: kernel), and the vertex.  Process-local ephemera — never serialized.
+    warm_state: Optional[WarmState] = None
 
     @property
     def is_optimal(self) -> bool:
@@ -438,8 +468,10 @@ def _build_tableau(
             scale = _lcm(scale, v.denominator)
         scale = _lcm(scale, std.rhs[i].denominator)
         row = [0] * width
+        # scale is a multiple of every denominator in the row: scaled
+        # entries are exact in pure integer arithmetic (no Fraction mul).
         for j, v in std.rows[i].items():
-            row[j] = int(v * scale)
+            row[j] = v.numerator * (scale // v.denominator)
         if std.slack_of_row[i] is not None:
             row[std.slack_of_row[i]] = std.slack_sign[i]
         if std.needs_artificial[i]:
@@ -448,7 +480,7 @@ def _build_tableau(
             art_index += 1
         else:
             basis.append(std.slack_of_row[i])  # type: ignore[arg-type]
-        row[-1] = int(std.rhs[i] * scale)
+        row[-1] = std.rhs[i].numerator * (scale // std.rhs[i].denominator)
         rows.append(row)
 
     # Phase-2 cost row (scaled to integers by its own lcm; the scale only
@@ -460,7 +492,7 @@ def _build_tableau(
         obj_scale = _lcm(obj_scale, c.denominator)
     cost2 = [0] * width
     for j, c in enumerate(fr_obj):
-        cost2[j] = int(c * obj_scale)
+        cost2[j] = c.numerator * (obj_scale // c.denominator)
     rows.append(cost2)
 
     has_artificials = art_index > std.art_start
@@ -506,14 +538,98 @@ def _tight_rows(
     their artificial has to leave the basis either way.
     """
     flags: List[bool] = []
+    # Float throughout: this is a heuristic with a relative tolerance nine
+    # orders of magnitude above float dot-product noise, and the crash it
+    # feeds is verified exactly afterwards.  Exact Fraction accumulation
+    # here used to be one of the most expensive steps of a warm solve.
+    fpoint = [float(v) for v in point]
     for row, sense, b in zip(coeff_rows, senses, rhs):
         if sense == "==":
             flags.append(True)
             continue
-        activity = sum((v * point[j] for j, v in row.items()), Fraction(0))
-        gap = float(activity - to_fraction(b))
-        flags.append(abs(gap) <= _TIGHT_EPS * max(1.0, abs(float(b))))
+        activity = 0.0
+        for j, v in row.items():
+            pj = fpoint[j]
+            if pj:
+                activity += float(v) * pj
+        fb = float(b)
+        flags.append(abs(activity - fb) <= _TIGHT_EPS * max(1.0, abs(fb)))
     return flags
+
+
+def _canonicalize_tableau(tab: _Tableau, std: StandardForm) -> None:
+    """Pivot within the optimal face to the lex-min optimal vertex.
+
+    The tableau twin of ``_RevisedSolver.canonicalize`` — Bland's rule on
+    the ε-perturbed objective over the zero-reduced-cost columns (see the
+    revised kernel for the full argument).  From the same basis both
+    kernels pick identical entering/leaving pairs (the cost row entry is
+    zero exactly when the revised reduced cost is, and ``rows[r][j]`` is
+    the same den-scaled ᾱ ``row_dot`` computes), so the kernels stay
+    pivot-for-pivot identical through the cleanup as well.
+    """
+    n = std.n
+    limit = std.art_start
+    r_count = tab.num_rows
+    while True:
+        cost_row = tab.rows[r_count]
+        basics = sorted(
+            (tab.basis[r], r) for r in range(r_count) if tab.basis[r] < n
+        )
+        in_basis = set(tab.basis)
+        enter: Optional[int] = None
+        for j in range(limit):
+            if j in in_basis or cost_row[j] != 0:
+                continue
+            improving = False
+            for k, rr in basics:
+                if k >= j:
+                    break  # j's own +1 lex component: not improving
+                d = tab.rows[rr][j]
+                if d > 0:
+                    improving = True
+                    break
+                if d < 0:
+                    break
+            if improving:
+                enter = j
+                break
+        if enter is None:
+            return
+        row = tab.leaving(enter)
+        if row is None:  # pragma: no cover - lex objective bounded on x≥0
+            return
+        tab.pivot(row, enter)
+
+
+def _tableau_warm_state(
+    tab: _Tableau, std: StandardForm, x: Sequence[Fraction], token: object
+) -> WarmState:
+    """Package the tableau's final basis as a (lub-less) :class:`WarmState`.
+
+    A consumer factorizes the labelled columns directly (the tableau keeps
+    no basis inverse to reinstall), so ``scales`` is empty and ``token`` is
+    carried only for symmetry with the revised kernel.
+    """
+    slack_row = {s: i for i, s in enumerate(std.slack_of_row) if s is not None}
+    art_row: Dict[int, int] = {}
+    art_index = std.art_start
+    for i in range(std.num_rows):
+        if std.needs_artificial[i]:
+            art_row[art_index] = i
+            art_index += 1
+    labels: List[Tuple[str, object]] = []
+    for b in tab.basis:
+        if b < std.n:
+            labels.append(("x", b))
+        elif b >= std.art_start:
+            labels.append(("a", art_row[b]))
+        else:
+            labels.append(("s", slack_row[b]))
+    point = {j: x[j] for j in range(std.n) if x[j]}
+    return WarmState(
+        labels, std.num_rows, std.n, (), lub=None, token=token, point=point
+    )
 
 
 def solve_standard(
@@ -527,6 +643,9 @@ def solve_standard(
     bland_threshold: Optional[int] = None,
     max_pivots: Optional[int] = None,
     pricing: Optional[str] = None,
+    warm_state: Optional[WarmState] = None,
+    structure_token: object = None,
+    canonical: "bool | str" = True,
 ) -> SimplexResult:
     """Solve ``min c·x  s.t.  rows, x ≥ 0`` exactly.
 
@@ -548,7 +667,24 @@ def solve_standard(
     Warm starts (see the module docstring) can only speed the solve up,
     never change its guarantees: *warm_point* is a candidate solution whose
     support and tight rows seed a crash basis; *warm_hints* is the bare
-    column-index form used when no full point is available.
+    column-index form used when no full point is available; *warm_state* is
+    a carried :class:`~repro.lp.warm.WarmState` whose basis (labels in this
+    LP's index space) skips phase 1 and the crash push outright when it is
+    still feasible — *structure_token* additionally authorizes verbatim
+    ``W`` reuse (see :mod:`repro.lp.warm`).  Optimal results carry the next
+    solve's ``warm_state``.
+
+    *canonical* picks the vertex-identity contract.  ``True`` (the
+    default) returns a deterministic, kernel-invariant vertex: with
+    ``pricing=None`` the solve pins Dantzig (both kernels pivot
+    identically, so results stay byte-compatible across kernels and code
+    generations for free), and an explicitly non-Dantzig pricing gets a
+    lexicographic cleanup instead.  ``"lex"`` always pivots the optimum to
+    the lexicographically minimal vertex — identical across kernels,
+    pricing rules *and* warm starts.  ``False`` skips all of it:
+    probe-style callers that need only feasibility or the objective value
+    take the process-default pricing (normally ``partial``) and whatever
+    vertex the solve lands on.
     """
     kernel = kernel or _default_kernel
     if kernel not in KERNELS:
@@ -556,11 +692,19 @@ def solve_standard(
     if kernel == "revised":
         from .revised import solve_standard_revised
 
+        if pricing is None:
+            # Canonical solves default to Dantzig: it is kernel-invariant
+            # by construction (the tableau twin pivots identically), so the
+            # deterministic vertex costs nothing extra.  Non-canonical
+            # (probe-style) solves take the process default pricing.
+            pricing = "dantzig" if canonical is True else _default_pricing
         return solve_standard_revised(
             coeff_rows, senses, rhs, objective,
             warm_hints=warm_hints, warm_point=warm_point,
             bland_threshold=bland_threshold, max_pivots=max_pivots,
-            pricing=pricing or "dantzig",
+            pricing=pricing,
+            warm_state=warm_state, structure_token=structure_token,
+            canonical=canonical,
         )
     if pricing not in (None, "dantzig"):
         raise SolverError(
@@ -582,6 +726,24 @@ def solve_standard(
         std = standard_form(coeff_rows, senses, rhs, objective)
         tab, has_artificials = _build_tableau(std, objective, bland_threshold, max_pivots)
         r = std.num_rows
+
+        if warm_state is not None:
+            # The tableau kernel has no factorized basis to reinstall; a
+            # carried state degrades to its labels (as column hints) and
+            # its vertex (as a warm point).
+            state_hints = [
+                payload
+                for kind, payload in warm_state.labels
+                if kind == "x" and isinstance(payload, int)
+                and 0 <= payload < std.n
+            ]
+            warm_hints = state_hints + list(warm_hints or [])
+            if warm_point is None and warm_state.point:
+                pt = [Fraction(0)] * std.n
+                for payload, value in warm_state.point.items():
+                    if isinstance(payload, int) and 0 <= payload < std.n:
+                        pt[payload] = to_fraction(value)
+                warm_point = pt
 
         eligible: Optional[List[bool]] = None
         if warm_point is not None and len(warm_point) == std.n:
@@ -653,6 +815,11 @@ def solve_standard(
             status = tab.run_phase(r)
             if phase_sp:
                 phase_sp.attrs["pivots"] = tab.pivots - phase1_total
+        if status == "optimal" and canonical == "lex":
+            # Dantzig→Bland is already deterministic and kernel-invariant,
+            # so plain ``canonical=True`` needs no cleanup here; only the
+            # strong warm-start-independent contract pivots to lex-min.
+            _canonicalize_tableau(tab, std)
         stats.pivots = tab.pivots
         record(stats)
         if solve_sp:
@@ -672,5 +839,6 @@ def solve_standard(
             (to_fraction(objective[j]) * x[j] for j in range(n) if x[j]), Fraction(0)
         )
         return SimplexResult(
-            "optimal", x, objective_value, list(tab.basis), tab.pivots, stats=stats
+            "optimal", x, objective_value, list(tab.basis), tab.pivots, stats=stats,
+            warm_state=_tableau_warm_state(tab, std, x, structure_token),
         )

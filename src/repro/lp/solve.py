@@ -36,6 +36,7 @@ support into the starting basis, typically skipping phase 1 entirely.
 
 from __future__ import annotations
 
+import logging
 from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -44,6 +45,10 @@ from ..exceptions import SolverError
 from .hybrid import HAVE_SCIPY, solve_standard_hybrid
 from .model import LinearProgram, LPSolution, VarKey
 from .simplex import solve_standard
+from .stats import SolverStats, record
+from .warm import WarmState
+
+logger = logging.getLogger(__name__)
 
 if HAVE_SCIPY:
     from .scipy_backend import solve_standard_float
@@ -71,19 +76,71 @@ def _resolve_backend(backend: str, lp: LinearProgram) -> str:
 
 def _warm_point(
     lp: LinearProgram, warm_values: Optional[Mapping[VarKey, Fraction]]
-) -> Optional[List[Fraction]]:
-    """A prior point as a dense structural vector (missing keys read as 0)."""
+) -> Tuple[Optional[List[Fraction]], int]:
+    """A prior point as a dense structural vector (missing keys read as 0).
+
+    Returns ``(point, dropped)`` where *dropped* counts warm keys absent
+    from the target LP.  Drops are expected across structurally different
+    re-solves (masked probes, min-T), but a persistently high count means a
+    caller is warm-starting from the wrong space — so they are surfaced in
+    ``SolverStats.warm_key_drops`` and a debug log rather than silently
+    swallowed as before.
+    """
     if not warm_values:
-        return None
+        return None, 0
     point = [Fraction(0)] * lp.num_variables
     found = False
+    dropped = 0
     for key, value in warm_values.items():
         if lp.has_variable(key):
             value = to_fraction(value)
             if value != 0:
                 point[lp.index_of(key)] = value
                 found = True
-    return point if found else None
+        else:
+            dropped += 1
+    if dropped and logger.isEnabledFor(logging.DEBUG):
+        logger.debug(
+            "warm start dropped %d key(s) absent from the target LP "
+            "(%d variables)", dropped, lp.num_variables,
+        )
+    return (point if found else None), dropped
+
+
+def _count_warm_drops(drops: int, stats) -> None:
+    """Fold *drops* into the per-solve stats and the active scopes/sinks.
+
+    ``record`` was already called inside the solve, so the per-solve object
+    must be patched *and* a delta recorded for scope aggregates and span
+    sinks to see the count.
+    """
+    if not drops:
+        return
+    if stats is not None:
+        stats.warm_key_drops += drops
+    record(SolverStats(warm_key_drops=drops))
+
+
+def _local_warm_state(
+    lp: LinearProgram, state: Optional[WarmState]
+) -> Optional[WarmState]:
+    """Relabel a keyed :class:`WarmState` into *lp*'s column space."""
+    if state is None:
+        return None
+    return state.relabel(
+        lambda key: lp.index_of(key) if lp.has_variable(key) else None,
+        new_n=lp.num_variables,
+    )
+
+
+def _keyed_warm_state(lp: LinearProgram, state) -> Optional[WarmState]:
+    """Relabel a solver-produced :class:`WarmState` onto variable keys."""
+    if state is None:
+        return None
+    keys = lp.variable_keys
+    return state.relabel(
+        lambda j: keys[j] if isinstance(j, int) and 0 <= j < len(keys) else None
+    )
 
 
 def solve_lp(
@@ -91,6 +148,9 @@ def solve_lp(
     backend: str = "exact",
     warm_values: Optional[Mapping[VarKey, Fraction]] = None,
     kernel: Optional[str] = None,
+    warm_state: Optional[WarmState] = None,
+    structure_token: object = None,
+    canonical: "bool | str" = True,
 ) -> LPSolution:
     """Solve *lp* (minimization) and map values back to variable keys.
 
@@ -99,21 +159,45 @@ def solve_lp(
     exact/hybrid backends; it never changes the result, only the pivot
     path.  *kernel* selects the exact pivoting engine (``None`` = the
     process default, normally ``"revised"``).
+
+    *warm_state* is a carried :class:`~repro.lp.warm.WarmState` whose
+    structural labels are **variable keys** (as returned on
+    ``LPSolution.warm_state``); it is relabelled into *lp*'s column space
+    and, when its basis still resolves, the exact solver skips phase 1 and
+    the warm-point push outright.  A stale state degrades to its carried
+    vertex.  *structure_token* authorizes verbatim basis reuse (raw-row
+    callers only — relabelling drops the witness, so keyed carrying always
+    refactorizes).  *canonical* picks the vertex-identity contract (see
+    :func:`repro.lp.simplex.solve_standard`): ``True`` (default) returns
+    the deterministic kernel-invariant vertex, ``"lex"`` the warm-start-
+    independent lex-min vertex, ``False`` whatever vertex the solve lands
+    on (probe-style callers that only consume values).
     """
     backend = _resolve_backend(backend, lp)
     coeff_rows, senses, rhs, objective = lp.to_standard_rows()
+    local_state = None
+    if warm_state is not None and backend in ("exact", "hybrid"):
+        local_state = _local_warm_state(lp, warm_state)
+        if local_state is None and not warm_values:
+            warm_values = warm_state.point  # stale basis: keep the vertex
+    warm_pt, drops = _warm_point(lp, warm_values)
     if backend == "exact":
         result = solve_standard(
             coeff_rows, senses, rhs, objective,
-            warm_point=_warm_point(lp, warm_values), kernel=kernel,
+            warm_point=warm_pt, kernel=kernel,
+            warm_state=local_state, structure_token=structure_token,
+            canonical=canonical,
         )
     elif backend == "hybrid":
         result = solve_standard_hybrid(
             coeff_rows, senses, rhs, objective,
-            warm_point=_warm_point(lp, warm_values), kernel=kernel,
+            warm_point=warm_pt, kernel=kernel,
+            warm_state=local_state, structure_token=structure_token,
+            canonical=canonical,
         )
     else:
         result = solve_standard_float(coeff_rows, senses, rhs, objective)
+    _count_warm_drops(drops, result.stats)
     if result.status != "optimal":
         return LPSolution(
             status=result.status, values={}, objective=None, stats=result.stats
@@ -124,6 +208,7 @@ def solve_lp(
     return LPSolution(
         status="optimal", values=values, objective=result.objective,
         stats=result.stats,
+        warm_state=_keyed_warm_state(lp, getattr(result, "warm_state", None)),
     )
 
 
@@ -163,7 +248,10 @@ def feasible_point_rows(
     backend: str = "hybrid",
     warm_point: Optional[Sequence[Fraction]] = None,
     kernel: Optional[str] = None,
-) -> Tuple[Optional[List[Fraction]], Optional[List[Fraction]]]:
+    warm_state: Optional[WarmState] = None,
+    structure_token: object = None,
+    want_state: bool = False,
+):
     """Certified feasibility probe on raw standard rows.
 
     Returns ``(point, farkas)``: exactly one of the two is non-``None``
@@ -174,6 +262,15 @@ def feasible_point_rows(
     :class:`repro.core.programs.IP3Builder`, which calls it with masked row
     views instead of materialized :class:`~repro.lp.model.LinearProgram`
     objects.
+
+    *warm_state* carries the basis of a neighbouring probe's solve (labels
+    in **this** row/column space); *structure_token* authorizes verbatim
+    basis reuse when the caller guarantees identical columns (see
+    :mod:`repro.lp.warm`).  With ``want_state=True`` the return becomes the
+    3-tuple ``(point, farkas, state)`` where *state* is the exact solve's
+    final :class:`~repro.lp.warm.WarmState` — ``None`` on the float-certified
+    shortcut (no exact basis existed) and on infeasibility.  Probe vertices
+    are **not** canonicalized (feasibility verdicts are vertex-agnostic).
     """
     from .hybrid import _FLOAT_SIZE_CUTOFF, certify_infeasible, float_candidate
 
@@ -189,21 +286,27 @@ def feasible_point_rows(
         candidate = float_candidate(coeff_rows, senses, rhs, objective)
         if candidate is not None and candidate.status == "optimal":
             if check_standard_rows(coeff_rows, senses, rhs, candidate.x):
-                return list(candidate.x), None  # certified by the re-check
+                # Certified by the re-check; no exact basis to carry.
+                point = list(candidate.x)
+                return (point, None, None) if want_state else (point, None)
             warm_point = candidate.x  # uncertified: warm-start the repair
         elif candidate is not None and candidate.status == "infeasible":
             farkas = certify_infeasible(
                 coeff_rows, senses, rhs, num_vars=num_vars
             )
             if farkas is not None:
-                return None, farkas
+                return (None, farkas, None) if want_state else (None, farkas)
     result = solve_standard(
         coeff_rows, senses, rhs, objective,
         warm_point=warm_point, kernel=kernel,
+        warm_state=warm_state, structure_token=structure_token,
+        canonical=False,
     )
     if result.status != "optimal":
-        return None, result.farkas
-    return result.x, None
+        farkas = result.farkas
+        return (None, farkas, None) if want_state else (None, farkas)
+    state = getattr(result, "warm_state", None)
+    return (result.x, None, state) if want_state else (result.x, None)
 
 
 def feasible_point(
@@ -211,7 +314,9 @@ def feasible_point(
     backend: str = "exact",
     warm_values: Optional[Mapping[VarKey, Fraction]] = None,
     kernel: Optional[str] = None,
-) -> Optional[Dict[VarKey, Fraction]]:
+    warm_state: Optional[WarmState] = None,
+    want_state: bool = False,
+):
     """An **exactly certified** feasible point of *lp*, or ``None``.
 
     This is the cheap primitive behind feasibility probes (the binary search
@@ -225,6 +330,11 @@ def feasible_point(
 
     With ``backend="scipy"`` the point is re-checked exactly as well, and
     rejected (exact re-solve) instead of propagated when uncertified.
+
+    *warm_state* is a keyed :class:`~repro.lp.warm.WarmState` (as returned
+    with ``want_state=True``); when its basis resolves the solver skips the
+    push/phase-1 machinery entirely.  With ``want_state=True`` the return
+    becomes ``(point_dict_or_None, state_or_None)``.
     """
     from .hybrid import _FLOAT_SIZE_CUTOFF
 
@@ -232,22 +342,37 @@ def feasible_point(
     size = lp.num_variables * max(lp.num_constraints, 1)
     if backend == "hybrid" and size < _FLOAT_SIZE_CUTOFF:
         backend = "exact"  # linprog overhead exceeds a cold exact solve
+    local_state = _local_warm_state(lp, warm_state)
+    if warm_state is not None and local_state is None and not warm_values:
+        warm_values = warm_state.point  # stale basis: keep the vertex
+    warm_pt, drops = _warm_point(lp, warm_values)
     coeff_rows, senses, rhs, objective = lp.to_standard_rows()
+    state = None
     if backend in ("hybrid", "scipy"):
-        point, _farkas = feasible_point_rows(
+        point, _farkas, state = feasible_point_rows(
             coeff_rows, senses, rhs, lp.num_variables,
-            backend=backend, warm_point=_warm_point(lp, warm_values),
-            kernel=kernel,
+            backend=backend, warm_point=warm_pt,
+            kernel=kernel, warm_state=local_state, want_state=True,
         )
+        _count_warm_drops(drops, None)
     else:
         result = solve_standard(
             coeff_rows, senses, rhs, objective,
-            warm_point=_warm_point(lp, warm_values), kernel=kernel,
+            warm_point=warm_pt, kernel=kernel,
+            warm_state=local_state, canonical=False,
         )
-        point = result.x if result.status == "optimal" else None
+        _count_warm_drops(drops, result.stats)
+        if result.status == "optimal":
+            point = result.x
+            state = getattr(result, "warm_state", None)
+        else:
+            point = None
     if point is None:
-        return None
-    return {key: point[lp.index_of(key)] for key in lp.variable_keys}
+        return (None, None) if want_state else None
+    values = {key: point[lp.index_of(key)] for key in lp.variable_keys}
+    if not want_state:
+        return values
+    return values, _keyed_warm_state(lp, state)
 
 
 def is_feasible(

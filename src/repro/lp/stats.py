@@ -57,6 +57,18 @@ class SolverStats:
     warm_start_hits: int = 0
     point_reuses: int = 0
     farkas_reuses: int = 0
+    #: WarmState outcomes: ``basis_reuses`` counts solves whose starting
+    #: basis came from a carried :class:`~repro.lp.warm.WarmState` (phase 1
+    #: skipped); ``crash_skips`` is the subset where the factorized ``W``
+    #: itself was installed verbatim — no ``O(m³)`` refactorization, no
+    #: ratio-test push.  ``sparse_btrans`` counts btran calls answered
+    #: entirely from sparse ``W`` rows; ``warm_key_drops`` counts warm-point
+    #: keys dropped because the target LP lacks the variable (cross-probe
+    #: shape mismatches — see ``lp/solve.py:_warm_point``).
+    basis_reuses: int = 0
+    crash_skips: int = 0
+    sparse_btrans: int = 0
+    warm_key_drops: int = 0
     #: Session-layer solve cache outcomes: a hit means a whole solve (or a
     #: whole pipeline of solves) was answered from the content-addressed
     #: store with zero pivots; a miss means the cold path ran and its
@@ -78,6 +90,10 @@ class SolverStats:
         self.warm_start_hits += other.warm_start_hits
         self.point_reuses += other.point_reuses
         self.farkas_reuses += other.farkas_reuses
+        self.basis_reuses += other.basis_reuses
+        self.crash_skips += other.crash_skips
+        self.sparse_btrans += other.sparse_btrans
+        self.warm_key_drops += other.warm_key_drops
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         for kernel, count in other.kernels.items():
@@ -100,6 +116,10 @@ class SolverStats:
             "warm_start_hits": self.warm_start_hits,
             "point_reuses": self.point_reuses,
             "farkas_reuses": self.farkas_reuses,
+            "basis_reuses": self.basis_reuses,
+            "crash_skips": self.crash_skips,
+            "sparse_btrans": self.sparse_btrans,
+            "warm_key_drops": self.warm_key_drops,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "kernels": dict(self.kernels),
@@ -116,6 +136,8 @@ class SolverStats:
                     "solves", "pivots", "phase1_pivots", "refactorizations",
                     "warm_start_attempts", "warm_start_hits",
                     "point_reuses", "farkas_reuses",
+                    "basis_reuses", "crash_skips",
+                    "sparse_btrans", "warm_key_drops",
                     "cache_hits", "cache_misses",
                 )
             }
@@ -139,6 +161,10 @@ class SolverStats:
                 f"  warm starts       {self.warm_start_hits}/{self.warm_start_attempts} hits",
                 f"  probe shortcuts   {self.point_reuses} point reuses, "
                 f"{self.farkas_reuses} Farkas reuses",
+                f"  basis carrying    {self.basis_reuses} reuses "
+                f"({self.crash_skips} verbatim), "
+                f"{self.warm_key_drops} warm keys dropped",
+                f"  sparse btrans     {self.sparse_btrans}",
                 f"  solve cache       {self.cache_hits} hits, "
                 f"{self.cache_misses} misses",
             ]

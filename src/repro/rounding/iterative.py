@@ -249,6 +249,7 @@ def iterative_round(
     fallback_drops = 0
     iterations = 0
     warm: Optional[Dict[VarKey, Fraction]] = None
+    carried = None  # last iteration's WarmState (keys survive shrinking)
 
     while True:
         iterations += 1
@@ -275,12 +276,21 @@ def iterative_round(
             lp.add_constraint(coeffs, "<=", _residual(row, fixed), name=row.name)
         if cost_map:
             lp.set_objective({q: cost_map.get(q, Fraction(0)) for q in free_keys})
-        solution = solve_lp(lp, backend=backend, warm_values=warm, kernel=kernel)
+        solution = solve_lp(
+            lp, backend=backend, warm_values=warm, kernel=kernel,
+            warm_state=carried,
+        )
         if not solution.is_optimal:
             raise InfeasibleError(
                 "iterative rounding LP became infeasible (input LP was "
                 "infeasible to begin with)"
             )
+        # Carry the basis into the next iteration's solve.  The residual
+        # system shrinks (fixed columns vanish, rows close/drop), so the
+        # state is often stale by dimension — the solver then degrades to
+        # the *warm* point below; when only columns were fixed it
+        # refactorizes the surviving basis and skips phase 1.
+        carried = solution.warm_state
 
         progress = False
         fractional: List[VarKey] = []

@@ -86,6 +86,14 @@ def execute_task(
     driver to :func:`~repro.obs.trace.adopt_spans`.  When the task runs in
     the driver itself, spans flow into the ambient tracer directly and
     ``"spans"`` stays absent.
+
+    Carried solver bases (:class:`~repro.lp.warm.WarmState`) are process-
+    local ephemera and never appear in the returned record: params pass
+    through the canonicalizer (which rejects them explicitly), the table
+    payload holds encoded cells only, and a state smuggled anywhere else
+    would fail the worker→driver pickle (``WarmState.__reduce__`` raises).
+    Stores written by earlier generations therefore read back byte-
+    identically.
     """
     spec = get_spec(experiment)
     local_tracer: Optional[Tracer] = None
