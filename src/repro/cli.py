@@ -14,9 +14,15 @@ Commands
     is bit-identical to ``--jobs 1``.  ``--shard K/N`` runs only the K-th
     of N deterministic round-robin slices of the task list, so independent
     CI machines can split one sweep and a final un-sharded run resumes
-    with nothing left to execute.
+    with nothing left to execute.  Fault tolerance: ``--task-timeout`` /
+    ``--task-pivots`` / ``--task-memory`` budget each attempt,
+    ``--task-retries`` bounds retries, failures land in the store's
+    ledger (quarantined after the budget; ``--retry-failed`` re-runs
+    them), and ``--chaos SPEC`` injects deterministic faults to prove the
+    recovery paths work.
 ``report <store> [ids…] [--timings]``
-    Reassemble accumulated sweep tables from a results store.
+    Reassemble accumulated sweep tables from a results store;
+    ``--failures`` renders the failure ledger instead.
 ``solve --demo <name> [--backend hybrid|exact|scipy]``
     Solve one of the built-in demo instances (``ii1``, ``v1``, ``smp``) with
     the exact solver and the 2-approximation, printing schedules as Gantt
@@ -138,8 +144,15 @@ def _run_sweep(
     params: List[str],
     shard: Optional[str] = None,
     trace: bool = False,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 0,
+    task_memory: Optional[float] = None,
+    task_pivots: Optional[int] = None,
+    chaos: Optional[str] = None,
+    retry_failed: bool = False,
 ) -> int:
-    from .runner import ResultsStore, experiment_ids, get_spec, run_sweep
+    from .runner import ResultsStore, TaskBudget, experiment_ids, get_spec, run_sweep
+    from .runner.chaos import resolve as resolve_chaos
 
     chosen = ids or experiment_ids()
     known = set(experiment_ids())
@@ -171,6 +184,16 @@ def _run_sweep(
         if unseedable:
             print(f"note: {unseedable} take no seed; replicates apply to {seedable}")
     shard_kn = _parse_shard(shard)
+    try:
+        budget = TaskBudget(
+            wall_seconds=task_timeout,
+            max_pivots=task_pivots,
+            max_memory_mb=task_memory,
+            retries=task_retries,
+        )
+        chaos_spec = resolve_chaos(chaos)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     with ResultsStore(store_path) as store:
         stats = run_sweep(
             chosen,
@@ -182,18 +205,35 @@ def _run_sweep(
             shard=shard_kn,
             echo=print,
             trace=trace,
+            budget=budget,
+            chaos=chaos_spec,
+            retry_failed=retry_failed,
         )
     shard_note = f", shard {shard}" if shard_kn else ""
+    fault_note = ""
+    if stats.quarantined:
+        fault_note += f", {stats.quarantined} quarantined"
+    if stats.retried:
+        fault_note += f", {stats.retried} retried"
+    if stats.budget_kills:
+        fault_note += f", {stats.budget_kills} budget kills"
     print(
         f"\nsweep: {stats.total} tasks{shard_note} — {stats.executed} executed, "
-        f"{stats.skipped} skipped (cached), {stats.failed} failed  "
+        f"{stats.skipped} skipped (cached), {stats.failed} failed{fault_note}  "
         f"[store: {store_path}]"
     )
-    return 1 if stats.failed else 0
+    if stats.failed or stats.quarantined:
+        print(
+            "failures are recorded in the store ledger; inspect with "
+            f"`repro report --failures {store_path}`, re-run quarantined "
+            "tasks with `repro sweep --retry-failed`"
+        )
+    return 1 if stats.failed or stats.quarantined else 0
 
 
 def _run_report(
-    store_path: str, ids: List[str], timings: bool, profile: bool = False
+    store_path: str, ids: List[str], timings: bool, profile: bool = False,
+    failures: bool = False,
 ) -> int:
     import os
 
@@ -203,6 +243,8 @@ def _run_report(
         print(f"no results store at {store_path!r}")
         return 2
     with ResultsStore(store_path) as store:
+        if failures:
+            return _render_failures(store, ids or None)
         chosen = ids or store.experiments()
         if not chosen and not profile:
             print(f"store {store_path!r} holds no completed tasks yet")
@@ -217,6 +259,35 @@ def _run_report(
         if profile:
             print()
             _render_store_profile(store, ids or None)
+    return 0
+
+
+def _render_failures(store, ids: Optional[List[str]] = None) -> int:
+    """``repro report --failures``: render the store's failure ledger."""
+    rows = store.failures()
+    if ids:
+        wanted = set(ids)
+        rows = [row for row in rows if row["experiment"] in wanted]
+    if not rows:
+        print("failure ledger is empty (no open failures)")
+        return 0
+    print(f"failure ledger: {len(rows)} open failure(s)")
+    for row in rows:
+        attempts = row["attempts"]
+        print(
+            f"\n{row['experiment']}  key={row['key'][:12]}  "
+            f"attempts={attempts}  elapsed={row['elapsed_s']:.2f}s"
+        )
+        print(f"  {row['error_class']}: {row['message']}")
+        if row.get("params_json"):
+            print(f"  params: {row['params_json']}")
+        if row.get("traceback"):
+            last = row["traceback"].rstrip().splitlines()[-1]
+            print(f"  traceback (last line): {last}")
+    print(
+        "\nre-run with `repro sweep --retry-failed` to retry quarantined "
+        "tasks; a successful run clears its ledger row"
+    )
     return 0
 
 
@@ -295,6 +366,12 @@ def _store_stats(store_path: str) -> int:
             print(
                 f"solve-cache lookups: {lookups} "
                 f"({fleet.cache_hits} hits, {rate:.0f}% hit rate)"
+            )
+        open_failures = cache.failure_count()
+        if open_failures:
+            print(
+                f"failure ledger: {open_failures} open failure(s) — "
+                "`repro report --failures` for details"
             )
         print("fleet-wide " + fleet.render())
     return 0
@@ -413,6 +490,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record a span trace of the sweep; worker span trees are "
         "merged into the driver's trace",
     )
+    sweep.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per task attempt; an expired task's worker "
+        "is killed and the attempt recorded (needs --jobs >= 2)",
+    )
+    sweep.add_argument(
+        "--task-retries", type=int, default=0, metavar="N",
+        help="extra attempts per failed task before its failure is final "
+        "(default: 0)",
+    )
+    sweep.add_argument(
+        "--task-memory", type=float, default=None, metavar="MB",
+        help="Python-allocation peak budget per task attempt, in MiB "
+        "(tracemalloc-enforced in the worker)",
+    )
+    sweep.add_argument(
+        "--task-pivots", type=int, default=None, metavar="N",
+        help="simplex pivot budget per task attempt (enforced through the "
+        "solver's own pivot-limit channel)",
+    )
+    sweep.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault injection, e.g. 'crash:0.1,hang:0.05' "
+        "(kinds: crash|hang|pivot|fail, optional @ATTEMPT qualifier; "
+        "default: $REPRO_CHAOS)",
+    )
+    sweep.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-run tasks the failure ledger has quarantined",
+    )
     report = sub.add_parser(
         "report", help="reassemble accumulated sweep tables from a store"
     )
@@ -426,6 +533,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--profile", action="store_true",
         help="render per-experiment and fleet-wide solver counters from "
         "the store index",
+    )
+    report.add_argument(
+        "--failures", action="store_true",
+        help="render the store's failure ledger (open failures and "
+        "quarantined tasks) instead of result tables",
     )
     solve = sub.add_parser("solve", help="solve a built-in demo instance")
     solve.add_argument("--demo", default="ii1", help="ii1 | v1 | smp")
@@ -533,10 +645,14 @@ def _dispatch(args, parser) -> int:
         return _run_sweep(
             args.ids, args.jobs, args.store, args.seeds, args.seed0,
             args.params, shard=args.shard, trace=bool(args.trace),
+            task_timeout=args.task_timeout, task_retries=args.task_retries,
+            task_memory=args.task_memory, task_pivots=args.task_pivots,
+            chaos=args.chaos, retry_failed=args.retry_failed,
         )
     if args.command == "report":
         return _run_report(
-            args.store, args.ids, args.timings, profile=args.profile
+            args.store, args.ids, args.timings, profile=args.profile,
+            failures=args.failures,
         )
     if args.command == "solve":
         return _solve_demo(args.demo, backend=args.backend, kernel=args.kernel)

@@ -98,6 +98,49 @@ class PivotLimitError(SolverError):
         return (self.__class__, (self.budget, self.pivots, self.phase, self.kernel))
 
 
+class TaskBudgetError(ReproError):
+    """A sweep task exceeded one of its :class:`~repro.runner.budget.TaskBudget`
+    limits.
+
+    Structured so the retry/ledger machinery can act on *which* budget went
+    — ``kind`` is ``"wall"`` (driver-enforced deadline), ``"pivots"``
+    (simplex pivot budget, converted from :class:`PivotLimitError`) or
+    ``"memory"`` (in-worker tracemalloc guard); ``limit`` is the configured
+    budget and ``observed`` what the task reached, both in the kind's
+    natural unit (seconds / pivots / MiB).
+    """
+
+    KINDS = ("wall", "pivots", "memory")
+
+    def __init__(self, kind: str, limit, observed, detail: str = ""):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown budget kind {kind!r}")
+        self.kind = kind
+        self.limit = limit
+        self.observed = observed
+        self.detail = detail
+        unit = {"wall": "s", "pivots": " pivots", "memory": "MiB"}[kind]
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"task exceeded its {kind} budget: "
+            f"{observed}{unit} > {limit}{unit}{suffix}"
+        )
+
+    def __reduce__(self):
+        # Keep the structure across pickling (sweep workers raise through a
+        # process pool) — the default reduce would re-init with the message.
+        return (self.__class__, (self.kind, self.limit, self.observed, self.detail))
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died mid-task (SIGKILL, OOM, segfault).
+
+    Synthesized by the driver when the process pool breaks: the worker
+    itself left no exception behind, so this is what the failure ledger
+    records for the task(s) charged with the crash.
+    """
+
+
 class RoundingError(ReproError):
     """A rounding procedure could not establish its guarantee."""
 

@@ -806,10 +806,10 @@ def solve_standard_revised(
     # Imported late: simplex dispatches into this module (kernel switch).
     from .simplex import (
         BLAND_THRESHOLD_DEFAULT,
-        MAX_PIVOTS_DEFAULT,
         SimplexResult,
         _point_hints,
         _tight_rows,
+        default_max_pivots,
         standard_form,
     )
     from ..obs.trace import span as trace_span
@@ -823,7 +823,7 @@ def solve_standard_revised(
             std,
             objective,
             bland_threshold if bland_threshold is not None else BLAND_THRESHOLD_DEFAULT,
-            max_pivots if max_pivots is not None else MAX_PIVOTS_DEFAULT,
+            max_pivots if max_pivots is not None else default_max_pivots(),
             pricing,
         )
         has_artificials = any(std.needs_artificial)

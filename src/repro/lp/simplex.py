@@ -55,6 +55,31 @@ BLAND_THRESHOLD_DEFAULT = 5000
 #: raises the structured :class:`~repro.exceptions.PivotLimitError`.
 MAX_PIVOTS_DEFAULT = 200000
 
+#: Process-default override of :data:`MAX_PIVOTS_DEFAULT` (``None`` = use
+#: the constant).  The sweep runner's per-task pivot budget
+#: (:mod:`repro.runner.budget`) installs a cap here for the duration of a
+#: worker task, so every solve the task performs — however deep in the
+#: pipeline — answers to the budget without threading ``max_pivots``
+#: through every call chain.
+_default_max_pivots: "Optional[int]" = None
+
+
+def set_default_max_pivots(cap: "Optional[int]") -> "Optional[int]":
+    """Set the process-default pivot budget; returns the previous value.
+
+    ``None`` restores :data:`MAX_PIVOTS_DEFAULT`.  Explicit
+    ``solve_standard(max_pivots=…)`` arguments always win over the default.
+    """
+    global _default_max_pivots
+    previous = _default_max_pivots
+    _default_max_pivots = cap
+    return previous
+
+
+def default_max_pivots() -> int:
+    """The pivot budget solves use when no ``max_pivots`` is passed."""
+    return MAX_PIVOTS_DEFAULT if _default_max_pivots is None else _default_max_pivots
+
 #: The exact pivoting kernels ``solve_standard`` dispatches between.
 KERNELS = ("revised", "tableau")
 
@@ -717,7 +742,7 @@ def solve_standard(
     bland_threshold = (
         BLAND_THRESHOLD_DEFAULT if bland_threshold is None else bland_threshold
     )
-    max_pivots = MAX_PIVOTS_DEFAULT if max_pivots is None else max_pivots
+    max_pivots = default_max_pivots() if max_pivots is None else max_pivots
     stats = SolverStats(solves=1)
     stats.count_kernel("tableau")
     with trace_span(

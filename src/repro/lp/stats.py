@@ -75,6 +75,15 @@ class SolverStats:
     #: payload was recorded for next time.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Sweep fault-tolerance outcomes, recorded by the driver so the obs
+    #: layer (scopes, spans, the store index) sees the recovery machinery
+    #: working: ``task_retries`` counts re-submitted task attempts,
+    #: ``tasks_quarantined`` counts tasks skipped because their failure-
+    #: ledger attempt count exhausted the retry budget, ``budget_kills``
+    #: counts workers killed by the driver's wall-clock deadline.
+    task_retries: int = 0
+    tasks_quarantined: int = 0
+    budget_kills: int = 0
     #: Solve count per kernel name ("revised", "tableau", "float").
     kernels: Dict[str, int] = field(default_factory=dict)
 
@@ -96,6 +105,9 @@ class SolverStats:
         self.warm_key_drops += other.warm_key_drops
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.task_retries += other.task_retries
+        self.tasks_quarantined += other.tasks_quarantined
+        self.budget_kills += other.budget_kills
         for kernel, count in other.kernels.items():
             self.kernels[kernel] = self.kernels.get(kernel, 0) + count
 
@@ -122,6 +134,9 @@ class SolverStats:
             "warm_key_drops": self.warm_key_drops,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "task_retries": self.task_retries,
+            "tasks_quarantined": self.tasks_quarantined,
+            "budget_kills": self.budget_kills,
             "kernels": dict(self.kernels),
         }
 
@@ -139,6 +154,7 @@ class SolverStats:
                     "basis_reuses", "crash_skips",
                     "sparse_btrans", "warm_key_drops",
                     "cache_hits", "cache_misses",
+                    "task_retries", "tasks_quarantined", "budget_kills",
                 )
             }
         )
@@ -167,6 +183,9 @@ class SolverStats:
                 f"  sparse btrans     {self.sparse_btrans}",
                 f"  solve cache       {self.cache_hits} hits, "
                 f"{self.cache_misses} misses",
+                f"  fault tolerance   {self.task_retries} task retries, "
+                f"{self.tasks_quarantined} quarantined, "
+                f"{self.budget_kills} budget kills",
             ]
         )
 

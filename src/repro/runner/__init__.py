@@ -9,19 +9,27 @@ the CLI are thin wrappers over:
   params, seed) tasks with order-independent, bit-reproducible results;
 * :mod:`repro.runner.store` — SQLite-indexed JSONL results store keyed by
   content hash, so finished tasks are never recomputed;
-* :mod:`repro.runner.sweep` — orchestration plus table reassembly.
+* :mod:`repro.runner.sweep` — orchestration plus table reassembly;
+* :mod:`repro.runner.budget` / :mod:`repro.runner.chaos` — per-task
+  resource budgets with retries, and the deterministic fault injector that
+  exercises the recovery paths.
 """
 
+from .budget import TaskBudget
+from .chaos import ChaosError, ChaosSpec
 from .executor import SweepStats, Task, execute_task, run_tasks
 from .registry import ExperimentSpec, all_specs, experiment_ids, get_spec, register
 from .store import ResultsStore, canonical_json, code_fingerprint, task_key
 from .sweep import assemble_table, build_tasks, run_sweep, shard_tasks
 
 __all__ = [
+    "ChaosError",
+    "ChaosSpec",
     "ExperimentSpec",
     "ResultsStore",
     "SweepStats",
     "Task",
+    "TaskBudget",
     "all_specs",
     "assemble_table",
     "build_tasks",

@@ -1,0 +1,197 @@
+"""Deterministic fault injection for the sweep runner.
+
+The recovery paths of :mod:`repro.runner.executor` — retries, pool
+rebuilds, deadline kills, the failure ledger — are only trustworthy if
+something actually exercises them.  This module injects faults into sweep
+workers **deterministically**: whether a given task attempt faults, and
+how, is a pure function of ``(chaos spec, task key, attempt)`` via
+:func:`repro.workloads.generators.derive_seed` — no wall-clock, no
+process-local RNG — so a chaos run is reproducible and the driver can
+*predict* which in-flight task was scheduled to crash when the pool breaks
+(that is how crash recovery avoids charging innocent co-scheduled tasks an
+attempt).
+
+Spec grammar (``--chaos SPEC`` or the ``REPRO_CHAOS`` environment
+variable)::
+
+    SPEC    := FAULT ("," FAULT)*
+    FAULT   := KIND ["@" ATTEMPT] ":" PROBABILITY
+    KIND    := "crash" | "hang" | "pivot" | "fail"
+
+``crash`` SIGKILLs the worker mid-task (driver sees ``BrokenProcessPool``
+and must rebuild the pool); ``hang`` blocks forever (the driver's
+``--task-timeout`` deadline must kill it); ``pivot`` exhausts the simplex
+pivot budget (installs a zero-pivot cap so the task's first LP solve
+raises through the real :class:`~repro.exceptions.PivotLimitError`
+channel); ``fail`` raises a plain :class:`ChaosError` (a generic retryable
+task error).  ``kind@N:p`` restricts the fault to attempt ``N`` only —
+``crash@0:1.0`` crashes every task exactly once and lets the retry
+succeed, which is what the deterministic recovery tests want.
+Probabilities of faults eligible at the same attempt must sum to ≤ 1.
+
+Faults are drawn per *attempt*, so a retried task re-rolls: under
+``crash:0.3`` a task that crashed at attempt 0 has an independent 30%
+chance at attempt 1.  Serial (``jobs=1``) runs downgrade ``crash`` and
+``hang`` to :class:`ChaosError` — killing or hanging the driver itself
+would take the sweep (and its store flush) down with no one left to
+recover it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..exceptions import ReproError
+from ..workloads.generators import derive_seed
+
+#: Environment variable consulted when no explicit spec is passed.
+CHAOS_ENV = "REPRO_CHAOS"
+
+KINDS = ("crash", "hang", "pivot", "fail")
+
+
+class ChaosError(ReproError):
+    """An injected (non-crash) task failure, or a downgraded serial fault."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A parsed fault-injection spec; ``faults`` keeps grammar order.
+
+    Each entry is ``(kind, only_attempt, probability)`` with
+    ``only_attempt is None`` meaning "every attempt".
+    """
+
+    faults: Tuple[Tuple[str, Optional[int], float], ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        faults = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, sep, prob_text = part.partition(":")
+            if not sep:
+                raise ValueError(
+                    f"chaos fault {part!r} is not KIND[@ATTEMPT]:PROBABILITY"
+                )
+            kind = kind.strip()
+            only_attempt: Optional[int] = None
+            if "@" in kind:
+                kind, _, attempt_text = kind.partition("@")
+                try:
+                    only_attempt = int(attempt_text)
+                except ValueError:
+                    raise ValueError(
+                        f"chaos attempt qualifier {attempt_text!r} is not an int"
+                    ) from None
+                if only_attempt < 0:
+                    raise ValueError("chaos attempt qualifier must be >= 0")
+            if kind not in KINDS:
+                raise ValueError(
+                    f"unknown chaos fault kind {kind!r}; choose from {KINDS}"
+                )
+            try:
+                probability = float(prob_text)
+            except ValueError:
+                raise ValueError(
+                    f"chaos probability {prob_text!r} is not a float"
+                ) from None
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"chaos probability must be in [0, 1], got {probability}"
+                )
+            faults.append((kind, only_attempt, probability))
+        if not faults:
+            raise ValueError(f"chaos spec {text!r} names no faults")
+        spec = cls(tuple(faults))
+        # The draw stacks eligible faults on one [0, 1) roll, so the
+        # per-attempt mass must fit; checking a few attempts covers every
+        # distinct eligibility set the @-qualifiers can produce.
+        attempts = {0, 1} | {
+            a for _, a, _ in faults if a is not None
+        }
+        for attempt in attempts:
+            mass = sum(
+                p for _kind, only, p in faults
+                if only is None or only == attempt
+            )
+            if mass > 1.0 + 1e-9:
+                raise ValueError(
+                    f"chaos probabilities for attempt {attempt} sum to "
+                    f"{mass} > 1"
+                )
+        return spec
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosSpec"]:
+        text = os.environ.get(CHAOS_ENV, "").strip()
+        return cls.parse(text) if text else None
+
+    def to_text(self) -> str:
+        """Round-trippable spec string (the worker wire format)."""
+        return ",".join(
+            f"{kind}@{only}:{p:g}" if only is not None else f"{kind}:{p:g}"
+            for kind, only, p in self.faults
+        )
+
+    def draw(self, key: str, attempt: int) -> Optional[str]:
+        """The fault injected into (task *key*, *attempt*), or ``None``.
+
+        Pure function of its arguments: the driver calls it to predict
+        worker behaviour (crash guilt attribution), the worker calls it to
+        act — both must and do agree.
+        """
+        eligible = [
+            (kind, p) for kind, only, p in self.faults
+            if only is None or only == attempt
+        ]
+        if not eligible:
+            return None
+        # 63-bit hash folded to [0, 1); resolution is far below any
+        # probability anyone writes in a spec.
+        roll = derive_seed(0, "chaos", key, attempt) / float(2 ** 63)
+        cumulative = 0.0
+        for kind, probability in eligible:
+            cumulative += probability
+            if roll < cumulative:
+                return kind
+        return None
+
+
+def resolve(spec: "ChaosSpec | str | None") -> Optional[ChaosSpec]:
+    """Normalize a chaos argument: parse strings, fall back to the env."""
+    if spec is None:
+        return ChaosSpec.from_env()
+    if isinstance(spec, str):
+        return ChaosSpec.parse(spec)
+    return spec
+
+
+def inject(fault: Optional[str], allow_kill: bool) -> Optional[str]:
+    """Act on a drawn *fault* inside the worker.
+
+    Returns ``"pivot"`` to tell the caller to run the task under a
+    zero-pivot cap (the fault fires through the task's own LP solves);
+    every other fault acts here.  With ``allow_kill`` unset (serial path:
+    the "worker" is the driver) ``crash``/``hang`` degrade to
+    :class:`ChaosError` so the sweep survives to record them.
+    """
+    if fault is None:
+        return None
+    if fault == "fail":
+        raise ChaosError("chaos: injected task failure")
+    if fault == "pivot":
+        return "pivot"
+    if not allow_kill:
+        raise ChaosError(f"chaos: injected {fault} (downgraded on serial path)")
+    if fault == "crash":
+        os.kill(os.getpid(), 9)  # SIGKILL: no handlers, no cleanup
+    if fault == "hang":
+        while True:  # pragma: no cover - killed from outside
+            time.sleep(60)
+    return None  # pragma: no cover - crash never returns

@@ -111,6 +111,46 @@ class ResultsStore:
             stats=stats,
         )
 
+    # -- failure ledger ---------------------------------------------------
+    #
+    # Sweep-facing view of the cache's ``failures`` table: one open row per
+    # task key that has failed and not yet succeeded.  The executor records
+    # every failed attempt (cumulative count), reads the count back on
+    # resume to decide quarantine, and a successful ``add`` clears the row.
+
+    def record_failure(
+        self,
+        key: str,
+        experiment: str,
+        error_class: str,
+        message: str,
+        attempts: int,
+        traceback_text: Optional[str] = None,
+        params: Any = None,
+        fingerprint: str = "",
+        elapsed_s: float = 0.0,
+    ) -> None:
+        self.cache.record_failure(
+            key, experiment, error_class, message, attempts,
+            traceback_text=traceback_text, params=params,
+            fingerprint=fingerprint, elapsed_s=elapsed_s,
+        )
+
+    def failure(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.cache.failure(key)
+
+    def failure_attempts(self, key: str) -> int:
+        return self.cache.failure_attempts(key)
+
+    def clear_failure(self, key: str) -> None:
+        self.cache.clear_failure(key)
+
+    def failures(self, experiment: Optional[str] = None) -> List[Dict[str, Any]]:
+        return self.cache.failures(experiment)
+
+    def failure_count(self, experiment: Optional[str] = None) -> int:
+        return self.cache.failure_count(experiment)
+
     def stats_totals(self, experiment: Optional[str] = None):
         """Aggregated solver counters per experiment bucket (see
         :meth:`SolveCache.stats_totals`); session buckets included only

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.tables import Table, decode_cell
 from ..workloads.generators import derive_seed
+from .budget import TaskBudget
 from .executor import SweepStats, Task, run_tasks
 from .registry import get_spec
 from .store import ResultsStore, canonical_json, code_fingerprint, task_key
@@ -92,13 +93,19 @@ def run_sweep(
     shard: Optional[Tuple[int, int]] = None,
     echo: Optional[Callable[[str], None]] = None,
     trace: bool = False,
+    budget: Optional[TaskBudget] = None,
+    chaos: Optional[Any] = None,
+    retry_failed: bool = False,
 ) -> SweepStats:
     """Run (the missing part of) a sweep against *store*; returns stats.
 
     *shard* restricts execution to slice ``(K, N)`` of the deterministic
     task list (see :func:`shard_tasks`) so independent machines can split
     one sweep.  *trace* ships worker span trees back to the driver's
-    tracer (see :func:`~repro.runner.executor.run_tasks`).
+    tracer (see :func:`~repro.runner.executor.run_tasks`).  *budget*
+    (per-task limits + retries), *chaos* (a fault-injection spec, spec
+    string, or the ``REPRO_CHAOS`` default) and *retry_failed* (re-run
+    ledger-quarantined tasks) pass straight through to the executor.
     """
     fingerprint = code_fingerprint()
     tasks = build_tasks(
@@ -107,7 +114,10 @@ def run_sweep(
     )
     if shard is not None:
         tasks = shard_tasks(tasks, shard)
-    return run_tasks(tasks, store, fingerprint, jobs=jobs, echo=echo, trace=trace)
+    return run_tasks(
+        tasks, store, fingerprint, jobs=jobs, echo=echo, trace=trace,
+        budget=budget, chaos=chaos, retry_failed=retry_failed,
+    )
 
 
 def _sortable(obj: Any):

@@ -56,7 +56,25 @@ CREATE TABLE IF NOT EXISTS tasks (
     stats_json  TEXT
 );
 CREATE INDEX IF NOT EXISTS tasks_by_experiment ON tasks (experiment);
+CREATE TABLE IF NOT EXISTS failures (
+    key         TEXT PRIMARY KEY,
+    experiment  TEXT NOT NULL,
+    params_json TEXT NOT NULL,
+    error_class TEXT NOT NULL,
+    message     TEXT NOT NULL,
+    traceback   TEXT,
+    attempts    INTEGER NOT NULL,
+    fingerprint TEXT NOT NULL DEFAULT '',
+    elapsed_s   REAL,
+    created_at  TEXT NOT NULL DEFAULT (datetime('now'))
+);
+CREATE INDEX IF NOT EXISTS failures_by_experiment ON failures (experiment);
 """
+
+_FAILURE_COLUMNS = (
+    "key", "experiment", "params_json", "error_class", "message",
+    "traceback", "attempts", "fingerprint", "elapsed_s", "created_at",
+)
 
 _META_COLUMNS = (
     "key", "experiment", "params_json", "seed", "fingerprint",
@@ -85,8 +103,10 @@ class SolveCache:
         """Bring an older store's index up to the current schema.
 
         Schema deltas are index-only columns (``payload_offset`` from the
-        store/cache split, ``stats_json`` from the observability layer);
-        adding them never touches payload bytes.
+        store/cache split, ``stats_json`` from the observability layer) or
+        whole index-only tables (``failures``, created by the
+        ``IF NOT EXISTS`` schema script on open); migrating never touches
+        payload bytes.
         """
         columns = {
             row[1] for row in self._db.execute("PRAGMA table_info(tasks)")
@@ -245,9 +265,22 @@ class SolveCache:
         counter dict (``SolverStats.to_json()`` shape) — goes into the
         index only, never into the payload, so recording it cannot perturb
         byte-identity.
+
+        Failures never enter the payload store: a record that carries an
+        ``"error"`` field (or a non-``done`` status) is rejected outright —
+        failed work belongs in the :meth:`record_failure` ledger, where it
+        can be retried, never in the content-addressed cache, where it
+        would be served forever.  Conversely a successful ``put`` clears
+        any ledger entry for the key: success supersedes failure.
         """
         if "/" in bucket or "\\" in bucket or bucket in ("", ".", ".."):
             raise ValueError(f"bucket name {bucket!r} is not filename-safe")
+        if "error" in record or record.get("status") not in (None, "done"):
+            raise ValueError(
+                "refusing to cache a failed payload (record carries an "
+                "'error' field or a non-done status); record failures via "
+                "record_failure() instead"
+            )
         payload_rel = os.path.join("payloads", f"{bucket}.jsonl")
         payload_path = os.path.join(self.root, payload_rel)
         line = canonical_bytes(record)
@@ -283,7 +316,91 @@ class SolveCache:
                 canonical_json(stats) if stats is not None else None,
             ),
         )
+        self._db.execute("DELETE FROM failures WHERE key = ?", (key,))
         self._db.commit()
+
+    # -- failure ledger ---------------------------------------------------
+
+    def record_failure(
+        self,
+        key: str,
+        bucket: str,
+        error_class: str,
+        message: str,
+        attempts: int,
+        traceback_text: Optional[str] = None,
+        params: Any = None,
+        fingerprint: str = "",
+        elapsed_s: float = 0.0,
+    ) -> None:
+        """Persist one failed entry in the ``failures`` ledger (index only).
+
+        Called after **every** failed attempt with the cumulative attempt
+        count, so the ledger survives a driver crash mid-retry exactly like
+        successes survive in ``tasks``: a resumed sweep reads the count
+        back and grants only the attempts that remain.  A later successful
+        :meth:`put` of the same key deletes the row — the ledger holds
+        *open* failures only.
+        """
+        self._db.execute(
+            "INSERT OR REPLACE INTO failures"
+            " (key, experiment, params_json, error_class, message,"
+            "  traceback, attempts, fingerprint, elapsed_s)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                bucket,
+                canonical_json(params if params is not None else {}),
+                error_class,
+                message,
+                traceback_text,
+                int(attempts),
+                fingerprint,
+                float(elapsed_s),
+            ),
+        )
+        self._db.commit()
+
+    def failure(self, key: str) -> Optional[Dict[str, Any]]:
+        row = self._db.execute(
+            f"SELECT {', '.join(_FAILURE_COLUMNS)} FROM failures"
+            " WHERE key = ?",
+            (key,),
+        ).fetchone()
+        return dict(zip(_FAILURE_COLUMNS, row)) if row is not None else None
+
+    def failure_attempts(self, key: str) -> int:
+        """Recorded attempt count for *key* (0 when the ledger has no row)."""
+        row = self._db.execute(
+            "SELECT attempts FROM failures WHERE key = ?", (key,)
+        ).fetchone()
+        return int(row[0]) if row else 0
+
+    def clear_failure(self, key: str) -> None:
+        self._db.execute("DELETE FROM failures WHERE key = ?", (key,))
+        self._db.commit()
+
+    def failures(self, bucket: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Open failure-ledger rows, oldest first (optionally one bucket)."""
+        sql = f"SELECT {', '.join(_FAILURE_COLUMNS)} FROM failures"
+        args: tuple = ()
+        if bucket is not None:
+            sql += " WHERE experiment = ?"
+            args = (bucket,)
+        sql += " ORDER BY created_at, rowid"
+        return [
+            dict(zip(_FAILURE_COLUMNS, row))
+            for row in self._db.execute(sql, args).fetchall()
+        ]
+
+    def failure_count(self, bucket: Optional[str] = None) -> int:
+        if bucket is None:
+            row = self._db.execute("SELECT COUNT(*) FROM failures").fetchone()
+        else:
+            row = self._db.execute(
+                "SELECT COUNT(*) FROM failures WHERE experiment = ?", (bucket,)
+            ).fetchone()
+        return int(row[0])
 
     # -- read back -------------------------------------------------------
 

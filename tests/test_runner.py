@@ -40,11 +40,15 @@ TINY = {"machine_counts": (2,), "trials": 2, "n_jobs": 4}
 
 class TestRegistry:
     def test_all_eighteen_registered(self):
-        ids = [s.id for s in all_specs()]
+        # Other test modules register throwaway specs (the fault-injection
+        # suite does); the paper's e-suite must still be exactly E01–E18.
+        ids = [s.id for s in all_specs() if s.id.startswith("e")]
         assert ids == [f"e{k:02d}" for k in range(1, 19)]
 
     def test_summaries_come_from_docstrings(self):
         for spec in all_specs():
+            if not spec.id.startswith("e"):
+                continue  # test-registered specs live in test modules
             assert spec.summary.startswith(spec.id.upper().replace("E0", "E0"))
             assert len(spec.summary) > 10
 
