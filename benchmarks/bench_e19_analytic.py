@@ -1,0 +1,183 @@
+"""E19 — analytic schedulability: verdict throughput and the zero-LP proof.
+
+Two claims, both machine-checked:
+
+1. **Zero LP solves.**  The whole analytic path — demand profiles, packing
+   strategies, busy-window bounds, and the exact branch-and-bound truth it
+   is soundness-checked against — runs under
+   :func:`repro.lp.stats.collect_stats` and the recorded counters must be
+   identically zero.  Any simplex work sneaking into the "no simulation,
+   no LP" engine fails the bench (and, via the artifact, the CI perf gate).
+2. **Throughput.**  Per-query wall-clock of ``analytic_schedulable`` vs
+   ``exact_schedulable_within`` on the same workloads — the polynomial
+   bounds should answer in a fraction of the search's time, which is the
+   point of having them in the admission pre-filter.
+
+Script mode writes ``BENCH_e19_analytic.json`` (counters + verdict tallies
++ timing), which CI uploads next to the LP perf-gate artifact::
+
+    PYTHONPATH=src python benchmarks/bench_e19_analytic.py --out /tmp/analytic.json
+
+Exit status is 1 when any LP counter is nonzero or a verdict disagrees
+with the exact truth (``exp.run`` raises ``AnalyticSoundnessError``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.baselines.restrictions import exact_schedulable_within  # noqa: E402
+from repro.experiments import e19_analytic_vs_simulated as exp  # noqa: E402
+from repro.lp.stats import collect_stats  # noqa: E402
+from repro.rta import analytic_schedulable  # noqa: E402
+from repro.workloads import derive_seed, rng_from_seed  # noqa: E402
+from repro.workloads.families import make_topology  # noqa: E402
+from repro.workloads.generators import utilization_workload  # noqa: E402
+
+T_REF = 20
+#: Grid for the throughput leg (class × utilization × trials queries).
+THROUGHPUT_CLASSES = ("global", "partitioned", "hierarchical")
+THROUGHPUT_UTILIZATIONS = (0.5, 0.8, 0.95, 1.05)
+THROUGHPUT_TRIALS = 4
+
+
+def run(trials: int = 3) -> Dict:
+    """Run E19 plus a timing leg, all inside one LP-counter scope."""
+    with collect_stats() as stats:
+        result = exp.run(
+            utilizations=(0.5, 0.8, 0.95),
+            scheduler_classes=("global", "partitioned", "hierarchical"),
+            topologies=("flat4", "clustered4x2"),
+            T_ref=T_REF,
+            trials=trials,
+        )
+
+        # Throughput: identical workloads through both deciders.
+        topology = make_topology("flat4")
+        analytic_s = exact_s = 0.0
+        queries = 0
+        tally = {"SCHEDULABLE": 0, "UNSCHEDULABLE": 0, "UNKNOWN": 0}
+        for u in THROUGHPUT_UTILIZATIONS:
+            for trial in range(THROUGHPUT_TRIALS):
+                seed = derive_seed(190, "bench-e19", str(u), trial)
+                inst = utilization_workload(
+                    rng_from_seed(seed), topology.family, u, T_REF
+                )
+                for cls in THROUGHPUT_CLASSES:
+                    start = time.perf_counter()
+                    verdict = analytic_schedulable(inst, cls, T_REF)
+                    analytic_s += time.perf_counter() - start
+                    start = time.perf_counter()
+                    exact_schedulable_within(inst, cls, T_REF)
+                    exact_s += time.perf_counter() - start
+                    tally[verdict.status] += 1
+                    queries += 1
+
+    counters = stats.to_json()
+    lp_free = stats.solves == 0 and stats.pivots == 0
+    speedup: Optional[float] = (
+        round(exact_s / analytic_s, 2) if analytic_s > 0 else None
+    )
+    return {
+        "family": "e19_analytic",
+        "T_ref": T_REF,
+        "rows": [
+            {
+                "topology": r.topology,
+                "class": r.scheduler_class,
+                "utilization": r.utilization,
+                "trials": r.trials,
+                "exact_schedulable": r.exact_schedulable,
+                "analytic_schedulable": r.analytic_schedulable,
+                "analytic_unschedulable": r.analytic_unschedulable,
+                "unknown": r.unknown,
+                "decided": str(r.decided),
+            }
+            for r in result.rows
+        ],
+        "unknown_total": result.unknown_total,
+        "throughput": {
+            "queries": queries,
+            "verdicts": tally,
+            "analytic_seconds": round(analytic_s, 4),
+            "exact_seconds": round(exact_s, 4),
+            "analytic_speedup_over_exact": speedup,
+        },
+        "lp_counters": counters,
+        "lp_free": lp_free,
+        "table": result.table.render(),
+    }
+
+
+def test_e19_analytic(benchmark):
+    """pytest-benchmark entry point (mirrors the sibling bench idiom)."""
+    from _common import emit, run_once
+
+    with collect_stats() as stats:
+        result = run_once(
+            benchmark,
+            lambda: exp.run(
+                utilizations=(0.5, 0.8, 0.95),
+                scheduler_classes=("global", "partitioned", "hierarchical"),
+                trials=3,
+            ),
+        )
+    emit("e19", result.table)
+    assert result.sound
+    # The acceptance criterion, by counter: the analytic engine (and the
+    # LP-free exact search it is checked against) performs zero LP work.
+    assert stats.solves == 0 and stats.pivots == 0, stats.to_json()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=os.path.join(REPO_ROOT, "BENCH_e19_analytic.json"),
+        help="output JSON path (default: repo root)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=3,
+        help="trials per (topology, utilization) grid point",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run(trials=args.trials)
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    results_dir = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "results"
+    )
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "BENCH_e19_analytic.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    print(payload["table"])
+    thr = payload["throughput"]
+    print(
+        f"\nthroughput: {thr['queries']} queries  "
+        f"analytic {thr['analytic_seconds']}s vs exact {thr['exact_seconds']}s  "
+        f"(speedup {thr['analytic_speedup_over_exact']}x)  "
+        f"verdicts {thr['verdicts']}"
+    )
+    print(
+        f"lp counters: solves={payload['lp_counters']['solves']} "
+        f"pivots={payload['lp_counters']['pivots']}"
+    )
+    if not payload["lp_free"]:
+        print("FAIL: analytic path performed LP work", file=sys.stderr)
+        return 1
+    print("analytic path LP-free: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,31 @@ def restricted_family_for(instance: Instance, scheduler_class: str) -> List[Mach
     raise InvalidFamilyError(f"unknown scheduler class {scheduler_class!r}")
 
 
+def exact_schedulable_within(
+    instance: Instance,
+    scheduler_class: str,
+    T,
+    node_limit: int = 2_000_000,
+) -> bool:
+    """Exact ground truth for the schedulability studies (E15, E19).
+
+    ``True`` iff an assignment with makespan ≤ *T* exists within the
+    class's restricted family.  Structural inapplicability of the class
+    (:class:`InvalidFamilyError`) counts as ``False`` — a class losing
+    instances is the phenomenon the comparisons measure — but a
+    :class:`~repro.exceptions.SolverError` (node-limit blowup) propagates:
+    "the search gave up" must never be tabulated as "not schedulable".
+    """
+    try:
+        sets = restricted_family_for(instance, scheduler_class)
+    except InvalidFamilyError:
+        return False
+    restricted = restrict_instance(instance, sets)
+    from ..core.exact import find_assignment_within
+
+    return find_assignment_within(restricted, T, node_limit=node_limit) is not None
+
+
 @dataclass
 class ClassComparison:
     scheduler_class: str

@@ -27,6 +27,13 @@ Commands
     Solve one of the built-in demo instances (``ii1``, ``v1``, ``smp``) with
     the exact solver and the 2-approximation, printing schedules as Gantt
     charts.
+``analyze [--demo <name> | --topology <name> --utilization U] [--class C] [--T X]``
+    Analytic schedulability (the :mod:`repro.rta` engine): print the
+    SCHEDULABLE / UNSCHEDULABLE / UNKNOWN verdict with its certificate —
+    per-job busy-window response bounds for witnesses, the violated demand
+    bound for refutations — all exact Fractions, zero LP solves
+    (``--profile`` proves it by counter; ``--trace`` shows the ``rta.*``
+    spans).
 ``store stats <store>``
     Inspect a store/cache directory: bucket entry counts and payload sizes,
     solve-cache hit rates, per-experiment solver counters.
@@ -377,19 +384,17 @@ def _store_stats(store_path: str) -> int:
     return 0
 
 
-def _solve_demo(name: str, backend: str = "hybrid", kernel: Optional[str] = None) -> int:
-    from .analysis.gantt import render_gantt
-    from .session import Session
-
+def _demo_instance(name: str):
+    """The built-in demo instances shared by ``solve`` and ``analyze``."""
     if name == "ii1":
         from .workloads import example_ii1
 
-        instance = example_ii1()
-    elif name == "v1":
+        return example_ii1()
+    if name == "v1":
         from .workloads import example_v1
 
-        instance = example_v1(6)
-    elif name == "smp":
+        return example_v1(6)
+    if name == "smp":
         from .simulation import CostModel, Topology
         from .workloads import rng_from_seed
         from .workloads.generators import instance_from_topology
@@ -399,7 +404,16 @@ def _solve_demo(name: str, backend: str = "hybrid", kernel: Optional[str] = None
             rng_from_seed(2017), topo, CostModel.xeon_like(), n=topo.m + 1,
             base_range=(20, 24), flexible_fraction=1.0, specialist_fraction=0.0,
         )
-    else:
+        return instance
+    return None
+
+
+def _solve_demo(name: str, backend: str = "hybrid", kernel: Optional[str] = None) -> int:
+    from .analysis.gantt import render_gantt
+    from .session import Session
+
+    instance = _demo_instance(name)
+    if instance is None:
         print(f"unknown demo {name!r}; choose from ii1, v1, smp")
         return 2
 
@@ -414,6 +428,61 @@ def _solve_demo(name: str, backend: str = "hybrid", kernel: Optional[str] = None
               f"(T* = {approx.T_lp}, guarantee ≤ {approx.bound}, "
               f"backend = {backend})")
         print(render_gantt(approx.schedule))
+    return 0
+
+
+def _analyze(
+    demo: Optional[str],
+    topology: Optional[str],
+    utilization: float,
+    seed: int,
+    scheduler_class: str,
+    T: Optional[str],
+) -> int:
+    """``repro analyze``: analytic schedulability verdict + certificate."""
+    from fractions import Fraction
+
+    from .rta import SCHEDULABLE, UNSCHEDULABLE, analytic_schedulable
+
+    if topology is not None:
+        from .workloads import rng_from_seed
+        from .workloads.families import make_topology
+        from .workloads.generators import utilization_workload
+
+        topo = make_topology(topology)
+        T_ref = Fraction(T) if T is not None else Fraction(20)
+        instance = utilization_workload(
+            rng_from_seed(seed), topo.family, utilization, T_ref
+        )
+    else:
+        instance = _demo_instance(demo or "ii1")
+        if instance is None:
+            print(f"unknown demo {demo!r}; choose from ii1, v1, smp")
+            return 2
+        T_ref = Fraction(T) if T is not None else instance.trivial_bounds()[0]
+
+    print(f"instance: {instance}")
+    verdict = analytic_schedulable(instance, scheduler_class, T_ref)
+    print(f"\nverdict: {verdict.status}")
+    print(f"class:   {verdict.scheduler_class}")
+    print(f"T:       {verdict.T}")
+    print(f"reason:  {verdict.reason}")
+    cert = verdict.certificate
+    if verdict.status == SCHEDULABLE:
+        print(f"strategy: {cert['strategy']}")
+        print(f"makespan bound: {cert['makespan_bound']}")
+        print("per-job response bounds (busy windows):")
+        for j, bound in sorted(verdict.response_bounds.items()):
+            mask = ",".join(map(str, cert["masks"][j]))
+            print(f"  job {j} on {{{mask}}}: ≤ {bound}")
+    elif verdict.status == UNSCHEDULABLE:
+        print(f"violated test: {cert.get('test')}")
+        print(f"  {cert.get('detail')}")
+        if cert.get("lhs") is not None:
+            print(f"  bound: {cert['lhs']} > {cert['rhs']}")
+    else:
+        print(f"strategies tried: {', '.join(cert['strategies_tried'])}")
+        print(f"demand margin: {cert['demand_margin']}")
     return 0
 
 
@@ -566,6 +635,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record a span trace (.jsonl = JSONL spans, else Chrome "
         "trace_event for chrome://tracing / Perfetto)",
     )
+    analyze = sub.add_parser(
+        "analyze",
+        help="analytic schedulability verdict + certificate (zero LP solves)",
+    )
+    analyze.add_argument("--demo", default=None, help="ii1 | v1 | smp (default: ii1)")
+    analyze.add_argument(
+        "--topology", default=None, metavar="NAME",
+        help="judge a generated workload on a topology-zoo family instead "
+        "of a demo (e.g. flat4, clustered4x2)",
+    )
+    analyze.add_argument(
+        "--utilization", type=float, default=0.8,
+        help="target utilization for --topology workloads (default: 0.8)",
+    )
+    analyze.add_argument(
+        "--seed", type=int, default=190,
+        help="workload seed for --topology (default: 190)",
+    )
+    analyze.add_argument(
+        "--class", dest="scheduler_class", default="hierarchical",
+        choices=("global", "partitioned", "clustered", "semi", "hierarchical"),
+        help="scheduler class to analyze within (default: hierarchical)",
+    )
+    analyze.add_argument(
+        "--T", default=None, metavar="MAKESPAN",
+        help="makespan budget as an exact number, e.g. 20 or 41/2 "
+        "(default: the instance's trivial lower bound; 20 with --topology)",
+    )
+    analyze.add_argument(
+        "--profile", action="store_true",
+        help="print solver counters after the verdict (the analytic path "
+        "proves itself LP-free: all zeros)",
+    )
+    analyze.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record the rta.* span tree (.jsonl = JSONL spans, else "
+        "Chrome trace_event)",
+    )
     store_cmd = sub.add_parser(
         "store", help="inspect a results/cache store directory"
     )
@@ -656,6 +763,11 @@ def _dispatch(args, parser) -> int:
         )
     if args.command == "solve":
         return _solve_demo(args.demo, backend=args.backend, kernel=args.kernel)
+    if args.command == "analyze":
+        return _analyze(
+            args.demo, args.topology, args.utilization, args.seed,
+            args.scheduler_class, args.T,
+        )
     if args.command == "store":
         if getattr(args, "store_command", None) == "stats":
             return _store_stats(args.store)

@@ -66,6 +66,19 @@ class SolverError(ReproError):
     """An LP/ILP solver failed or returned an unusable status."""
 
 
+class AnalyticSoundnessError(ReproError):
+    """An analytic verdict disagreed with the exact solve (or produced an
+    unverifiable witness).
+
+    The RTA engine's decided verdicts are supposed to be sound by
+    construction — SCHEDULABLE comes with a capacity-verified assignment,
+    UNSCHEDULABLE with a violated necessary bound — so any disagreement is
+    a bug in the bounds, never a statistical fluctuation.  Experiment E19
+    raises this instead of tabulating the disagreement, which is what lets
+    CI enforce soundness by simply running the sweep.
+    """
+
+
 class UnboundedError(SolverError):
     """The linear program is unbounded in the optimization direction."""
 

@@ -39,11 +39,10 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis import Table
-from ..core.exact import find_assignment_within
-from ..exceptions import InfeasibleError, SolverError
+from ..exceptions import SolverError
 from ..schedule.validator import check_releases
 from ..session import Session
-from ..simulation.admission import admit
+from ..simulation.admission import admit, witness_within
 from ..simulation.costs import CostModel
 from ..workloads import derive_seed, rng_from_seed
 from ..workloads.families import make_arrivals, make_topology
@@ -61,6 +60,10 @@ class E18Row:
     infeasible: int
     """Trials whose workload has no hierarchical witness within ``T_ref``
     (no template to admit into — offline inadmissibility)."""
+
+    solver_errors: int
+    """Trials the exact witness search abandoned (node limit) — reported
+    separately, never miscounted as offline inadmissibility."""
 
     admitted: int
     misses: int
@@ -117,6 +120,7 @@ def run(
     trials: int = 2,
     deadline_factor: Num = 1,
     seed: int = 180,
+    prefilter: bool = False,
 ) -> E18Result:
     """Sweep utilization × arrival family × topology through admission.
 
@@ -125,6 +129,12 @@ def run(
     release feasibility of the materialized timeline is re-checked exactly
     on every trial (a violation would be a bug, so it raises rather than
     being tabulated).
+
+    With *prefilter* the analytic RTA engine screens each workload before
+    the exact witness search (:func:`repro.simulation.admission.
+    witness_within`): rows are provably identical either way — the
+    pre-filter only rejects workloads the search would also reject — so
+    the flag trades nothing but wall-clock (pinned by the test suite).
     """
     if windows < 2:
         raise ValueError("need ≥ 2 windows for a meaningful admission run")
@@ -139,7 +149,7 @@ def run(
         for family_name in arrival_families:
             for u in utilizations:
                 admitted = misses = pending = backlog = 0
-                schedulable_trials = infeasible = 0
+                schedulable_trials = infeasible = solver_errors = 0
                 response_sum = Fraction(0)
                 response_max: Optional[Fraction] = None
                 overhead = Fraction(0)
@@ -154,9 +164,14 @@ def run(
                     )
                     ext = instance.with_singletons()
                     try:
-                        witness = find_assignment_within(ext, T_ref)
-                    except (InfeasibleError, SolverError):
-                        witness = None
+                        witness = witness_within(
+                            ext, T_ref, prefilter=prefilter
+                        )
+                    except SolverError:
+                        # "The search gave up" is not "infeasible": count
+                        # it separately so overload curves stay honest.
+                        solver_errors += 1
+                        continue
                     if witness is None:
                         infeasible += 1
                         continue
@@ -211,6 +226,7 @@ def run(
                         utilization=float(u),
                         trials=done_trials,
                         infeasible=infeasible,
+                        solver_errors=solver_errors,
                         admitted=admitted,
                         misses=misses,
                         miss_ratio=(
@@ -229,17 +245,19 @@ def run(
     table = Table(
         "E18 — online arrivals: miss ratio / response under admission",
         [
-            "topology", "family", "utilization", "infeasible", "admitted",
-            "misses", "miss ratio", "mean resp/T", "max resp/T", "pending",
-            "backlog", "priced overhead", "schedulable",
+            "topology", "family", "utilization", "infeasible",
+            "solver errors", "admitted", "misses", "miss ratio",
+            "mean resp/T", "max resp/T", "pending", "backlog",
+            "priced overhead", "schedulable",
         ],
     )
     for r in rows:
         table.add_row(
-            r.topology, r.family, r.utilization, r.infeasible, r.admitted,
-            r.misses, r.miss_ratio, r.mean_response_over_T,
-            r.max_response_over_T, r.pending, r.max_backlog,
-            r.priced_overhead, f"{r.schedulable_trials}/{r.trials}",
+            r.topology, r.family, r.utilization, r.infeasible,
+            r.solver_errors, r.admitted, r.misses, r.miss_ratio,
+            r.mean_response_over_T, r.max_response_over_T, r.pending,
+            r.max_backlog, r.priced_overhead,
+            f"{r.schedulable_trials}/{r.trials}",
         )
     return E18Result(rows=rows, table=table)
 

@@ -1,0 +1,46 @@
+"""Response-time analysis: analytic schedulability without simulation.
+
+The subsystem answers "does an assignment with makespan ≤ T exist within
+this scheduler class?" in polynomial time with exact Fractions and zero LP
+solves, grounded in the Theorem IV.3 characterization: necessary
+demand-bound refutations (:mod:`repro.rta.demand`), constructive
+capacity-verified witnesses (:mod:`repro.rta.packing`), busy-window
+response bounds in the pycpa ``b_plus`` idiom
+(:mod:`repro.rta.busy_window`), and the :func:`analytic_schedulable`
+façade returning a :class:`Verdict` with a full certificate
+(:mod:`repro.rta.engine`).
+"""
+
+from .busy_window import busy_windows, makespan_bound, response_bounds
+from .demand import DemandProfile, demand_profile, infeasibility_witness
+from .engine import (
+    SCHEDULABLE,
+    UNKNOWN,
+    UNSCHEDULABLE,
+    Verdict,
+    analytic_schedulable,
+)
+from .packing import (
+    STRATEGIES,
+    first_fit_decreasing,
+    semi_federated,
+    worst_fit_decreasing,
+)
+
+__all__ = [
+    "DemandProfile",
+    "SCHEDULABLE",
+    "STRATEGIES",
+    "UNKNOWN",
+    "UNSCHEDULABLE",
+    "Verdict",
+    "analytic_schedulable",
+    "busy_windows",
+    "demand_profile",
+    "first_fit_decreasing",
+    "infeasibility_witness",
+    "makespan_bound",
+    "response_bounds",
+    "semi_federated",
+    "worst_fit_decreasing",
+]

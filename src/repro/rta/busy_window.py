@@ -1,0 +1,83 @@
+"""Busy-window response-time bounds for a fixed assignment.
+
+The pycpa idiom computes a task's worst-case response as the fixpoint of a
+busy-window recursion ``w ← b_plus(w)`` — the window grows until it absorbs
+all competing demand.  In this offline template setting demand is
+load-independent (one instance of every job per window), so the recursion
+converges in a single step and the busy window of a family set α is the
+closed form
+
+    W(α) = max( nested_volume(α) / |α| ,
+                max_{child β of α} W(β) ,
+                max_{j : mask(j) = α} p_{αj} )
+
+computed bottom-up over the laminar forest — the per-level demand
+aggregation of the hierarchical analysis.  ``W(α)`` is the smallest horizon
+for which the subtree rooted at α passes all its (IP-2) capacity and (2c)
+constraints, so by Theorem IV.3 the subtree's jobs are realizable within
+``W(α)``: the per-job *response bound* reported here is the busy window of
+the root above the job's mask, and the overall makespan bound equals
+:func:`repro.core.assignment.min_T_for_assignment` exactly (pinned by the
+test suite).
+
+These are witness bounds for the assignment, not for one particular
+realized schedule: a schedule *exists* completing every job of the subtree
+by W(root), while a template built for a larger global horizon ``T`` may
+legitimately spread pieces across all of ``[0, T)`` (McNaughton wrap).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict
+
+from .._fraction import to_fraction
+from ..core.assignment import Assignment, set_volumes
+from ..core.instance import Instance
+from ..core.laminar import MachineSet
+
+
+def busy_windows(
+    instance: Instance, assignment: Assignment
+) -> Dict[MachineSet, Fraction]:
+    """``W(α)`` for every family set, bottom-up in one pass."""
+    family = instance.family
+    volumes = set_volumes(instance, assignment)
+    local_peak: Dict[MachineSet, Fraction] = {a: Fraction(0) for a in family.sets}
+    for j, alpha in assignment.items():
+        p = to_fraction(instance.p(j, alpha))
+        if p > local_peak[alpha]:
+            local_peak[alpha] = p
+    nested: Dict[MachineSet, Fraction] = {}
+    W: Dict[MachineSet, Fraction] = {}
+    for alpha in family.bottom_up():
+        kids = family.children(alpha)
+        nested[alpha] = volumes[alpha] + sum(
+            (nested[beta] for beta in kids), Fraction(0)
+        )
+        W[alpha] = max(
+            Fraction(nested[alpha], len(alpha)),
+            local_peak[alpha],
+            max((W[beta] for beta in kids), default=Fraction(0)),
+        )
+    return W
+
+
+def response_bounds(
+    instance: Instance, assignment: Assignment
+) -> Dict[int, Fraction]:
+    """Per-job worst-case response bound: the busy window of the root of
+    the tree containing the job's mask."""
+    family = instance.family
+    W = busy_windows(instance, assignment)
+    root_of: Dict[MachineSet, MachineSet] = {}
+    for alpha in family.sets:
+        ancestors = family.ancestors(alpha)
+        root_of[alpha] = ancestors[-1] if ancestors else alpha
+    return {j: W[root_of[assignment[j]]] for j in assignment}
+
+
+def makespan_bound(instance: Instance, assignment: Assignment) -> Fraction:
+    """``max_roots W(root)`` — equals ``min_T_for_assignment`` exactly."""
+    W = busy_windows(instance, assignment)
+    return max(W[root] for root in instance.family.roots)

@@ -1,0 +1,176 @@
+"""The analytic schedulability façade: verdicts with certificates.
+
+``analytic_schedulable(instance, scheduler_class, T_ref)`` answers "does a
+schedule with makespan ≤ T_ref exist within this scheduler class?" without
+simulating, searching, or solving an LP:
+
+* **UNSCHEDULABLE** — some necessary demand bound is violated
+  (:func:`repro.rta.demand.infeasibility_witness`), or the scheduler class
+  is structurally inapplicable to the family (same convention as the E15
+  acceptance study: a class that cannot express the instance loses it);
+* **SCHEDULABLE** — a greedy construction produced a capacity-verified
+  assignment (:mod:`repro.rta.packing`), re-checked against (IP-2) and
+  annotated with busy-window response bounds
+  (:mod:`repro.rta.busy_window`) — the full certificate;
+* **UNKNOWN** — neither side could decide; the certificate carries the
+  demand margins so callers can see how close the bounds came.
+
+Soundness is the contract (CI-enforced on the E15/E19 grids): a decided
+verdict always agrees with the exact branch-and-bound
+(:func:`repro.core.exact.find_assignment_within`), because both sides are
+grounded in the same Theorem IV.3 characterization.  The whole path is
+polynomial and performs **zero** LP solves — the perf-gate artifact proves
+it by counter.
+
+Spans: ``rta.analyze`` wraps the query, with ``rta.necessary`` and
+``rta.sufficient`` children, so ``--trace`` shows exactly which side
+decided and ``--profile`` shows the (empty) solver counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Optional, Union
+
+from ..baselines.restrictions import restrict_instance, restricted_family_for
+from ..core.assignment import Assignment, verify_ip2
+from ..core.instance import Instance
+from ..exceptions import AnalyticSoundnessError, InvalidFamilyError
+from ..obs.trace import span as trace_span
+from .busy_window import makespan_bound, response_bounds
+from .demand import demand_profile, infeasibility_witness
+from .packing import STRATEGIES
+
+SCHEDULABLE = "SCHEDULABLE"
+UNSCHEDULABLE = "UNSCHEDULABLE"
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class Verdict:
+    """Outcome of one analytic schedulability query."""
+
+    status: str
+    scheduler_class: str
+    T: Fraction
+    reason: str
+    certificate: Dict[str, object] = field(default_factory=dict)
+    assignment: Optional[Assignment] = None
+    """The constructed witness (SCHEDULABLE only) — valid for the
+    class-restricted instance and, since restriction only removes sets,
+    for the original instance too."""
+
+    response_bounds: Optional[Dict[int, Fraction]] = None
+    """Per-job busy-window response bounds (SCHEDULABLE only), exact."""
+
+    @property
+    def decided(self) -> bool:
+        return self.status != UNKNOWN
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.status} ({self.scheduler_class} within T={self.T}): {self.reason}"
+
+
+def analytic_schedulable(
+    instance: Instance,
+    scheduler_class: str = "hierarchical",
+    T_ref: Union[int, Fraction, None] = None,
+) -> Verdict:
+    """Analytic schedulability of *instance* within *scheduler_class*.
+
+    ``T_ref`` defaults to the instance's trivial makespan lower bound.
+    Decided verdicts are sound with respect to the exact solve; UNKNOWN is
+    the honest gap of the polynomial bounds.
+    """
+    T = (
+        instance.trivial_bounds()[0]
+        if T_ref is None
+        else Fraction(T_ref)
+    )
+    with trace_span(
+        "rta.analyze",
+        scheduler_class=scheduler_class,
+        n=instance.n,
+        m=instance.m,
+        T=str(T),
+    ) as sp:
+        verdict = _analyze(instance, scheduler_class, T)
+        if sp:
+            sp.attrs["status"] = verdict.status
+            sp.attrs["reason"] = verdict.reason
+        return verdict
+
+
+def _analyze(instance: Instance, scheduler_class: str, T: Fraction) -> Verdict:
+    try:
+        sets = restricted_family_for(instance, scheduler_class)
+    except InvalidFamilyError as exc:
+        return Verdict(
+            status=UNSCHEDULABLE,
+            scheduler_class=scheduler_class,
+            T=T,
+            reason="class-inapplicable",
+            certificate={"test": "class-inapplicable", "detail": str(exc)},
+        )
+    restricted = restrict_instance(instance, sets)
+
+    with trace_span("rta.necessary", sets=len(sets)) as nsp:
+        profile = demand_profile(restricted, T)
+        witness = infeasibility_witness(restricted, profile)
+        if nsp:
+            nsp.attrs["violated"] = witness["test"] if witness else ""
+    if witness is not None:
+        cert = dict(witness)
+        cert["demand_margin"] = profile.demand_margin()
+        return Verdict(
+            status=UNSCHEDULABLE,
+            scheduler_class=scheduler_class,
+            T=T,
+            reason=str(witness["test"]),
+            certificate=cert,
+        )
+
+    with trace_span("rta.sufficient") as ssp:
+        for name, strategy in STRATEGIES:
+            assignment = strategy(restricted, T, profile)
+            if assignment is None:
+                continue
+            report = verify_ip2(restricted, assignment, T)
+            if not report.feasible:  # pragma: no cover - construction bug
+                raise AnalyticSoundnessError(
+                    f"strategy {name!r} produced an infeasible witness: "
+                    + "; ".join(str(v) for v in report.violations)
+                )
+            bounds = response_bounds(restricted, assignment)
+            if ssp:
+                ssp.attrs["strategy"] = name
+            return Verdict(
+                status=SCHEDULABLE,
+                scheduler_class=scheduler_class,
+                T=T,
+                reason=f"witness:{name}",
+                certificate={
+                    "strategy": name,
+                    "masks": {
+                        j: tuple(sorted(alpha)) for j, alpha in assignment.items()
+                    },
+                    "makespan_bound": makespan_bound(restricted, assignment),
+                    "response_bounds": dict(bounds),
+                },
+                assignment=assignment,
+                response_bounds=bounds,
+            )
+        if ssp:
+            ssp.attrs["strategy"] = ""
+
+    return Verdict(
+        status=UNKNOWN,
+        scheduler_class=scheduler_class,
+        T=T,
+        reason="bounds-inconclusive",
+        certificate={
+            "strategies_tried": tuple(name for name, _ in STRATEGIES),
+            "demand_margin": profile.demand_margin(),
+        },
+    )

@@ -1,0 +1,179 @@
+"""Constructive sufficient tests: build a witness assignment greedily.
+
+A SCHEDULABLE verdict must be *sound*: by Theorem IV.3 an assignment whose
+nested volumes respect every (2b) capacity and whose chosen times respect
+(2c) is realizable with makespan ≤ ``T``, so any capacity-verified
+construction is a certificate — no search, no LP.  The strategies here are
+the classic bin-packing heuristics lifted to laminar capacities:
+
+* **first-fit decreasing** — jobs hardest-first, each takes its cheapest
+  fitting mask (the partitioned-scheduling workhorse);
+* **semi-federated** — the Jiang et al. adaptation: jobs heavier than
+  ``T/2`` (which fragment machines badly — no two share one) are routed to
+  the migrating root mask where they share capacity fractionally, light
+  jobs are first-fit onto singletons; needs the two-level structure
+  (root + all singletons) to be present;
+* **worst-fit decreasing** — each job takes the fitting option that leaves
+  the system least peaked (minimal resulting fill fraction along the
+  mask's chain), trading volume for balance.
+
+Placements update the nested-volume vector incrementally along the mask's
+ancestor chain; in a laminar family every (2b) constraint a placement can
+tighten lies on that chain, so the O(depth) check per placement is exactly
+the (IP-2) feasibility test.  Each strategy either returns a full
+assignment (already capacity-verified) or ``None`` — failure of a greedy
+heuristic proves nothing, which is what the UNKNOWN verdict is for.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.assignment import Assignment
+from ..core.instance import Instance
+from ..core.laminar import MachineSet
+from .demand import DemandProfile, Option
+
+
+class LoadTracker:
+    """Incremental nested-volume bookkeeping for one packing run.
+
+    ``nested[α]`` mirrors ``Σ_{β ⊆ α} vol(β)`` of the partial assignment;
+    a placement on mask α touches exactly α and its ancestors.
+    """
+
+    def __init__(self, instance: Instance, T: Fraction):
+        family = instance.family
+        self.T = T
+        self.nested: Dict[MachineSet, Fraction] = {
+            a: Fraction(0) for a in family.sets
+        }
+        self._chain: Dict[MachineSet, Tuple[MachineSet, ...]] = {
+            a: (a,) + family.ancestors(a) for a in family.sets
+        }
+        self._cap: Dict[MachineSet, Fraction] = {
+            a: len(a) * T for a in family.sets
+        }
+
+    def fits(self, alpha: MachineSet, p: Fraction) -> bool:
+        return all(
+            self.nested[beta] + p <= self._cap[beta]
+            for beta in self._chain[alpha]
+        )
+
+    def place(self, alpha: MachineSet, p: Fraction) -> None:
+        for beta in self._chain[alpha]:
+            self.nested[beta] += p
+
+    def fill_after(self, alpha: MachineSet, p: Fraction) -> Fraction:
+        """Peak fill fraction along α's chain if ``p`` were placed there."""
+        return max(
+            Fraction(self.nested[beta] + p, self._cap[beta])
+            for beta in self._chain[alpha]
+        )
+
+
+def _job_order(instance: Instance, profile: DemandProfile) -> List[int]:
+    """Hardest-first (largest cheapest time), index-tiebroken."""
+    return sorted(range(instance.n), key=lambda j: (-profile.min_feasible[j], j))
+
+
+def _pack(
+    instance: Instance,
+    profile: DemandProfile,
+    choose: Callable[[LoadTracker, int, Tuple[Option, ...]], Optional[Option]],
+) -> Optional[Assignment]:
+    """Run one greedy pass; the assignment returned is capacity-verified
+    by construction (every placement passed the chain check)."""
+    if profile.no_option:
+        return None
+    loads = LoadTracker(instance, profile.T)
+    masks: Dict[int, MachineSet] = {}
+    for j in _job_order(instance, profile):
+        option = choose(loads, j, profile.options[j])
+        if option is None:
+            return None
+        p, alpha = option
+        loads.place(alpha, p)
+        masks[j] = alpha
+    return Assignment(masks)
+
+
+def first_fit_decreasing(
+    instance: Instance, T: Union[int, Fraction], profile: DemandProfile
+) -> Optional[Assignment]:
+    """FFD over laminar capacities: cheapest fitting option per job."""
+
+    def choose(loads: LoadTracker, _j: int, options: Tuple[Option, ...]):
+        for p, alpha in options:
+            if loads.fits(alpha, p):
+                return (p, alpha)
+        return None
+
+    return _pack(instance, profile, choose)
+
+
+def worst_fit_decreasing(
+    instance: Instance, T: Union[int, Fraction], profile: DemandProfile
+) -> Optional[Assignment]:
+    """WFD: among fitting options, pick the one leaving the least peaked
+    load (ties broken by option order, i.e. cheapest)."""
+
+    def choose(loads: LoadTracker, _j: int, options: Tuple[Option, ...]):
+        best: Optional[Option] = None
+        best_fill: Optional[Fraction] = None
+        for p, alpha in options:
+            if not loads.fits(alpha, p):
+                continue
+            fill = loads.fill_after(alpha, p)
+            if best_fill is None or fill < best_fill:
+                best, best_fill = (p, alpha), fill
+        return best
+
+    return _pack(instance, profile, choose)
+
+
+def semi_federated(
+    instance: Instance, T: Union[int, Fraction], profile: DemandProfile
+) -> Optional[Assignment]:
+    """The Jiang et al. semi-federated split, adapted to this model.
+
+    Heavy jobs (cheapest feasible time > ``T/2``) cannot pairwise share a
+    machine, so they get the migrating root mask and share its capacity
+    fractionally — the "federated/migrating" pool — paying the migration
+    overhead ``P_j(M) ≥ P_j({i})`` the monotone model charges.  Light jobs
+    are first-fit onto singletons (the partitioned pool), falling back to
+    any fitting mask.  Requires the two-level structure: root ∪ all
+    singletons present in the family.
+    """
+    family = instance.family
+    root = frozenset(instance.machines)
+    if root not in family or not family.has_all_singletons:
+        return None
+
+    def choose(loads: LoadTracker, j: int, options: Tuple[Option, ...]):
+        heavy = 2 * profile.min_feasible[j] > profile.T
+        if heavy:
+            for p, alpha in options:
+                if alpha == root and loads.fits(alpha, p):
+                    return (p, alpha)
+            # Root is infeasible or full — fall through to any fit.
+        singles = [(p, a) for p, a in options if len(a) == 1]
+        others = [(p, a) for p, a in options if len(a) != 1]
+        for p, alpha in singles + others:
+            if loads.fits(alpha, p):
+                return (p, alpha)
+        return None
+
+    return _pack(instance, profile, choose)
+
+
+#: Strategy order: FFD is the cheapest and usually suffices; the
+#: semi-federated split wins exactly where heavy jobs fragment machines;
+#: WFD is the balanced fallback.  First verified construction wins.
+STRATEGIES: Tuple[Tuple[str, Callable], ...] = (
+    ("first-fit-decreasing", first_fit_decreasing),
+    ("semi-federated", semi_federated),
+    ("worst-fit-decreasing", worst_fit_decreasing),
+)

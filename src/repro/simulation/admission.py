@@ -150,6 +150,68 @@ class AdmissionResult:
         return {a.instance_id: a.release for a in self.admitted}
 
 
+def witness_within(
+    instance,
+    T_ref,
+    scheduler_class: str = "hierarchical",
+    prefilter: bool = True,
+    analytic_witness: bool = False,
+    node_limit: int = 2_000_000,
+):
+    """Find a template witness (assignment with makespan ≤ ``T_ref``),
+    with an optional analytic pre-filter in front of the exact search.
+
+    The admission layer needs a witness assignment to build its template;
+    under overload most candidate workloads have none, and proving that by
+    branch-and-bound is the expensive part.  With *prefilter* on, the RTA
+    engine (:func:`repro.rta.analytic_schedulable`) runs first:
+
+    * **UNSCHEDULABLE** → return ``None`` without searching.  Sound: the
+      verdict refutes a necessary (IP-2) bound, so the search would have
+      exhausted its tree and returned ``None`` too.
+    * **SCHEDULABLE** with *analytic_witness* → return the engine's
+      capacity-verified assignment (zero search, zero LP solves).  By
+      Theorem IV.3 it is a genuine witness; it may differ from the one the
+      search would pick, so the default keeps the exact search for
+      byte-identical templates.
+    * otherwise → fall through to
+      :func:`repro.core.exact.find_assignment_within` on the restricted
+      instance, whose result is identical with and without the pre-filter.
+
+    A :class:`~repro.exceptions.SolverError` from the exact search
+    propagates — callers decide whether "gave up" is tabulated.
+    """
+    from ..baselines.restrictions import (
+        restrict_instance,
+        restricted_family_for,
+    )
+    from ..core.exact import find_assignment_within
+    from ..exceptions import InvalidFamilyError
+    from ..rta import SCHEDULABLE, UNSCHEDULABLE, analytic_schedulable
+
+    with trace_span(
+        "sim.prefilter",
+        scheduler_class=scheduler_class,
+        enabled=prefilter,
+    ) as sp:
+        if prefilter:
+            verdict = analytic_schedulable(instance, scheduler_class, T_ref)
+            if sp:
+                sp.attrs["verdict"] = verdict.status
+            if verdict.status == UNSCHEDULABLE:
+                return None
+            if analytic_witness and verdict.status == SCHEDULABLE:
+                if sp:
+                    sp.attrs["fast_path"] = True
+                return verdict.assignment
+        try:
+            sets = restricted_family_for(instance, scheduler_class)
+        except InvalidFamilyError:
+            return None
+        restricted = restrict_instance(instance, sets)
+        return find_assignment_within(restricted, T_ref, node_limit=node_limit)
+
+
 def _template_pieces(
     template: Schedule,
 ) -> Dict[int, Tuple[List[Tuple[int, Fraction, Fraction]], List[Tuple[int, Fraction, Fraction]]]]:
